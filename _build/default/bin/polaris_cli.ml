@@ -1,0 +1,114 @@
+(** The polaris command-line driver.
+
+    - [polaris compile FILE]: parse, restructure, print the annotated
+      parallel Fortran source (CPOLARIS$ directives) and the per-loop
+      report.
+    - [polaris run FILE]: compile and simulate on a p-processor machine,
+      reporting serial/parallel simulated time and speedup.
+    - [polaris suite [NAME]]: list the evaluation suite, or compile+run
+      one of its codes under both pipelines. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let config_of ~baseline ~procs =
+  if baseline then Core.Config.baseline ~procs ()
+  else Core.Config.polaris ~procs ()
+
+(* ----- compile ----- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
+  in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Use the baseline (PFA-like) pipeline")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the transformed source")
+  in
+  let run file baseline quiet =
+    let t = Core.Pipeline.compile (config_of ~baseline ~procs:8) (read_file file) in
+    if not quiet then Fmt.pr "%a@." Core.Pipeline.pp_summary t;
+    print_string (Core.Pipeline.output_source t)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Restructure a Fortran program and print it")
+    Term.(const run $ file $ baseline $ quiet)
+
+(* ----- run ----- *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
+  in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Use the baseline (PFA-like) pipeline")
+  in
+  let procs =
+    Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
+  in
+  let go file baseline procs =
+    let cfg = config_of ~baseline ~procs in
+    let t, r = Core.Simulate.compile_and_run cfg (read_file file) in
+    Fmt.pr "%a@." Core.Pipeline.pp_summary t;
+    Fmt.pr "serial time   : %d@." r.serial_time;
+    Fmt.pr "parallel time : %d (%d processors)@." r.parallel_time procs;
+    Fmt.pr "speedup       : %.2fx@." r.speedup;
+    List.iter (fun l -> Fmt.pr "output: %s@." l) r.output
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute on the simulated multiprocessor")
+    Term.(const go $ file $ baseline $ procs)
+
+(* ----- suite ----- *)
+
+let suite_cmd =
+  let code_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Suite code name")
+  in
+  let procs =
+    Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
+  in
+  let go code_name procs =
+    match code_name with
+    | None ->
+      Fmt.pr "%-8s %-8s %s@." "name" "origin" "description";
+      List.iter
+        (fun (c : Suite.Code.t) ->
+          Fmt.pr "%-8s %-8s %s@." c.name
+            (Suite.Code.origin_to_string c.origin)
+            c.description)
+        Suite.Registry.all
+    | Some name -> (
+      match Suite.Registry.find name with
+      | c ->
+        let _, rp =
+          Core.Simulate.compile_and_run (Core.Config.polaris ~procs ()) c.source
+        in
+        let _, rb =
+          Core.Simulate.compile_and_run (Core.Config.baseline ~procs ()) c.source
+        in
+        Fmt.pr "%s (%s): %s@." c.name
+          (Suite.Code.origin_to_string c.origin)
+          c.description;
+        Fmt.pr "enabling techniques: %s@." (String.concat "; " c.enabling);
+        Fmt.pr "polaris : %.2fx   (paper ~%.1fx)@." rp.speedup c.paper_polaris_speedup;
+        Fmt.pr "baseline: %.2fx   (paper PFA ~%.1fx)@." rb.speedup c.paper_pfa_speedup
+      | exception Not_found ->
+        Fmt.epr "unknown code %s; try `polaris suite' for the list@." name;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List or run the evaluation-suite codes")
+    Term.(const go $ code_name $ procs)
+
+let () =
+  let doc = "Polaris-style automatic parallelizer (ICPP'96 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "polaris" ~doc) [ compile_cmd; run_cmd; suite_cmd ]))

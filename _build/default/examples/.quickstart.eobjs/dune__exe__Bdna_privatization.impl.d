@@ -1,0 +1,1 @@
+examples/bdna_privatization.ml: Core Fir Fmt Frontend List Passes String

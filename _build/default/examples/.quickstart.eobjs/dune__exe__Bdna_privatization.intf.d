@@ -1,0 +1,1 @@
+examples/bdna_privatization.mli:

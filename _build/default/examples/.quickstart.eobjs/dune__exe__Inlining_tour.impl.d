@@ -1,0 +1,1 @@
+examples/inlining_tour.ml: Fir Fmt Frontend Machine Passes String

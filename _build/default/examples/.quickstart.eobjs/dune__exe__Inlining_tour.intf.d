@@ -1,0 +1,1 @@
+examples/inlining_tour.mli:

@@ -1,0 +1,1 @@
+examples/lrpd_speculation.ml: Fir Fmt Frontend Fruntime List Passes Printf

@@ -1,0 +1,1 @@
+examples/ocean_range_test.ml: Atom Compare Core Fir Fmt Frontend List Passes Poly Range Symbolic

@@ -1,0 +1,1 @@
+examples/ocean_range_test.mli:

@@ -1,0 +1,1 @@
+examples/trfd_induction.ml: Core Fir Fmt Frontend List Passes String

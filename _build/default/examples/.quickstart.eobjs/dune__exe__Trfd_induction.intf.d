@@ -1,0 +1,1 @@
+examples/trfd_induction.mli:

@@ -1,0 +1,79 @@
+(** The paper's Fig. 5: BDNA's most time-consuming loop, parallelized by
+    privatizing the work array A and the monotonically-filled index
+    array IND (paper §3.4).
+
+    Run with [dune exec examples/bdna_privatization.exe]. *)
+
+let source =
+  "      PROGRAM BDNA\n\
+   \      INTEGER N, I, J, K, L, P, M, IND(200)\n\
+   \      PARAMETER (N = 64)\n\
+   \      REAL A(200), X(70, 70), Y(70, 70), Z, W, R, RCUTS\n\
+   \      W = 0.5\n\
+   \      Z = 1.5\n\
+   \      RCUTS = 30.0\n\
+   \      DO I = 1, N\n\
+   \        DO J = 1, N\n\
+   \          X(I, J) = I * 0.4 + J * 0.2\n\
+   \          Y(I, J) = I * 0.1 + J * 0.3\n\
+   \        END DO\n\
+   \      END DO\n\
+   \      DO I = 2, N\n\
+   \        DO J = 1, I - 1\n\
+   \          IND(J) = 0\n\
+   \          A(J) = X(I, J) - Y(I, J)\n\
+   \          R = A(J) + W\n\
+   \          IF (R .LT. RCUTS) IND(J) = 1\n\
+   \        END DO\n\
+   \        P = 0\n\
+   \        DO K = 1, I - 1\n\
+   \          IF (IND(K) .NE. 0) THEN\n\
+   \            P = P + 1\n\
+   \            IND(P) = K\n\
+   \          END IF\n\
+   \        END DO\n\
+   \        DO L = 1, P\n\
+   \          M = IND(L)\n\
+   \          X(I, L) = A(M) + Z\n\
+   \        END DO\n\
+   \      END DO\n\
+   \      PRINT *, X(64, 1), X(64, 30)\n\
+   \      END\n"
+
+let () =
+  print_string source;
+  let p = Frontend.Parser.parse_string source in
+  ignore (Passes.Parallelize.run ~mode:Passes.Parallelize.Polaris p);
+  Fmt.pr "@.=== Polaris verdicts ===@.";
+  List.iter
+    (fun (u : Fir.Punit.t) ->
+      Fir.Stmt.iter
+        (fun (s : Fir.Ast.stmt) ->
+          match s.kind with
+          | Fir.Ast.Do d ->
+            Fmt.pr "  DO %-3s %s -- %s@." d.index
+              (if d.info.par then "PARALLEL" else "serial  ")
+              d.info.par_reason;
+            if d.info.par && d.info.privates <> [] then
+              Fmt.pr "         privatized: %s@."
+                (String.concat ", " d.info.privates)
+          | _ -> ())
+        u.pu_body)
+    (Fir.Program.units p);
+
+  (* the key steps of the proof, driven manually: *)
+  Fmt.pr
+    "@.why this works (paper section 3.4):@.\
+     \ - the J loop writes IND(1:I-1) and A(1:I-1) densely, so both are@.\
+     \   covered regions when the I iteration reaches its uses;@.\
+     \ - the K loop is a compaction: P increases monotonically from 0 and@.\
+     \   IND(1..P) receives values of K, all within [1, I-1];@.\
+     \ - therefore A(IND(L)) for L in [1, P] reads inside A(1:I-1), which@.\
+     \   the same iteration wrote: A is privatizable, and so are IND, R,@.\
+     \   P, M.  The K loop itself stays serial (a true scan), exactly as@.\
+     \   in the paper.@.";
+
+  let _, rp = Core.Simulate.compile_and_run (Core.Config.polaris ()) source in
+  let _, rb = Core.Simulate.compile_and_run (Core.Config.baseline ()) source in
+  Fmt.pr "@.speedup on 8 processors: polaris %.2fx, baseline %.2fx@." rp.speedup
+    rb.speedup

@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Ast Expr Fir Fmt Hashtbl List Option Stmt String Symbolic

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Ast Fir Hashtbl List Option Punit Stmt

@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: Ast Expr Fir Hashtbl List Option Set Stmt String Symtab

@@ -1,0 +1,1 @@
+lib/analysis/gsa.ml: Ast Expr Fir Fmt Hashtbl List Punit Stmt String Symtab

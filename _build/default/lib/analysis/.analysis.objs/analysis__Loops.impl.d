@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Ast Expr Fir List Punit Stmt Symbolic Util

@@ -1,0 +1,138 @@
+(** Control-flow graph over the statement list (paper §2).
+
+    Polaris kept successor/predecessor flow links in every statement and
+    maintained them automatically across transformations.  Here the
+    graph is derived on demand from the structured AST (cheap and always
+    consistent by construction) and exposed with the same vocabulary:
+    statement-level successor and predecessor sets, plus reachability.
+
+    Edges follow Fortran semantics: sequential fall-through; DO headers
+    branch into the body and past it (zero-trip); the last statement of
+    a DO body loops back to the header; IFs branch to both arms (or past
+    an empty else); GOTO edges resolve labels anywhere in the unit. *)
+
+open Fir
+open Ast
+
+type t = {
+  entry : int;                        (** sid of the first statement; -1 if empty *)
+  succ : (int, int list) Hashtbl.t;   (** sid -> successor sids *)
+  pred : (int, int list) Hashtbl.t;
+  stmts : (int, stmt) Hashtbl.t;
+  exit_sid : int;                     (** synthetic exit node *)
+}
+
+let exit_node = -2
+
+let add_edge t a b =
+  let push tbl k v =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+    if not (List.mem v prev) then Hashtbl.replace tbl k (v :: prev)
+  in
+  push t.succ a b;
+  push t.pred b a
+
+(** Build the flow graph of a unit body. *)
+let build (u : Punit.t) : t =
+  let t =
+    { entry = (match u.pu_body with [] -> -1 | s :: _ -> s.sid);
+      succ = Hashtbl.create 64;
+      pred = Hashtbl.create 64;
+      stmts = Hashtbl.create 64;
+      exit_sid = exit_node }
+  in
+  Stmt.iter (fun s -> Hashtbl.replace t.stmts s.sid s) u.pu_body;
+  (* label resolution across the whole unit *)
+  let label_tbl = Hashtbl.create 16 in
+  Stmt.iter
+    (fun s ->
+      match s.label with
+      | Some l -> if not (Hashtbl.mem label_tbl l) then Hashtbl.replace label_tbl l s.sid
+      | None -> ())
+    u.pu_body;
+  (* [flow b ~after]: wire block [b], whose fall-through continues at
+     [after] (a sid or the exit node) *)
+  let rec flow (b : block) ~after =
+    let rec go = function
+      | [] -> ()
+      | s :: rest ->
+        let next = match rest with s' :: _ -> s'.sid | [] -> after in
+        (match s.kind with
+        | Assign _ | Call _ | Continue | Print _ -> add_edge t s.sid next
+        | Return | Stop -> add_edge t s.sid exit_node
+        | Goto l -> (
+          match Hashtbl.find_opt label_tbl l with
+          | Some target -> add_edge t s.sid target
+          | None -> add_edge t s.sid exit_node)
+        | If (_, th, el) ->
+          (match th with
+          | [] -> add_edge t s.sid next
+          | f :: _ -> add_edge t s.sid f.sid);
+          (match el with
+          | [] -> add_edge t s.sid next
+          | f :: _ -> add_edge t s.sid f.sid);
+          flow th ~after:next;
+          flow el ~after:next
+        | Do d ->
+          (* into the body, and past the loop for zero trips *)
+          (match d.body with
+          | [] -> ()
+          | f :: _ -> add_edge t s.sid f.sid);
+          add_edge t s.sid next;
+          (* back edge: the body's fall-through returns to the header *)
+          flow d.body ~after:s.sid
+        | While (_, body) ->
+          (match body with
+          | [] -> ()
+          | f :: _ -> add_edge t s.sid f.sid);
+          add_edge t s.sid next;
+          flow body ~after:s.sid);
+        go rest
+    in
+    go b
+  in
+  flow u.pu_body ~after:exit_node;
+  t
+
+let successors t sid = Option.value ~default:[] (Hashtbl.find_opt t.succ sid)
+let predecessors t sid = Option.value ~default:[] (Hashtbl.find_opt t.pred sid)
+
+(** Statements reachable from the entry. *)
+let reachable (t : t) : int list =
+  if t.entry < 0 then []
+  else begin
+    let seen = Hashtbl.create 64 in
+    let rec go sid =
+      if sid >= 0 && not (Hashtbl.mem seen sid) then begin
+        Hashtbl.replace seen sid ();
+        List.iter go (successors t sid)
+      end
+    in
+    go t.entry;
+    Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  end
+
+(** Statements present in the unit but unreachable from the entry (dead
+    code behind GOTOs/RETURNs). *)
+let unreachable_stmts (u : Punit.t) : int list =
+  let t = build u in
+  let reach = reachable t in
+  Hashtbl.fold
+    (fun sid _ acc -> if List.mem sid reach then acc else sid :: acc)
+    t.stmts []
+
+(** Consistency: every statement has at least one successor (possibly
+    the synthetic exit) and every non-entry reachable statement has a
+    predecessor.  Holds by construction; exposed for the test suite in
+    the spirit of Polaris' automatic flow-link maintenance. *)
+let consistent (u : Punit.t) : bool =
+  let t = build u in
+  let ok = ref true in
+  Hashtbl.iter
+    (fun sid _ -> if successors t sid = [] then ok := false)
+    t.stmts;
+  List.iter
+    (fun sid ->
+      if sid <> t.entry && sid >= 0 && predecessors t sid = [] then ok := false)
+    (reachable t);
+  !ok

@@ -1,0 +1,189 @@
+(** Gated Single Assignment form for scalars (paper §3.4, after Tu &
+    Padua).
+
+    In GSA, every join point gets a {e gating} function that records the
+    condition under which each reaching definition arrives — unlike
+    plain SSA phi-functions, the term is executable symbolically:
+
+    - γ(c, a, b): the value is [a] when [c] holds, [b] otherwise
+      (IF/ELSE join);
+    - μ(init, iter): the value at a loop header — [init] on the first
+      iteration, [iter] (the value at the end of the previous body) on
+      subsequent ones;
+    - η(t): the value after the loop exits.
+
+    The construction walks the structured AST once per unit body and
+    yields, for every program point, a map from scalar names to gated
+    terms.  {!Passes.Demand} performs the demand-driven backward
+    substitution the paper describes on a flattened view; this module is
+    the faithful representation, used where the gating structure itself
+    matters (and by the test suite to validate the §3.4 examples). *)
+
+open Fir
+open Ast
+
+type term =
+  | Entry of string                 (** value at unit entry *)
+  | Rhs of expr * env               (** assigned expression, with the
+                                        terms of the scalars it read *)
+  | Gamma of expr * term * term     (** γ(cond, then-value, else-value) *)
+  | Mu of { init : term; iter : term option ref }
+      (** loop-header value; [iter] is tied after the body is built *)
+  | Eta of term                     (** value after loop exit *)
+  | Unknown of string               (** killed (call, aliasing, goto) *)
+
+and env = (string * term) list
+
+let rec pp ppf = function
+  | Entry v -> Fmt.pf ppf "%s@entry" v
+  | Rhs (e, _) -> Fmt.pf ppf "%a" Expr.pp e
+  | Gamma (c, a, b) -> Fmt.pf ppf "gamma(%a, %a, %a)" Expr.pp c pp a pp b
+  | Mu { init; iter } ->
+    Fmt.pf ppf "mu(%a, %s)" pp init
+      (match !iter with Some _ -> "<iter>" | None -> "<open>")
+  | Eta t -> Fmt.pf ppf "eta(%a)" pp t
+  | Unknown why -> Fmt.pf ppf "unknown:%s" why
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+type point_table = (int, env) Hashtbl.t
+(** statement id -> scalar environment holding *before* the statement *)
+
+let lookup (env : env) v : term =
+  match List.assoc_opt v env with Some t -> t | None -> Entry v
+
+let scalar_env_of (symtab : Symtab.t) (env : env) (e : expr) : env =
+  List.filter_map
+    (fun v ->
+      if Symtab.is_array symtab v then None else Some (v, lookup env v))
+    (Expr.scalar_vars e)
+
+let rec walk (symtab : Symtab.t) (points : point_table) (env : env) (b : block)
+    : env =
+  List.fold_left
+    (fun env (s : stmt) ->
+      Hashtbl.replace points s.sid env;
+      match s.kind with
+      | Assign (Var v, rhs) when not (Symtab.is_array symtab v) ->
+        (v, Rhs (rhs, scalar_env_of symtab env rhs)) :: List.remove_assoc v env
+      | Assign (_, _) -> env
+      | If (c, t, e) ->
+        let env_t = walk symtab points env t in
+        let env_e = walk symtab points env e in
+        let assigned =
+          List.sort_uniq String.compare
+            (Stmt.assigned_names t @ Stmt.assigned_names e)
+        in
+        List.fold_left
+          (fun env v ->
+            if Symtab.is_array symtab v then env
+            else
+              (v, Gamma (c, lookup env_t v, lookup env_e v))
+              :: List.remove_assoc v env)
+          env assigned
+      | Do d ->
+        let assigned =
+          List.filter
+            (fun v -> not (Symtab.is_array symtab v))
+            (d.index :: Stmt.assigned_names d.body)
+        in
+        (* tie the knot: loop-carried values become mu-terms whose
+           iteration side is filled in after the body walk *)
+        let mus =
+          List.map
+            (fun v -> (v, Mu { init = lookup env v; iter = ref None }))
+            assigned
+        in
+        let env_in =
+          mus @ List.filter (fun (v, _) -> not (List.mem v assigned)) env
+        in
+        let env_out = walk symtab points env_in d.body in
+        List.iter
+          (fun (v, mu) ->
+            match mu with
+            | Mu m -> m.iter := Some (lookup env_out v)
+            | _ -> assert false)
+          mus;
+        (* after the loop: eta of the body-end value *)
+        List.fold_left
+          (fun env v -> (v, Eta (lookup env_out v)) :: List.remove_assoc v env)
+          env assigned
+      | While (_, body) ->
+        let env' = walk symtab points env body in
+        ignore env';
+        List.fold_left
+          (fun env v ->
+            if Symtab.is_array symtab v then env
+            else (v, Unknown "while loop") :: List.remove_assoc v env)
+          env (Stmt.assigned_names body)
+      | Call (_, args) ->
+        let killed = List.concat_map Expr.all_names args in
+        let commons =
+          Symtab.fold
+            (fun n sym acc -> if sym.sym_common <> None then n :: acc else acc)
+            symtab []
+        in
+        List.fold_left
+          (fun env v ->
+            if Symtab.is_array symtab v then env
+            else (v, Unknown "call") :: List.remove_assoc v env)
+          env (killed @ commons)
+      | Goto _ ->
+        List.map (fun (v, _) -> (v, Unknown "goto")) env
+      | Continue | Return | Stop | Print _ -> env)
+    env b
+
+(** Build the GSA point table for a unit: for each statement id, the
+    gated terms of every scalar live at that point. *)
+let build (u : Punit.t) : point_table =
+  let points = Hashtbl.create 64 in
+  ignore (walk u.pu_symtab points [] u.pu_body);
+  points
+
+(** The gated term of [var] just before statement [sid]. *)
+let value_at (points : point_table) ~(sid : int) ~(var : string) : term =
+  match Hashtbl.find_opt points sid with
+  | Some env -> lookup env (Symtab.norm var)
+  | None -> Entry (Symtab.norm var)
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+
+(** Resolve a term to a closed expression over entry values when no
+    gating is involved (straight-line def-use chains): the demand-driven
+    substitution of the paper's Fig. 4, where following [MP = M * P]
+    once discharges the goal. [fuel] bounds the chain length. *)
+let rec resolve ?(fuel = 16) (t : term) : expr option =
+  if fuel <= 0 then None
+  else
+    match t with
+    | Entry v -> Some (Var v)
+    | Rhs (e, captured) ->
+      let exception Stuck in
+      (try
+         Some
+           (Expr.map
+              (function
+                | Var v as orig -> (
+                  match List.assoc_opt v captured with
+                  | None -> orig
+                  | Some t' -> (
+                    match resolve ~fuel:(fuel - 1) t' with
+                    | Some e' -> e'
+                    | None -> raise Stuck))
+                | e -> e)
+              e)
+       with Stuck -> None)
+    | Eta t -> resolve ~fuel:(fuel - 1) t
+    | Gamma _ | Mu _ | Unknown _ -> None
+
+(** Is the value of the term invariant in the given loop body, i.e. does
+    it resolve without crossing a μ of that loop?  A cheap query used to
+    sanity-check the construction in tests. *)
+let rec is_gated = function
+  | Entry _ -> false
+  | Rhs (_, captured) -> List.exists (fun (_, t) -> is_gated t) captured
+  | Gamma _ | Mu _ -> true
+  | Eta t -> is_gated t
+  | Unknown _ -> false

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Config Fir Fmt Frontend List Passes

@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Config Fir Frontend Machine Pipeline

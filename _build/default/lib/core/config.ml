@@ -1,0 +1,37 @@
+(** Compiler configuration: the Polaris pipeline, the baseline ("PFA")
+    pipeline, and ablations in between. *)
+
+type t = {
+  name : string;
+  inline : bool;              (** §3.1 inline expansion *)
+  constprop : bool;           (** constant/copy propagation *)
+  generalized_induction : bool;
+      (** §3.2 cascaded/triangular inductions (false = loop-invariant
+          increments only, the "current compiler" capability) *)
+  mode : Passes.Parallelize.mode;
+      (** range test + array privatization vs. GCD/Banerjee + scalars *)
+  deadcode : bool;            (** dead scalar-assignment cleanup *)
+  procs : int;                (** simulated machine size *)
+}
+
+(** The full Polaris configuration (paper §3). *)
+let polaris ?(procs = 8) () =
+  { name = "polaris"; inline = true; constprop = true;
+    generalized_induction = true; mode = Passes.Parallelize.Polaris;
+    deadcode = true; procs }
+
+(** The baseline configuration standing in for SGI's PFA: the
+    capability set the paper ascribes to "current compilers". *)
+let baseline ?(procs = 8) () =
+  { name = "baseline"; inline = false; constprop = true;
+    generalized_induction = false; mode = Passes.Parallelize.Baseline;
+    deadcode = true; procs }
+
+(** Ablations: Polaris minus one technique, for the ablation bench. *)
+let without_inline ?(procs = 8) () =
+  { (polaris ~procs ()) with name = "polaris-noinline"; inline = false }
+
+let without_generalized_induction ?(procs = 8) () =
+  { (polaris ~procs ()) with
+    name = "polaris-simple-induction";
+    generalized_induction = false }

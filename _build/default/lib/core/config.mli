@@ -1,0 +1,30 @@
+(** Compiler configurations: the Polaris pipeline, the baseline ("PFA")
+    pipeline, and ablations in between. *)
+
+type t = {
+  name : string;               (** short label used in reports *)
+  inline : bool;               (** §3.1 inline expansion *)
+  constprop : bool;            (** constant/copy propagation *)
+  generalized_induction : bool;
+      (** §3.2 cascaded/triangular/geometric inductions (false =
+          loop-invariant increments in rectangular nests only, the
+          "current compiler" capability) *)
+  mode : Passes.Parallelize.mode;
+      (** range test + array privatization vs. GCD/Banerjee + scalars *)
+  deadcode : bool;             (** dead scalar-assignment cleanup *)
+  procs : int;                 (** simulated machine size *)
+}
+
+(** The full Polaris configuration (paper §3). *)
+val polaris : ?procs:int -> unit -> t
+
+(** The baseline standing in for SGI's PFA: the capability set the
+    paper ascribes to "current compilers". *)
+val baseline : ?procs:int -> unit -> t
+
+(** Polaris without inline expansion (ablation). *)
+val without_inline : ?procs:int -> unit -> t
+
+(** Polaris with only classic (loop-invariant, rectangular) induction
+    handling (ablation). *)
+val without_generalized_induction : ?procs:int -> unit -> t

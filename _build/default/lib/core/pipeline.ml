@@ -1,0 +1,73 @@
+(** The pass pipeline: source in, annotated parallel source + report out.
+
+    Order (paper §3): inline expansion → constant/copy propagation →
+    induction substitution → another propagation round (the TRFD
+    [X = X0] cleanup) → reduction/dependence/privatization analysis
+    (the parallelize driver).  The baseline configuration runs the same
+    skeleton with the weaker capability set. *)
+
+type loop_result = {
+  unit_name : string;
+  report : Passes.Parallelize.loop_report;
+}
+
+type t = {
+  config : Config.t;
+  program : Fir.Program.t;        (** transformed, annotated program *)
+  loops : loop_result list;
+  inductions : (string * string) list;  (** substituted induction vars *)
+  inline_stats : Passes.Inline.stats option;
+}
+
+(** Run the configured pipeline on a parsed program (the program is
+    transformed in place and returned in the result). *)
+let run (config : Config.t) (program : Fir.Program.t) : t =
+  let inline_stats =
+    if config.inline then Some (Passes.Inline.run program) else None
+  in
+  if config.constprop then Passes.Constprop.run program;
+  let inductions =
+    Passes.Induction.run ~generalized:config.generalized_induction program
+  in
+  if config.constprop then Passes.Constprop.run program;
+  if config.deadcode then ignore (Passes.Deadcode.run program);
+  let reports = Passes.Parallelize.run ~mode:config.mode program in
+  let loops =
+    List.concat_map
+      (fun (unit_name, rs) ->
+        List.map (fun report -> { unit_name; report }) rs)
+      reports
+  in
+  { config; program; loops; inductions; inline_stats }
+
+(** Parse Fortran source and run the pipeline. *)
+let compile (config : Config.t) (source : string) : t =
+  run config (Frontend.Parser.parse_string source)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let parallel_loops (t : t) =
+  List.filter (fun l -> l.report.parallel) t.loops
+
+let serial_loops (t : t) =
+  List.filter (fun l -> not l.report.parallel) t.loops
+
+let speculative_candidates (t : t) =
+  List.filter (fun l -> l.report.speculative) t.loops
+
+(** Annotated Fortran source of the transformed program. *)
+let output_source (t : t) = Frontend.Unparse.program_to_string t.program
+
+let pp_summary ppf (t : t) =
+  Fmt.pf ppf "pipeline %s: %d/%d loops parallel@." t.config.name
+    (List.length (parallel_loops t))
+    (List.length t.loops);
+  List.iter
+    (fun l ->
+      Fmt.pf ppf "  [%s] DO %-8s %s%s -- %s@." l.unit_name
+        l.report.loop_index
+        (if l.report.parallel then "PARALLEL" else "serial  ")
+        (if l.report.speculative then " (speculative candidate)" else "")
+        l.report.reason)
+    t.loops

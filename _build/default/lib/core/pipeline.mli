@@ -1,0 +1,42 @@
+(** The pass pipeline: Fortran source in, annotated parallel program and
+    per-loop reports out.
+
+    Pass order (paper §3): inline expansion → constant/copy propagation
+    → induction substitution → propagation again → dead-code cleanup →
+    reduction/dependence/privatization analysis. *)
+
+type loop_result = {
+  unit_name : string;                      (** enclosing program unit *)
+  report : Passes.Parallelize.loop_report; (** the loop's verdict *)
+}
+
+type t = {
+  config : Config.t;
+  program : Fir.Program.t;   (** transformed, annotated program *)
+  loops : loop_result list;  (** one entry per loop, outer before inner *)
+  inductions : (string * string) list;
+      (** substituted induction variables with their region loop *)
+  inline_stats : Passes.Inline.stats option;
+}
+
+(** Run the configured pipeline on a parsed program (transformed in
+    place and returned in the result). *)
+val run : Config.t -> Fir.Program.t -> t
+
+(** Parse Fortran source and run the pipeline.
+    @raise Frontend.Parser.Error on syntax errors. *)
+val compile : Config.t -> string -> t
+
+val parallel_loops : t -> loop_result list
+val serial_loops : t -> loop_result list
+
+(** Loops defeated only by subscripted subscripts: candidates for the
+    run-time PD test (paper §3.5). *)
+val speculative_candidates : t -> loop_result list
+
+(** Annotated Fortran source of the transformed program ([CPOLARIS$]
+    directives); re-parses with {!Frontend.Parser}. *)
+val output_source : t -> string
+
+(** Human-readable per-loop summary. *)
+val pp_summary : Format.formatter -> t -> unit

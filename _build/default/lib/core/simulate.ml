@@ -1,0 +1,62 @@
+(** Execution of compiled programs on the simulated multiprocessor.
+
+    Runs a program twice through the interpreter — once ignoring the
+    DOALL annotations (serial time) and once honouring them on a
+    [procs]-processor machine — and reports the simulated speedup.
+    Execution is sequential either way, so the outputs are compared as
+    a built-in sanity check. *)
+
+type run = {
+  serial_time : int;
+  parallel_time : int;
+  speedup : float;
+  output : string list;
+}
+
+exception Output_mismatch
+
+(** Time the program serially and in parallel on [procs] processors.
+    @raise Output_mismatch if the two executions disagree (they cannot,
+    unless the simulator itself is broken — this is an internal check). *)
+let run ?(procs = 8) ?(use_cache = true) (program : Fir.Program.t) : run =
+  let serial_cfg =
+    Machine.Interp.default_config ~parallel:false ~procs ~use_cache ()
+  in
+  let parallel_cfg =
+    Machine.Interp.default_config ~parallel:true ~procs ~use_cache ()
+  in
+  let rs = Machine.Interp.run ~cfg:serial_cfg program in
+  let rp = Machine.Interp.run ~cfg:parallel_cfg program in
+  if rs.output <> rp.output then raise Output_mismatch;
+  { serial_time = rs.time;
+    parallel_time = rp.time;
+    speedup = Machine.Parsim.speedup ~seq:rs.time ~par:rp.time;
+    output = rs.output }
+
+(** End-to-end: compile [source] under [config] and simulate.
+
+    The serial reference time is measured on the {e original} program:
+    induction substitution trades recurrences for stronger arithmetic
+    (the paper's §3.2 note on strength reduction), so timing the
+    transformed program serially would overstate both pipelines.
+    Returns (pipeline result, run). *)
+let compile_and_run ?(use_cache = true) (config : Config.t) (source : string) :
+    Pipeline.t * run =
+  let original = Frontend.Parser.parse_string source in
+  let serial_cfg =
+    Machine.Interp.default_config ~parallel:false ~procs:config.procs
+      ~use_cache ()
+  in
+  let rs = Machine.Interp.run ~cfg:serial_cfg original in
+  let t = Pipeline.compile config source in
+  let parallel_cfg =
+    Machine.Interp.default_config ~parallel:true ~procs:config.procs
+      ~use_cache ()
+  in
+  let rp = Machine.Interp.run ~cfg:parallel_cfg t.program in
+  if rs.output <> rp.output then raise Output_mismatch;
+  ( t,
+    { serial_time = rs.time;
+      parallel_time = rp.time;
+      speedup = Machine.Parsim.speedup ~seq:rs.time ~par:rp.time;
+      output = rs.output } )

@@ -1,0 +1,22 @@
+(** Execution of compiled programs on the simulated multiprocessor. *)
+
+type run = {
+  serial_time : int;     (** simulated time, annotations ignored *)
+  parallel_time : int;   (** simulated time honouring DOALL annotations *)
+  speedup : float;
+  output : string list;  (** the program's PRINT lines *)
+}
+
+exception Output_mismatch
+(** Raised if the serial and parallel-timed executions disagree — an
+    internal invariant of the simulator (execution is sequential either
+    way). *)
+
+(** Time a compiled program serially and on [procs] processors. *)
+val run : ?procs:int -> ?use_cache:bool -> Fir.Program.t -> run
+
+(** Compile [source] under a configuration and simulate it.  The serial
+    reference time is measured on the {e original} program, because
+    induction substitution trades recurrences for stronger arithmetic
+    (paper §3.2). *)
+val compile_and_run : ?use_cache:bool -> Config.t -> string -> Pipeline.t * run

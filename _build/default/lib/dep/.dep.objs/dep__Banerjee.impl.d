@@ -1,0 +1,1 @@
+lib/dep/banerjee.ml: Analysis Fmt Linear List Symbolic

@@ -1,0 +1,1 @@
+lib/dep/driver.ml: Analysis Array Atom Banerjee Fir Fmt Gcd_test List Poly Range Range_test Siv String Symbolic

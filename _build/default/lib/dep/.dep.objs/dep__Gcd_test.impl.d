@@ -1,0 +1,1 @@
+lib/dep/gcd_test.ml: Linear List Symbolic

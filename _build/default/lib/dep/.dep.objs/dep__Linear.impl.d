@@ -1,0 +1,1 @@
+lib/dep/linear.ml: Analysis List Option Rat Symbolic Util

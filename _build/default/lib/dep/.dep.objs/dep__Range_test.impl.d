@@ -1,0 +1,1 @@
+lib/dep/range_test.ml: Atom Compare List Poly Range Symbolic

@@ -1,0 +1,1 @@
+lib/dep/siv.ml: Linear List Symbolic

@@ -1,0 +1,217 @@
+(** Dependence-analysis driver: per-loop parallelism verdicts.
+
+    Orchestrates the tests over all access pairs of a loop body and
+    implements the permuted-prefix scheme of the range test (paper
+    §3.3.1): a loop is free of carried array dependences if there is an
+    ordered list of promoted inner loops, each passing its own
+    range-test position, with the tested loop passing last.
+
+    The [method_] selects the capability set: [Range_test] is the
+    Polaris configuration, [Banerjee_gcd] the baseline ("current
+    compilers" / PFA) configuration. *)
+
+open Symbolic
+module Loops = Analysis.Loops
+module Access = Analysis.Access
+
+type method_ = Range_symbolic | Banerjee_gcd
+
+type verdict =
+  | Parallel of string          (** proof description *)
+  | Dependent of string         (** first failure reason *)
+
+let is_parallel = function Parallel _ -> true | Dependent _ -> false
+
+let index_name (l : Loops.loop) =
+  match l.index with Atom.Avar v -> v | Atom.Aopaque _ -> "?"
+
+(* ------------------------------------------------------------------ *)
+(* Access-pair enumeration                                             *)
+
+(* unordered pairs (with self-pairs for writes) that involve a write *)
+let conflict_pairs (accs : Access.t list) : (Access.t * Access.t) list =
+  let arr = Array.of_list accs in
+  let n = Array.length arr in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.Access.kind = Access.Write || b.Access.kind = Access.Write then
+        if i <> j || a.Access.kind = Access.Write then out := (a, b) :: !out
+    done
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Soundness pre-checks on subscripts                                  *)
+
+(* subscripts must denote a single value per iteration vector: reject
+   accesses whose subscripts mention scalars assigned in the body (other
+   than loop indices, which the tests model) or arrays written in the
+   body (subscripted subscripts - the LRPD candidates, paper §3.5) *)
+type subscript_issue = Varying_scalar of string | Subscripted_subscript of string
+
+let subscript_issue ~(assigned_scalars : string list)
+    ~(written_arrays : string list) ~(index_names : string list)
+    (a : Access.t) : subscript_issue option =
+  let bad_scalar =
+    List.find_opt
+      (fun v ->
+        (not (List.mem v index_names))
+        && List.exists (fun p -> Poly.mentions_var v p) a.subs)
+      assigned_scalars
+  in
+  match bad_scalar with
+  | Some v -> Some (Varying_scalar v)
+  | None ->
+    let bad_array =
+      List.find_opt
+        (fun arr -> List.exists (fun p -> Poly.mentions_var arr p) a.subs)
+        written_arrays
+    in
+    (match bad_array with
+    | Some arr -> Some (Subscripted_subscript arr)
+    | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Range-test positions and prefixes                                   *)
+
+(* one position test: iterations of [tested] differ, [collapsed] loops
+   range-collapse, everything else is fixed *)
+let position_passes env ~(tested : Loops.loop) ~(collapsed : Loops.loop list)
+    (pairs : (Access.t * Access.t) list) : bool =
+  let inner = List.map (fun (l : Loops.loop) -> l.index) collapsed in
+  let index = index_name tested in
+  List.for_all
+    (fun ((a : Access.t), (b : Access.t)) ->
+      Range_test.test_pair env ~index ~inner a.subs b.subs = Range_test.Disjoint)
+    pairs
+
+(* candidate promotion prefixes: empty, each single inner loop, each
+   ordered pair of inner loops (the paper's permutations never needed
+   more in the benchmark suite) *)
+let promotion_prefixes (inner : Loops.loop list) : Loops.loop list list =
+  let singles = List.map (fun l -> [ l ]) inner in
+  let pairs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a != b then Some [ a; b ] else None)
+          inner)
+      inner
+  in
+  ([] :: singles) @ pairs
+
+let range_test_verdict env ~(target : Loops.loop) ~(inner : Loops.loop list)
+    pairs : verdict =
+  let try_prefix (prefix : Loops.loop list) : bool =
+    (* each promoted loop must pass with earlier promotions fixed and
+       everything else (including the target) collapsed *)
+    let rec check_promoted before = function
+      | [] -> true
+      | s :: rest ->
+        let collapsed =
+          target :: List.filter (fun l -> not (List.memq l (before @ [ s ]))) inner
+        in
+        position_passes env ~tested:s ~collapsed pairs
+        && check_promoted (before @ [ s ]) rest
+    in
+    check_promoted [] prefix
+    &&
+    let collapsed = List.filter (fun l -> not (List.memq l prefix)) inner in
+    position_passes env ~tested:target ~collapsed pairs
+  in
+  let rec first_passing = function
+    | [] -> Dependent "range test: overlap possible in every tested order"
+    | prefix :: rest ->
+      if try_prefix prefix then
+        let desc =
+          match prefix with
+          | [] -> "range test"
+          | ls ->
+            Fmt.str "range test (promoted: %s)"
+              (String.concat "," (List.map index_name ls))
+        in
+        Parallel desc
+      else first_passing rest
+  in
+  first_passing (promotion_prefixes inner)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: GCD + Banerjee                                            *)
+
+let banerjee_verdict ~(enclosing : Loops.loop list) ~(target : Loops.loop)
+    ~(inner : Loops.loop list) pairs : verdict =
+  let loops = enclosing @ [ target ] @ inner in
+  let k = List.length enclosing in
+  let indices = List.map index_name loops in
+  let pair_ok ((a : Access.t), (b : Access.t)) =
+    Gcd_test.test ~indices a.subs b.subs = Gcd_test.Independent
+    || Banerjee.carries ~loops ~k a.subs b.subs = Banerjee.Independent
+    || Siv.test
+         ~enclosing:(List.map index_name enclosing)
+         ~index:(index_name target)
+         ~inner:(List.map index_name inner)
+         a.subs b.subs
+       = Siv.Independent
+  in
+  match List.find_opt (fun p -> not (pair_ok p)) pairs with
+  | None -> Parallel "gcd/banerjee"
+  | Some (a, _) ->
+    Dependent (Fmt.str "banerjee: possible carried dependence on %s" a.Access.array)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level per-loop array-dependence analysis                        *)
+
+(** Array-dependence verdict for [target].
+
+    [accesses] are the accesses of the target's body (use
+    {!Analysis.Access.of_block}), already filtered of flagged reduction
+    statements.  [env] must include loop-bound facts for enclosing,
+    target and inner loops (use {!Analysis.Loops.nest_env}). *)
+let array_deps ~(method_ : method_) ~(symtab : Fir.Symtab.t)
+    ~(env : Range.env) ~(enclosing : Loops.loop list) ~(target : Loops.loop)
+    ~(inner : Loops.loop list) ~(body_writes : string list)
+    ~(accesses : Access.t list) : verdict =
+  let body = target.dloop.body in
+  let assigned_scalars =
+    List.filter
+      (fun v -> not (Fir.Symtab.is_array symtab v))
+      (Fir.Stmt.assigned_names body)
+  in
+  (* arrays written anywhere in the body (callers analyzing one array at
+     a time must pass the full set, or subscripted subscripts through
+     arrays written elsewhere in the body would go unnoticed) *)
+  let written_arrays =
+    List.sort_uniq String.compare
+      (body_writes
+      @ List.filter_map
+          (fun (a : Access.t) ->
+            if a.kind = Access.Write then Some a.array else None)
+          accesses)
+  in
+  let index_names =
+    List.map index_name (enclosing @ [ target ] @ inner)
+  in
+  (* soundness: reject unanalyzable subscripts *)
+  let issue =
+    List.fold_left
+      (fun acc a ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          subscript_issue ~assigned_scalars ~written_arrays ~index_names a)
+      None accesses
+  in
+  match issue with
+  | Some (Varying_scalar v) ->
+    Dependent (Fmt.str "subscript contains loop-varying scalar %s" v)
+  | Some (Subscripted_subscript arr) ->
+    Dependent (Fmt.str "subscripted subscript through array %s written in loop" arr)
+  | None -> (
+    let pairs = conflict_pairs accesses in
+    if pairs = [] then Parallel "no conflicting accesses"
+    else
+      match method_ with
+      | Range_symbolic -> range_test_verdict env ~target ~inner pairs
+      | Banerjee_gcd -> banerjee_verdict ~enclosing ~target ~inner pairs)

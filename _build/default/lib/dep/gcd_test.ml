@@ -1,0 +1,36 @@
+(** The classical GCD dependence test.
+
+    Tests whether the linear diophantine equation [f(i) = g(i')] can
+    have any integer solution: gcd of all index coefficients must divide
+    the constant-term difference.  Ignores loop bounds entirely, so it
+    only ever disproves dependence.  Part of the baseline ("PFA")
+    capability set. *)
+
+type verdict = Independent | Maybe_dependent
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(** [test ~indices f g]: [f] and [g] are same-dimension subscript
+    polynomials of two accesses; [indices] are the loop index names in
+    scope.  [Independent] only when the GCD criterion rules a common
+    solution out in some dimension. *)
+let test ~(indices : string list) (f : Symbolic.Poly.t list)
+    (g : Symbolic.Poly.t list) : verdict =
+  if List.length f <> List.length g then Maybe_dependent
+  else
+    let dim_independent (pf, pg) =
+      match (Linear.of_poly indices pf, Linear.of_poly indices pg) with
+      | Some af, Some ag ->
+        (* f uses unprimed indices, g primed: all coefficients join *)
+        let g_all =
+          List.fold_left
+            (fun acc (_, c) -> gcd acc c)
+            0
+            (af.coeffs @ ag.coeffs)
+        in
+        let c0 = ag.const - af.const in
+        if g_all = 0 then c0 <> 0 else c0 mod g_all <> 0
+      | _ -> false
+    in
+    if List.exists dim_independent (List.combine f g) then Independent
+    else Maybe_dependent

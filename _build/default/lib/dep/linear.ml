@@ -1,0 +1,47 @@
+(** Extraction of affine subscript form for the classical tests.
+
+    GCD and Banerjee (the baseline capability set) require subscripts
+    affine in the loop indices with *integer constant* coefficients and
+    constant loop bounds; anything else makes them answer "maybe
+    dependent".  This module extracts that form or fails. *)
+
+open Util
+
+type affine = {
+  const : int;                       (** constant term *)
+  coeffs : (string * int) list;      (** loop index -> coefficient *)
+}
+
+(** [of_poly indices p] = affine view of [p] over the given loop-index
+    names; [None] if [p] has non-index atoms, non-integer or non-constant
+    coefficients, or degree > 1. *)
+let of_poly (indices : string list) (p : Symbolic.Poly.t) : affine option =
+  let exception Not_affine in
+  try
+    let const = ref 0 in
+    let coeffs = ref [] in
+    List.iter
+      (fun (mono, c) ->
+        if not (Rat.is_integer c) then raise Not_affine;
+        let c = Rat.to_int c in
+        match mono with
+        | [] -> const := !const + c
+        | [ (Symbolic.Atom.Avar v, 1) ] when List.mem v indices ->
+          let prev = Option.value ~default:0 (List.assoc_opt v !coeffs) in
+          coeffs := (v, prev + c) :: List.remove_assoc v !coeffs
+        | _ -> raise Not_affine)
+      p;
+    Some { const = !const; coeffs = !coeffs }
+  with Not_affine -> None
+
+let coeff (a : affine) v = Option.value ~default:0 (List.assoc_opt v a.coeffs)
+
+(** Constant loop bounds [lo, hi] of a loop, if both are constants and
+    the step is 1. *)
+let const_bounds (l : Analysis.Loops.loop) : (int * int) option =
+  match
+    (Symbolic.Poly.const_val l.lo, Symbolic.Poly.const_val l.hi, l.step)
+  with
+  | Some lo, Some hi, Some 1 when Rat.is_integer lo && Rat.is_integer hi ->
+    Some (Rat.to_int lo, Rat.to_int hi)
+  | _ -> None

@@ -1,0 +1,47 @@
+(** Strong single-index-variable (SIV) test.
+
+    Complements GCD/Banerjee in the baseline capability set: classic
+    vectorizing compilers could handle subscripts like [A(I)] or
+    [A(I+1)] without constant loop bounds, as long as the subscript
+    pairs use one index with equal coefficients.  For such pairs the
+    dependence distance is [d = (c_g - c_f) / a]; the tested loop
+    carries no dependence when [d] is zero or non-integral.
+
+    Enclosing loops are at the same iteration (direction [=]), so their
+    terms must cancel (equal coefficients); inner loops run free
+    (direction [*]), so the pair must not involve them at all. *)
+
+type verdict = Independent | Maybe_dependent
+
+let test ~(enclosing : string list) ~(index : string) ~(inner : string list)
+    (f : Symbolic.Poly.t list) (g : Symbolic.Poly.t list) : verdict =
+  let all = (index :: enclosing) @ inner in
+  if List.length f <> List.length g then Maybe_dependent
+  else
+    let dim_independent (pf, pg) =
+      match (Linear.of_poly all pf, Linear.of_poly all pg) with
+      | Some af, Some ag ->
+        let ok_enclosing =
+          List.for_all (fun j -> Linear.coeff af j = Linear.coeff ag j) enclosing
+        in
+        let ok_inner =
+          List.for_all
+            (fun j -> Linear.coeff af j = 0 && Linear.coeff ag j = 0)
+            inner
+        in
+        if not (ok_enclosing && ok_inner) then false
+        else begin
+          let a = Linear.coeff af index and b = Linear.coeff ag index in
+          let c = ag.const - af.const in
+          if a <> b then false
+          else if a = 0 then
+            (* no index: same element iff constants agree *)
+            c <> 0
+          else
+            (* a*(i - i') = c: carried iff c/a is a non-zero integer *)
+            c = 0 || c mod a <> 0
+        end
+      | _ -> false
+    in
+    if List.exists dim_independent (List.combine f g) then Independent
+    else Maybe_dependent

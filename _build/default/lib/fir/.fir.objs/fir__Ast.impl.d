@@ -1,0 +1,1 @@
+lib/fir/ast.ml:

@@ -1,0 +1,1 @@
+lib/fir/consistency.ml: Ast Expr Fmt Hashtbl List Option Program Punit Stmt Symtab

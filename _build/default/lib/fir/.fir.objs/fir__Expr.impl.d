@@ -1,0 +1,1 @@
+lib/fir/expr.ml: Ast Float Fmt List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/fir/pattern.ml: Ast Expr List String

@@ -1,0 +1,1 @@
+lib/fir/program.ml: Ast Fmt List Punit String Symtab

@@ -1,0 +1,1 @@
+lib/fir/punit.ml: Ast Expr Fmt List Stmt String Symtab

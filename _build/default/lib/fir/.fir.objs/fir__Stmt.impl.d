@@ -1,0 +1,1 @@
+lib/fir/stmt.ml: Ast Expr Fmt List Option String

@@ -1,0 +1,1 @@
+lib/fir/symtab.ml: Ast Expr Hashtbl List Option String

@@ -1,0 +1,66 @@
+(** IR consistency checking — the [p_assert] discipline of Polaris §2.
+
+    Polaris guarded every assumed condition with an assertion and aborted
+    on violations; passes here call {!check_unit} after transforming a
+    unit (tests do so systematically) so that a malformed rewrite is
+    caught at its source rather than corrupting later passes. *)
+
+open Ast
+
+exception Violation of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Violation s)) fmt
+
+(** Check a single program unit.  Verifies that:
+    - statement ids are unique across the unit;
+    - every GOTO targets an existing label;
+    - DO indices are scalar (not declared as arrays);
+    - assignment left-hand sides are variables or array element refs;
+    - array references have as many subscripts as declared dimensions;
+    - no [Wildcard] leaks into program text. *)
+let check_unit (u : Punit.t) =
+  let seen = Hashtbl.create 64 in
+  let labels = Hashtbl.create 16 in
+  Stmt.iter
+    (fun s ->
+      if Hashtbl.mem seen s.sid then
+        fail "unit %s: duplicate statement id %d" u.pu_name s.sid;
+      Hashtbl.replace seen s.sid ();
+      Option.iter (fun l -> Hashtbl.replace labels l ()) s.label)
+    u.pu_body;
+  let check_expr e =
+    Expr.iter
+      (function
+        | Wildcard n -> fail "unit %s: wildcard ?%d in program text" u.pu_name n
+        | Ref (v, args) -> (
+          match Symtab.find_opt u.pu_symtab v with
+          | Some { sym_dims = []; _ } when not (List.mem v u.pu_args) ->
+            fail "unit %s: %s subscripted but declared scalar" u.pu_name v
+          | Some { sym_dims; _ }
+            when sym_dims <> [] && List.length sym_dims <> List.length args ->
+            fail "unit %s: %s has %d dims, referenced with %d subscripts"
+              u.pu_name v (List.length sym_dims) (List.length args)
+          | _ -> ())
+        | _ -> ())
+      e
+  in
+  Stmt.iter
+    (fun s ->
+      List.iter (fun (_, e) -> check_expr e) (Stmt.exprs_of s);
+      match s.kind with
+      | Assign ((Var _ | Ref _), _) -> ()
+      | Assign (lhs, _) ->
+        fail "unit %s: invalid assignment target %s" u.pu_name (Expr.to_string lhs)
+      | Do d ->
+        if Symtab.is_array u.pu_symtab d.index then
+          fail "unit %s: DO index %s is an array" u.pu_name d.index
+      | Goto l ->
+        if not (Hashtbl.mem labels l) then
+          fail "unit %s: GOTO %d targets no label" u.pu_name l
+      | _ -> ())
+    u.pu_body
+
+(** Check every unit of a program.  Returns the program for chaining. *)
+let check (p : Program.t) =
+  List.iter check_unit (Program.units p);
+  p

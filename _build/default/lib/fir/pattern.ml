@@ -1,0 +1,79 @@
+(** Wildcard pattern matching over expressions — the "Forbol" layer.
+
+    Polaris derived a [Wildcard] class from [Expression]; a pattern is an
+    ordinary expression containing wildcards, matched with the structural
+    equality routine (paper §2).  The same wildcard number occurring
+    twice must bind to structurally equal sub-expressions, which is what
+    makes the reduction idiom [A(s) = A(s) + b] recognizable in one
+    pattern. *)
+
+open Ast
+
+type binding = (int * expr) list
+
+(** [matches pattern e] returns the wildcard bindings if [e] matches.
+    Wildcards in argument-list positions match single expressions (no
+    sequence wildcards). *)
+let matches (pattern : expr) (e : expr) : binding option =
+  let exception No_match in
+  let bindings = ref [] in
+  let bind n e =
+    match List.assoc_opt n !bindings with
+    | Some prev -> if not (Expr.equal prev e) then raise No_match
+    | None -> bindings := (n, e) :: !bindings
+  in
+  let rec go p e =
+    match (p, e) with
+    | Wildcard n, _ -> bind n e
+    | Int_lit a, Int_lit b -> if a <> b then raise No_match
+    | Real_lit a, Real_lit b -> if a <> b then raise No_match
+    | Logical_lit a, Logical_lit b -> if a <> b then raise No_match
+    | Char_lit a, Char_lit b -> if not (String.equal a b) then raise No_match
+    | Var a, Var b -> if not (String.equal a b) then raise No_match
+    | Ref (a, xs), Ref (b, ys) | Fun_call (a, xs), Fun_call (b, ys) ->
+      if not (String.equal a b) || List.length xs <> List.length ys then
+        raise No_match;
+      List.iter2 go xs ys
+    | Unary (opa, a), Unary (opb, b) ->
+      if opa <> opb then raise No_match;
+      go a b
+    | Binary (opa, a1, a2), Binary (opb, b1, b2) ->
+      if opa <> opb then raise No_match;
+      go a1 b1;
+      go a2 b2
+    | ( ( Int_lit _ | Real_lit _ | Logical_lit _ | Char_lit _ | Var _ | Ref _
+        | Fun_call _ | Unary _ | Binary _ ),
+        _ ) ->
+      raise No_match
+  in
+  match go pattern e with
+  | () -> Some (List.rev !bindings)
+  | exception No_match -> None
+
+(** Instantiate a pattern: replace each wildcard by its binding.
+    @raise Not_found if a wildcard has no binding. *)
+let instantiate (bindings : binding) (pattern : expr) =
+  Expr.map
+    (function Wildcard n -> List.assoc n bindings | e -> e)
+    pattern
+
+(** [rewrite ~lhs ~rhs e] rewrites every subexpression of [e] matching
+    [lhs] into the corresponding instantiation of [rhs] (bottom-up, one
+    pass). *)
+let rewrite ~lhs ~rhs e =
+  Expr.map
+    (fun node ->
+      match matches lhs node with
+      | Some b -> instantiate b rhs
+      | None -> node)
+    e
+
+(** Find all subexpressions of [e] matching [pattern], in pre-order. *)
+let find_all pattern e =
+  List.rev
+    (Expr.fold
+       (fun acc node ->
+         match matches pattern node with
+         | Some b -> (node, b) :: acc
+         | None -> acc)
+       [] e)

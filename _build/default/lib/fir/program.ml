@@ -1,0 +1,37 @@
+(** Whole Fortran programs: a collection of program units.
+
+    Mirrors the Polaris [Program] class — a container of [ProgramUnit]s
+    with lookup, merge and display operations. *)
+
+type t = { units : Punit.t list }
+
+let create units = { units }
+
+let units t = t.units
+
+(** The unique main program unit.
+    @raise Not_found if the program has no main unit. *)
+let main t =
+  match List.find_opt (fun u -> u.Punit.pu_kind = Ast.Main) t.units with
+  | Some u -> u
+  | None -> raise Not_found
+
+(** Find a unit (subroutine/function/main) by name, case-insensitive. *)
+let find_unit t name =
+  let name = Symtab.norm name in
+  List.find_opt (fun u -> String.equal u.Punit.pu_name name) t.units
+
+(** Merge two programs; unit names must not collide.
+    @raise Invalid_argument on a duplicate unit name. *)
+let merge a b =
+  List.iter
+    (fun u ->
+      if find_unit a u.Punit.pu_name <> None then
+        invalid_arg ("Program.merge: duplicate unit " ^ u.Punit.pu_name))
+    b.units;
+  { units = a.units @ b.units }
+
+let copy t = { units = List.map Punit.copy t.units }
+
+let pp ppf t = List.iter (fun u -> Fmt.pf ppf "%a@." Punit.pp u) t.units
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,59 @@
+(** Program units: main programs, subroutines, functions. *)
+
+open Ast
+
+type t = {
+  pu_name : string;
+  pu_kind : unit_kind;
+  pu_args : string list;
+  pu_symtab : Symtab.t;
+  mutable pu_body : block;
+}
+
+let create ?(kind = Main) ?(args = []) name =
+  { pu_name = Symtab.norm name; pu_kind = kind;
+    pu_args = List.map Symtab.norm args;
+    pu_symtab = Symtab.create (); pu_body = [] }
+
+let is_function u = match u.pu_kind with Function _ -> true | _ -> false
+
+(** Deep copy (fresh statement ids, fresh symbol table). *)
+let copy u =
+  { u with pu_symtab = Symtab.copy u.pu_symtab; pu_body = Stmt.copy_block u.pu_body }
+
+(** All loops of the unit, outer listed before inner. *)
+let loops u = Stmt.loops u.pu_body
+
+(** Resolve the PARAMETER constants of the unit as an expression
+    substitution (transitively resolved). *)
+let parameter_bindings u =
+  let rec resolve seen e =
+    Expr.map
+      (function
+        | Var v when not (List.mem v seen) -> (
+          match Symtab.find_opt u.pu_symtab v with
+          | Some { sym_param = Some value; _ } -> resolve (v :: seen) value
+          | _ -> Var v)
+        | x -> x)
+      e
+  in
+  Symtab.fold
+    (fun name sym acc ->
+      match sym.sym_param with
+      | Some value -> (name, Expr.simplify (resolve [ name ] value)) :: acc
+      | None -> acc)
+    u.pu_symtab []
+
+let pp ppf u =
+  let kw =
+    match u.pu_kind with
+    | Main -> "PROGRAM"
+    | Subroutine -> "SUBROUTINE"
+    | Function _ -> "FUNCTION"
+  in
+  let args =
+    if u.pu_args = [] then ""
+    else Fmt.str "(%s)" (String.concat ", " u.pu_args)
+  in
+  Fmt.pf ppf "%s %s%s@.%a" kw u.pu_name args (Stmt.pp_block ~indent:2) u.pu_body;
+  Fmt.pf ppf "END@."

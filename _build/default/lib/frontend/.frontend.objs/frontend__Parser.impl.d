@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Consistency Expr Fir Fmt Lexer List Option Program Punit Stmt String Symtab Token Util

@@ -1,0 +1,1 @@
+lib/frontend/unparse.ml: Ast Buffer Expr Fir Fmt Hashtbl List Option Program Punit String Symtab

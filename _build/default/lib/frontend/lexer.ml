@@ -1,0 +1,197 @@
+(** Lexer for the Fortran 77 subset.
+
+    Accepts a pragmatic mix of fixed and free form:
+    - a line whose first column is [C], [c] or [*] is a comment;
+    - [!] starts a comment anywhere;
+    - continuation is a trailing [&] or a leading [&] on the next line;
+    - a leading integer is the statement label.
+
+    Dotted operators ([.LT.], [.AND.], …) and modern relational symbols
+    ([<], [<=], …) are both recognized.  [D] exponents are read as
+    doubles ([1.5D0]). *)
+
+open Token
+
+exception Error of string
+
+let fail lineno fmt = Fmt.kstr (fun s -> raise (Error (Fmt.str "line %d: %s" lineno s))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident c = is_alpha c || is_digit c || c = '_'
+
+(* Tokenize one physical-line payload (label and comments stripped). *)
+let tokenize_payload lineno (s : string) : t list =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let dotted_op word =
+    match String.uppercase_ascii word with
+    | "LT" -> Some LT | "LE" -> Some LE | "GT" -> Some GT | "GE" -> Some GE
+    | "EQ" -> Some EQ | "NE" -> Some NE
+    | "AND" -> Some AND | "OR" -> Some OR | "NOT" -> Some NOT
+    | "TRUE" -> Some TRUE | "FALSE" -> Some FALSE
+    | _ -> None
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      (* number: integer, or real with optional fraction/exponent *)
+      let start = !i in
+      while !i < n && is_digit s.[!i] do incr i done;
+      let is_real = ref false in
+      (* A '.' begins a fraction only if not a dotted operator like 1.EQ.2 *)
+      if !i < n && s.[!i] = '.' then begin
+        let j = ref (!i + 1) in
+        let word_start = !j in
+        while !j < n && is_alpha s.[!j] do incr j done;
+        let looks_op =
+          !j > word_start && !j < n && s.[!j] = '.'
+          && dotted_op (String.sub s word_start (!j - word_start)) <> None
+        in
+        if not looks_op then begin
+          is_real := true;
+          incr i;
+          while !i < n && is_digit s.[!i] do incr i done
+        end
+      end;
+      if !i < n && (s.[!i] = 'E' || s.[!i] = 'e' || s.[!i] = 'D' || s.[!i] = 'd')
+      then begin
+        let save = !i in
+        let j = ref (!i + 1) in
+        if !j < n && (s.[!j] = '+' || s.[!j] = '-') then incr j;
+        if !j < n && is_digit s.[!j] then begin
+          is_real := true;
+          while !j < n && is_digit s.[!j] do incr j done;
+          i := !j
+        end
+        else i := save
+      end;
+      let text = String.sub s start (!i - start) in
+      if !is_real then
+        let text = String.map (function 'D' | 'd' -> 'E' | c -> c) text in
+        push (FLOAT (float_of_string text))
+      else push (INT (int_of_string text))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_ident s.[!i] do incr i done;
+      push (ID (String.uppercase_ascii (String.sub s start (!i - start))))
+    end
+    else if c = '\'' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && s.[!j] <> '\'' do incr j done;
+      if !j >= n then fail lineno "unterminated string literal";
+      push (STR (String.sub s start (!j - start)));
+      i := !j + 1
+    end
+    else if c = '.' then begin
+      (* dotted operator *)
+      let j = ref (!i + 1) in
+      let start = !j in
+      while !j < n && is_alpha s.[!j] do incr j done;
+      if !j >= n || s.[!j] <> '.' then fail lineno "bad dotted operator";
+      (match dotted_op (String.sub s start (!j - start)) with
+      | Some t -> push t
+      | None -> fail lineno "unknown operator .%s." (String.sub s start (!j - start)));
+      i := !j + 1
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "**" -> push POW; i := !i + 2
+      | "<=" -> push LE; i := !i + 2
+      | ">=" -> push GE; i := !i + 2
+      | "==" -> push EQ; i := !i + 2
+      | "/=" -> push NE; i := !i + 2
+      | _ ->
+        (match c with
+        | '+' -> push PLUS | '-' -> push MINUS | '*' -> push STAR
+        | '/' -> push SLASH | '(' -> push LPAR | ')' -> push RPAR
+        | ',' -> push COMMA | '=' -> push EQUALS | ':' -> push COLON
+        | '<' -> push LT | '>' -> push GT
+        | _ -> fail lineno "unexpected character %C" c);
+        incr i
+    end
+  done;
+  List.rev !toks
+
+let strip_comment s =
+  (* cut at '!' outside string literals *)
+  let n = String.length s in
+  let rec go i in_str =
+    if i >= n then s
+    else if s.[i] = '\'' then go (i + 1) (not in_str)
+    else if s.[i] = '!' && not in_str then String.sub s 0 i
+    else go (i + 1) in_str
+  in
+  go 0 false
+
+let is_comment_line s =
+  String.length s > 0
+  && (s.[0] = 'C' || s.[0] = 'c' || s.[0] = '*')
+  && (String.length s < 2 || s.[1] <> '(')  (* allow identifiers? no: col-1 C is comment *)
+
+(** Split source text into logical lines of tokens. *)
+let lines_of_string (src : string) : line list =
+  let raw = String.split_on_char '\n' src in
+  (* merge continuations *)
+  let merged = ref [] in
+  let pending = ref None in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      if is_comment_line line then ()
+      else
+        let line = strip_comment line in
+        let trimmed = String.trim line in
+        if trimmed = "" then ()
+        else
+          let starts_amp = trimmed.[0] = '&' in
+          let body =
+            if starts_amp then String.sub trimmed 1 (String.length trimmed - 1)
+            else trimmed
+          in
+          let ends_amp = String.length body > 0 && body.[String.length body - 1] = '&' in
+          let body =
+            if ends_amp then String.sub body 0 (String.length body - 1) else body
+          in
+          match (!pending, starts_amp) with
+          | Some (ln, acc), true ->
+            if ends_amp then pending := Some (ln, acc ^ " " ^ body)
+            else begin
+              merged := (ln, acc ^ " " ^ body) :: !merged;
+              pending := None
+            end
+          | Some (ln, acc), false ->
+            merged := (ln, acc) :: !merged;
+            if ends_amp then pending := Some (lineno, body)
+            else merged := (lineno, body) :: !merged
+          | None, true ->
+            (* continuation of previous merged line (fixed-form style) *)
+            (match !merged with
+            | (ln, acc) :: rest ->
+              if ends_amp then begin
+                merged := rest;
+                pending := Some (ln, acc ^ " " ^ body)
+              end
+              else merged := (ln, acc ^ " " ^ body) :: rest
+            | [] -> fail lineno "continuation with no preceding line")
+          | None, false ->
+            if ends_amp then pending := Some (lineno, body)
+            else merged := (lineno, body) :: !merged)
+    raw;
+  (match !pending with
+  | Some (ln, acc) -> merged := (ln, acc) :: !merged
+  | None -> ());
+  let merged = List.rev !merged in
+  List.filter_map
+    (fun (lineno, text) ->
+      match tokenize_payload lineno text with
+      | [] -> None
+      | INT label :: rest -> Some { lineno; label = Some label; toks = rest }
+      | toks -> Some { lineno; label = None; toks })
+    merged

@@ -1,0 +1,31 @@
+(** Tokens of the Fortran 77 subset lexer. *)
+
+type t =
+  | ID of string      (** identifier, upper-cased *)
+  | INT of int
+  | FLOAT of float
+  | STR of string
+  | PLUS | MINUS | STAR | SLASH | POW
+  | LPAR | RPAR | COMMA | EQUALS | COLON
+  | LT | LE | GT | GE | EQ | NE
+  | AND | OR | NOT
+  | TRUE | FALSE
+
+let to_string = function
+  | ID s -> s
+  | INT n -> string_of_int n
+  | FLOAT x -> string_of_float x
+  | STR s -> "'" ^ s ^ "'"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | POW -> "**"
+  | LPAR -> "(" | RPAR -> ")" | COMMA -> "," | EQUALS -> "=" | COLON -> ":"
+  | LT -> ".LT." | LE -> ".LE." | GT -> ".GT." | GE -> ".GE."
+  | EQ -> ".EQ." | NE -> ".NE."
+  | AND -> ".AND." | OR -> ".OR." | NOT -> ".NOT."
+  | TRUE -> ".TRUE." | FALSE -> ".FALSE."
+
+(** A logical source line after continuation merging. *)
+type line = {
+  lineno : int;          (** first physical line number, for diagnostics *)
+  label : int option;    (** leading numeric statement label *)
+  toks : t list;
+}

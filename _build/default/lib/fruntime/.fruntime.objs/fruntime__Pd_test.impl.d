@@ -1,0 +1,1 @@
+lib/fruntime/pd_test.ml:

@@ -1,0 +1,1 @@
+lib/fruntime/shadow.ml: Bytes List

@@ -1,0 +1,1 @@
+lib/fruntime/speculative.ml: Array Fir Hashtbl List Machine Pd_test Program Shadow String Symtab

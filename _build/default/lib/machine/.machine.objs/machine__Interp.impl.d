@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Ast Cache Expr Fir Float Fmt Hashtbl List Parsim Program Punit Storage String Symtab Util Value

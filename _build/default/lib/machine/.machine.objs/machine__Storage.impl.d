@@ -1,0 +1,1 @@
+lib/machine/storage.ml: Array Ast Fir Fmt List Value

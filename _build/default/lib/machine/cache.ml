@@ -1,0 +1,39 @@
+(** Direct-mapped data cache model.
+
+    A deliberately small model: it exists to give the cost model a
+    locality signal (stride-1 loops cheap, large-stride or scattered
+    access expensive) so that code-generation differences between the
+    Polaris and baseline pipelines show up in simulated time, as they
+    did between Polaris and PFA on the SGI Challenge (paper §4.2). *)
+
+type t = {
+  lines : int array;        (** tag per set; -1 = empty *)
+  sets : int;               (** number of sets, power of two *)
+  line_words : int;         (** 8-byte words per line *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(sets = 1024) ?(line_words = 8) () =
+  { lines = Array.make sets (-1); sets; line_words; hits = 0; misses = 0 }
+
+let reset t =
+  Array.fill t.lines 0 t.sets (-1);
+  t.hits <- 0;
+  t.misses <- 0
+
+(** [access t addr] records a word access; returns [true] on hit. *)
+let access t addr =
+  let line = addr / t.line_words in
+  let set = line land (t.sets - 1) in
+  if t.lines.(set) = line then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.lines.(set) <- line;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,566 @@
+(** Fortran interpreter with a simulated-time cost model.
+
+    The interpreter serves three roles in the reproduction:
+    - semantic oracle: transformation passes are validated by running
+      original vs. transformed programs and comparing memory/output;
+    - serial timer: Table 1's serial-time column is the simulated time
+      of each suite code;
+    - parallel timer: with [parallel = true] the annotations produced by
+      the compiler ({!Fir.Ast.loop_info}) are honoured and DOALL loops
+      are timed with the {!Parsim} multiprocessor model (execution stays
+      sequential, so semantics are independent of the timing model).
+
+    Simulated time is deterministic: a pure function of program, input
+    and configuration. *)
+
+open Fir
+open Ast
+
+exception Runtime_error of string
+exception Fuel_exhausted
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Cost constants                                                      *)
+
+module Cost = struct
+  let binop = function
+    | Add | Sub | And | Or | Eq | Ne | Lt | Le | Gt | Ge -> 1
+    | Mul -> 1
+    | Div -> 4
+    | Pow -> 8
+
+  let unop = 1
+  let intrinsic = 4
+  let assign = 1
+  let mem_hit = 1
+  let mem_miss = 9
+  let loop_iter = 2
+  let call = 16
+  let print = 8
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and state                                             *)
+
+type config = {
+  parallel : bool;              (** honour DOALL annotations for timing *)
+  machine : Parsim.config;
+  use_cache : bool;
+  max_steps : int;              (** fuel: statements executed before abort *)
+}
+
+let default_config ?(parallel = false) ?(procs = 8) ?(use_cache = true) () =
+  { parallel; machine = Parsim.default ~procs (); use_cache;
+    max_steps = 200_000_000 }
+
+type rw = R | W
+
+type state = {
+  prog : Program.t;
+  cfg : config;
+  cache : Cache.t;
+  commons : (string, Storage.binding) Hashtbl.t;  (** key "BLK/NAME" *)
+  mutable time : int;
+  mutable steps : int;
+  mutable par_depth : int;       (** > 0 when inside a simulated DOALL *)
+  mutable output : string list;  (** PRINT lines, reversed *)
+  mutable on_access : (rw -> string -> int -> unit) option;
+      (** runtime-analysis hook: kind, array name, linear element index *)
+  mutable on_loop_iter : (int -> int -> int -> unit) option;
+      (** called before each DO iteration: loop statement id, iteration
+          number (0-based), current simulated time *)
+  mutable on_loop_done : (int -> int -> unit) option;
+      (** called when a DO completes: loop statement id, time *)
+}
+
+type frame = {
+  unit_ : Punit.t;
+  vars : (string, Storage.binding) Hashtbl.t;
+}
+
+let charge st n = st.time <- st.time + n
+
+let charge_mem st (v : Storage.view) i =
+  if st.cfg.use_cache then
+    let hit = Cache.access st.cache (Storage.address v i) in
+    charge st (if hit then Cost.mem_hit else Cost.mem_miss)
+  else charge st Cost.mem_hit
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.cfg.max_steps then raise Fuel_exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Variable binding                                                    *)
+
+type outcome = Normal | Jump of int | Returned | Stopped
+
+let rec const_int_expr st (fr : frame) e =
+  (* dimension expressions: evaluated with parameters and current frame *)
+  Value.to_int (eval st fr e)
+
+and binding_for st (fr : frame) name : Storage.binding =
+  match Hashtbl.find_opt fr.vars name with
+  | Some b -> b
+  | None ->
+    let sym = Symtab.lookup fr.unit_.pu_symtab name in
+    let b =
+      match sym.sym_common with
+      | Some blk -> common_binding st fr blk sym
+      | None ->
+        (match sym.sym_param with
+        | Some value ->
+          (* parameters are bound once to their constant value *)
+          let b = Storage.scalar_binding sym.sym_type in
+          Storage.write_elem b.view 0 (eval st fr value);
+          b
+        | None ->
+          if sym.sym_dims = [] then Storage.scalar_binding sym.sym_type
+          else Storage.array_binding sym.sym_type (eval_dims st fr sym))
+    in
+    Hashtbl.replace fr.vars name b;
+    b
+
+and eval_dims st fr (sym : symbol) =
+  List.map
+    (fun (lo, hi) ->
+      let lo = const_int_expr st fr lo in
+      match hi with
+      | Var "*" -> (lo, -1)
+      | _ ->
+        let hi = const_int_expr st fr hi in
+        (lo, hi - lo + 1))
+    sym.sym_dims
+
+and common_binding st fr blk (sym : symbol) =
+  let key = blk ^ "/" ^ sym.sym_name in
+  match Hashtbl.find_opt st.commons key with
+  | Some b -> b
+  | None ->
+    let b =
+      if sym.sym_dims = [] then Storage.scalar_binding sym.sym_type
+      else Storage.array_binding sym.sym_type (eval_dims st fr sym)
+    in
+    Hashtbl.replace st.commons key b;
+    b
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+
+and element_index st fr name (subs : expr list) =
+  let b = binding_for st fr name in
+  if b.dims = [] then error "%s subscripted but bound as scalar" name;
+  let subs = List.map (fun e -> Value.to_int (eval st fr e)) subs in
+  charge st (List.length subs);
+  (b, Storage.linear_index b.dims subs)
+
+and eval st fr (e : expr) : Value.t =
+  match e with
+  | Int_lit n -> Value.Int n
+  | Real_lit x -> Value.Real x
+  | Logical_lit b -> Value.Bool b
+  | Char_lit s -> Value.Str s
+  | Wildcard n -> error "wildcard ?%d evaluated" n
+  | Var v ->
+    let b = binding_for st fr v in
+    if b.dims <> [] then error "array %s used as scalar" v;
+    Storage.read_elem b.view 0
+  | Ref (v, subs) ->
+    let b, i = element_index st fr v subs in
+    (match st.on_access with Some f -> f R v i | None -> ());
+    charge_mem st b.view i;
+    Storage.read_elem b.view i
+  | Unary (op, a) ->
+    charge st Cost.unop;
+    let va = eval st fr a in
+    (match op with Neg -> Value.neg va | Not -> Value.Bool (not (Value.to_bool va)))
+  | Binary (op, a, b) -> (
+    charge st (Cost.binop op);
+    match op with
+    | And ->
+      (* no short-circuit in F77 semantics, but evaluation order is free;
+         we evaluate both, matching most compilers' simple codegen *)
+      let va = Value.to_bool (eval st fr a) in
+      let vb = Value.to_bool (eval st fr b) in
+      Value.Bool (va && vb)
+    | Or ->
+      let va = Value.to_bool (eval st fr a) in
+      let vb = Value.to_bool (eval st fr b) in
+      Value.Bool (va || vb)
+    | _ ->
+      let va = eval st fr a in
+      let vb = eval st fr b in
+      (match op with
+      | Add -> Value.add va vb
+      | Sub -> Value.sub va vb
+      | Mul -> Value.mul va vb
+      | Div -> Value.div va vb
+      | Pow -> Value.pow va vb
+      | Eq -> Value.Bool (Value.equal va vb)
+      | Ne -> Value.Bool (not (Value.equal va vb))
+      | Lt -> Value.Bool (Value.compare_num va vb < 0)
+      | Le -> Value.Bool (Value.compare_num va vb <= 0)
+      | Gt -> Value.Bool (Value.compare_num va vb > 0)
+      | Ge -> Value.Bool (Value.compare_num va vb >= 0)
+      | And | Or -> assert false))
+  | Fun_call (f, args) -> eval_call st fr f args
+
+and eval_call st fr f args =
+  match intrinsic st fr f args with
+  | Some v -> v
+  | None -> (
+    match Program.find_unit st.prog f with
+    | Some u when Punit.is_function u ->
+      charge st Cost.call;
+      let callee = call_frame st fr u args in
+      run_unit_body st callee;
+      let ret = binding_for st callee f in
+      Storage.read_elem ret.view 0
+    | _ -> error "unknown function %s" f)
+
+and intrinsic st fr name args =
+  let open Value in
+  let ev e = eval st fr e in
+  let unary f = match args with [ a ] -> Some (f (ev a)) | _ -> None in
+  let nary2 f =
+    match List.map ev args with
+    | a :: rest -> Some (List.fold_left f a rest)
+    | [] -> None
+  in
+  let r =
+    match name with
+    | "ABS" | "IABS" | "DABS" ->
+      unary (function Int n -> Int (abs n) | v -> Real (Float.abs (to_float v)))
+    | "MOD" | "AMOD" | "DMOD" -> (
+      match List.map ev args with
+      | [ Int a; Int b ] -> Some (Int (a mod b))
+      | [ a; b ] -> Some (Real (Float.rem (to_float a) (to_float b)))
+      | _ -> None)
+    | "MAX" | "MAX0" | "AMAX1" | "DMAX1" ->
+      nary2 (fun a b -> if compare_num a b >= 0 then a else b)
+    | "MIN" | "MIN0" | "AMIN1" | "DMIN1" ->
+      nary2 (fun a b -> if compare_num a b <= 0 then a else b)
+    | "SQRT" | "DSQRT" -> unary (fun v -> Real (Float.sqrt (to_float v)))
+    | "SIN" | "DSIN" -> unary (fun v -> Real (Float.sin (to_float v)))
+    | "COS" | "DCOS" -> unary (fun v -> Real (Float.cos (to_float v)))
+    | "TAN" | "DTAN" -> unary (fun v -> Real (Float.tan (to_float v)))
+    | "ATAN" | "DATAN" -> unary (fun v -> Real (Float.atan (to_float v)))
+    | "EXP" | "DEXP" -> unary (fun v -> Real (Float.exp (to_float v)))
+    | "LOG" | "ALOG" | "DLOG" -> unary (fun v -> Real (Float.log (to_float v)))
+    | "INT" | "IFIX" | "IDINT" -> unary (fun v -> Int (to_int v))
+    | "NINT" | "IDNINT" ->
+      unary (fun v -> Int (int_of_float (Float.round (to_float v))))
+    | "REAL" | "FLOAT" | "DBLE" | "SNGL" -> unary (fun v -> Real (to_float v))
+    | "SIGN" | "ISIGN" | "DSIGN" -> (
+      match List.map ev args with
+      | [ a; b ] ->
+        let mag = Float.abs (to_float a) in
+        let v = if to_float b < 0.0 then -.mag else mag in
+        Some (match a with Int _ -> Int (int_of_float v) | _ -> Real v)
+      | _ -> None)
+    | _ -> None
+  in
+  if r <> None then charge st Cost.intrinsic;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                               *)
+
+and call_frame st (caller : frame) (u : Punit.t) (actuals : expr list) : frame =
+  if List.length actuals <> List.length u.pu_args then
+    error "%s called with %d args, expects %d" u.pu_name (List.length actuals)
+      (List.length u.pu_args);
+  let callee = { unit_ = u; vars = Hashtbl.create 16 } in
+  (* two-phase binding: scalars first, then arrays, because an array
+     formal's dimension expressions may reference scalar formals that
+     appear later in the argument list (adjustable arrays) *)
+  let bind_scalar formal actual (sym : symbol) =
+    let bound : Storage.binding =
+      match actual with
+      | Var v ->
+        let b = binding_for st caller v in
+        (* scalar dummy: alias the caller's cell (or an array's first
+           element when a whole array is passed) *)
+        { b with dims = [] }
+      | Ref (v, subs) ->
+        let b, i = element_index st caller v subs in
+        let view = { b.Storage.view with off = b.Storage.view.off + i } in
+        { Storage.view; dims = []; elem = b.elem }
+      | e ->
+        (* expression actual: copy-in, read-only temporary *)
+        let v = eval st caller e in
+        let typ = match v with Value.Int _ -> Integer | _ -> Real in
+        let b = Storage.scalar_binding typ in
+        Storage.write_elem b.view 0 v;
+        b
+    in
+    ignore sym;
+    Hashtbl.replace callee.vars formal bound
+  in
+  let bind_array formal actual (sym : symbol) =
+    let bound : Storage.binding =
+      match actual with
+      | Var v ->
+        let b = binding_for st caller v in
+        { b with dims = eval_dims_in st callee caller sym }
+      | Ref (v, subs) ->
+        let b, i = element_index st caller v subs in
+        let view = { b.Storage.view with off = b.Storage.view.off + i } in
+        { Storage.view; dims = eval_dims_in st callee caller sym; elem = b.elem }
+      | e -> error "array formal %s bound to expression %s" formal (Expr.to_string e)
+    in
+    Hashtbl.replace callee.vars formal bound
+  in
+  let pairs = List.combine u.pu_args actuals in
+  List.iter
+    (fun (formal, actual) ->
+      let sym = Symtab.lookup u.pu_symtab formal in
+      if sym.sym_dims = [] then bind_scalar formal actual sym)
+    pairs;
+  List.iter
+    (fun (formal, actual) ->
+      let sym = Symtab.lookup u.pu_symtab formal in
+      if sym.sym_dims <> [] then bind_array formal actual sym)
+    pairs;
+  callee
+
+(* dummy-array dimension expressions may reference other dummies (e.g.
+   B(N)); they must be evaluated in the callee frame after scalars are
+   bound, falling back to the caller for values not yet bound *)
+and eval_dims_in st (callee : frame) (_caller : frame) (sym : symbol) =
+  eval_dims st callee sym
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+
+and assign_to st fr lhs v =
+  match lhs with
+  | Var name ->
+    let b = binding_for st fr name in
+    if b.dims <> [] then error "array %s assigned as scalar" name;
+    Storage.write_elem b.view 0 v
+  | Ref (name, subs) ->
+    let b, i = element_index st fr name subs in
+    (match st.on_access with Some f -> f W name i | None -> ());
+    charge_mem st b.view i;
+    Storage.write_elem b.view i v
+  | e -> error "invalid assignment target %s" (Expr.to_string e)
+
+and exec_block st fr (b : block) : outcome =
+  let stmts = Array.of_list b in
+  let n = Array.length stmts in
+  let rec go pc =
+    if pc >= n then Normal
+    else
+      match exec_stmt st fr stmts.(pc) with
+      | Normal -> go (pc + 1)
+      | Jump l -> (
+        match find_label stmts l with
+        | Some target -> go target
+        | None -> Jump l)
+      | (Returned | Stopped) as o -> o
+  in
+  go 0
+
+and find_label stmts l =
+  let n = Array.length stmts in
+  let rec go i =
+    if i >= n then None
+    else if stmts.(i).label = Some l then Some i
+    else go (i + 1)
+  in
+  go 0
+
+and exec_stmt st fr (s : stmt) : outcome =
+  tick st;
+  match s.kind with
+  | Assign (lhs, rhs) ->
+    charge st Cost.assign;
+    let v = eval st fr rhs in
+    assign_to st fr lhs v;
+    Normal
+  | If (c, t, e) ->
+    let cond = Value.to_bool (eval st fr c) in
+    exec_block st fr (if cond then t else e)
+  | Do d -> exec_do st fr s.sid d
+  | While (c, body) ->
+    let rec loop () =
+      charge st Cost.loop_iter;
+      if Value.to_bool (eval st fr c) then
+        match exec_block st fr body with
+        | Normal -> loop ()
+        | o -> o
+      else Normal
+    in
+    loop ()
+  | Call (name, args) -> (
+    match Program.find_unit st.prog name with
+    | Some u ->
+      charge st Cost.call;
+      let callee = call_frame st fr u args in
+      run_unit_body st callee;
+      Normal
+    | None -> error "unknown subroutine %s" name)
+  | Goto l -> Jump l
+  | Continue -> Normal
+  | Return -> Returned
+  | Stop -> Stopped
+  | Print args ->
+    charge st Cost.print;
+    let line =
+      String.concat " " (List.map (fun e -> Value.to_string (eval st fr e)) args)
+    in
+    st.output <- line :: st.output;
+    Normal
+
+and exec_do st fr sid (d : do_loop) : outcome =
+  let init = Value.to_int (eval st fr d.init) in
+  let limit = Value.to_int (eval st fr d.limit) in
+  let step =
+    match d.step with Some e -> Value.to_int (eval st fr e) | None -> 1
+  in
+  if step = 0 then error "DO %s: zero step" d.index;
+  let trips = max 0 ((limit - init + step) / step) in
+  let idx_binding = binding_for st fr d.index in
+  let set_index v = Storage.write_elem idx_binding.view 0 (Value.Int v) in
+  let simulate_parallel =
+    st.cfg.parallel && d.info.par && (not d.info.speculative) && st.par_depth = 0
+  in
+  if simulate_parallel then begin
+    st.par_depth <- st.par_depth + 1;
+    let t0 = st.time in
+    let iter_costs = Array.make trips 0 in
+    let outcome = ref Normal in
+    (try
+       for k = 0 to trips - 1 do
+         let before = st.time in
+         (match st.on_loop_iter with Some f -> f sid k st.time | None -> ());
+         set_index (init + (k * step));
+         charge st Cost.loop_iter;
+         (match exec_block st fr d.body with
+         | Normal -> ()
+         | o ->
+           outcome := o;
+           raise Exit);
+         iter_costs.(k) <- st.time - before
+       done
+     with Exit -> ());
+    set_index (init + (trips * step));
+    st.par_depth <- st.par_depth - 1;
+    if !outcome = Normal then begin
+      let n_private =
+        List.length d.info.privates + List.length d.info.lastprivates
+      in
+      let reduction_elems =
+        Util.Listx.sum_by
+          (fun (r : reduction) ->
+            match r.red_form with
+            | Private_copies ->
+              (* one private cell per processor, merged at the join *)
+              st.cfg.machine.procs
+            | Blocked ->
+              (* no merge; the per-access synchronization is charged as
+                 if every iteration paid one merge-unit *)
+              trips
+            | Expanded -> (
+              match Symtab.find_opt fr.unit_.pu_symtab r.red_var with
+              | Some sym -> (
+                match Symtab.const_size sym with Some n -> n | None -> 1)
+              | None -> 1))
+          d.info.reductions
+      in
+      st.time <-
+        t0 + Parsim.doall_time st.cfg.machine ~iter_costs ~n_private ~reduction_elems;
+      (match st.on_loop_done with Some f -> f sid st.time | None -> ());
+      Normal
+    end
+    else !outcome
+    (* a non-local exit disables the parallel timing: time stays serial *)
+  end
+  else begin
+    let outcome = ref Normal in
+    (try
+       for k = 0 to trips - 1 do
+         (match st.on_loop_iter with Some f -> f sid k st.time | None -> ());
+         set_index (init + (k * step));
+         charge st Cost.loop_iter;
+         match exec_block st fr d.body with
+         | Normal -> ()
+         | o ->
+           outcome := o;
+           raise Exit
+       done
+     with Exit -> ());
+    if !outcome = Normal then set_index (init + (trips * step));
+    (match st.on_loop_iter with Some f -> f sid trips st.time | None -> ());
+    (match st.on_loop_done with Some f -> f sid st.time | None -> ());
+    !outcome
+  end
+
+and run_unit_body st (fr : frame) =
+  match exec_block st fr fr.unit_.pu_body with
+  | Normal | Returned | Stopped -> ()
+  | Jump l -> error "unit %s: GOTO %d escapes the unit" fr.unit_.pu_name l
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let fresh_state ?(cfg = default_config ()) prog =
+  { prog; cfg; cache = Cache.create (); commons = Hashtbl.create 8; time = 0;
+    steps = 0; par_depth = 0; output = []; on_access = None;
+    on_loop_iter = None; on_loop_done = None }
+
+type result = {
+  time : int;                 (** simulated time units *)
+  output : string list;      (** PRINT lines, in order *)
+  final : (string * Value.t) list;
+      (** final values of the main unit's scalar variables *)
+}
+
+(** Run the main program unit to completion. *)
+let run ?cfg (prog : Program.t) : result =
+  let st = fresh_state ?cfg prog in
+  let main = Program.main prog in
+  let fr = { unit_ = main; vars = Hashtbl.create 32 } in
+  run_unit_body st fr;
+  let final =
+    Hashtbl.fold
+      (fun name (b : Storage.binding) acc ->
+        if b.dims = [] then (name, Storage.read_elem b.view 0) :: acc else acc)
+      fr.vars []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { time = st.time; output = List.rev st.output; final }
+
+(** Like {!run} but also returns every array of the main frame, flattened,
+    for memory-equivalence checks between original and transformed code. *)
+let run_capture ?cfg (prog : Program.t) :
+    result * (string * float array) list =
+  let st = fresh_state ?cfg prog in
+  let main = Program.main prog in
+  let fr = { unit_ = main; vars = Hashtbl.create 32 } in
+  run_unit_body st fr;
+  let arrays =
+    Hashtbl.fold
+      (fun name (b : Storage.binding) acc ->
+        if b.dims = [] then acc
+        else
+          let n = Storage.extent_of b in
+          let out = Array.make n 0.0 in
+          for i = 0 to n - 1 do
+            out.(i) <- Value.to_float (Storage.read_elem b.view i)
+          done;
+          (name, out) :: acc)
+      fr.vars []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let final =
+    Hashtbl.fold
+      (fun name (b : Storage.binding) acc ->
+        if b.dims = [] then (name, Storage.read_elem b.view 0) :: acc else acc)
+      fr.vars []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  ({ time = st.time; output = List.rev st.output; final }, arrays)

@@ -1,0 +1,52 @@
+(** Shared-memory multiprocessor timing model.
+
+    Stands in for the paper's 8-processor SGI Challenge (Fig. 7) and
+    Alliant FX/80 (Fig. 6).  Given the per-iteration work of a DOALL
+    loop it computes the parallel execution time under static block
+    scheduling plus the overheads the paper's transformations imply
+    (fork/join, private-copy setup, reduction merging). *)
+
+type config = {
+  procs : int;              (** number of processors *)
+  fork_cost : int;          (** fixed cost of starting a parallel region *)
+  fork_per_proc : int;      (** per-processor dispatch cost *)
+  private_setup : int;      (** per privatized name, per processor *)
+  reduction_per_elem : int; (** merge cost per reduced element, per processor *)
+  barrier_cost : int;       (** join barrier *)
+}
+
+let default ?(procs = 8) () =
+  { procs; fork_cost = 120; fork_per_proc = 12; private_setup = 6;
+    reduction_per_elem = 2; barrier_cost = 40 }
+
+(** Static block scheduling: iteration [k] of [n] goes to processor
+    [k * p / n]; the region time is the maximum per-processor sum. *)
+let block_schedule_time (cfg : config) (iter_costs : int array) =
+  let n = Array.length iter_costs in
+  if n = 0 then 0
+  else begin
+    let p = max 1 cfg.procs in
+    let sums = Array.make p 0 in
+    Array.iteri
+      (fun k c ->
+        let proc = min (p - 1) (k * p / n) in
+        sums.(proc) <- sums.(proc) + c)
+      iter_costs;
+    Array.fold_left max 0 sums
+  end
+
+(** Total simulated time of one DOALL instantiation.
+
+    [n_private] privatized names, [reduction_elems] total elements that
+    must be merged across processors after the loop. *)
+let doall_time (cfg : config) ~iter_costs ~n_private ~reduction_elems =
+  let p = max 1 cfg.procs in
+  let fork = cfg.fork_cost + (cfg.fork_per_proc * p) in
+  let setup = cfg.private_setup * n_private * p in
+  let body = block_schedule_time cfg iter_costs in
+  let merge = cfg.reduction_per_elem * reduction_elems in
+  fork + setup + body + merge + cfg.barrier_cost
+
+(** Speedup of [par] over [seq] as a float. *)
+let speedup ~seq ~par =
+  if par <= 0 then 0.0 else float_of_int seq /. float_of_int par

@@ -1,0 +1,83 @@
+(** Scalar runtime values of the Fortran interpreter. *)
+
+type t =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Str of string
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let to_int = function
+  | Int n -> n
+  | Real x -> int_of_float x   (* Fortran INT(): truncation toward zero *)
+  | v -> type_error "integer expected, got %s" (match v with Bool _ -> "logical" | Str _ -> "character" | _ -> "?")
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Real x -> x
+  | _ -> type_error "numeric value expected"
+
+let to_bool = function
+  | Bool b -> b
+  | _ -> type_error "logical value expected"
+
+let is_real = function Real _ -> true | _ -> false
+
+(* Fortran numeric promotion: Int op Int stays Int, anything Real is Real *)
+let arith fint freal a b =
+  match (a, b) with
+  | Int x, Int y -> Int (fint x y)
+  | _ -> Real (freal (to_float a) (to_float b))
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )
+
+let div a b =
+  match (a, b) with
+  | Int _, Int 0 -> raise Division_by_zero
+  | Int x, Int y ->
+    (* Fortran integer division truncates toward zero, as does OCaml's / *)
+    Int (x / y)
+  | _ -> Real (to_float a /. to_float b)
+
+let rec ipow b e = if e <= 0 then 1 else b * ipow b (e - 1)
+
+let pow a b =
+  match (a, b) with
+  | Int x, Int y ->
+    if y >= 0 then Int (ipow x y)
+    else if x = 1 then Int 1
+    else if x = -1 then Int (if y mod 2 = 0 then 1 else -1)
+    else Int 0
+  | _, Int y when y >= 0 ->
+    (* iterated multiplication: matches unrolled recurrences exactly *)
+    let b = to_float a in
+    let rec go acc n = if n = 0 then acc else go (acc *. b) (n - 1) in
+    Real (go 1.0 y)
+  | _, Int y -> Real (Float.pow (to_float a) (float_of_int y))
+  | _ -> Real (Float.pow (to_float a) (to_float b))
+
+let neg = function Int n -> Int (-n) | Real x -> Real (-.x) | _ -> type_error "negation of non-number"
+
+let compare_num a b =
+  match (a, b) with
+  | Int x, Int y -> compare x y
+  | _ -> compare (to_float a) (to_float b)
+
+let equal a b =
+  match (a, b) with
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  | _ -> compare_num a b = 0
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Real x -> Fmt.pf ppf "%g" x
+  | Bool b -> Fmt.string ppf (if b then "T" else "F")
+  | Str s -> Fmt.string ppf s
+
+let to_string v = Fmt.str "%a" pp v

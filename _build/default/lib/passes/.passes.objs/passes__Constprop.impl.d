@@ -1,0 +1,1 @@
+lib/passes/constprop.ml: Ast Consistency Expr Fir List Option Program Punit Stmt Symtab Util

@@ -1,0 +1,1 @@
+lib/passes/deadcode.ml: Ast Consistency Expr Fir List Program Punit Stmt String Symtab Util

@@ -1,0 +1,1 @@
+lib/passes/demand.ml: Ast Atom Compare Expr Fir List Poly Punit Range Stmt Symbolic Symtab

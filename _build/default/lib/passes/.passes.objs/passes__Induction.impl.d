@@ -1,0 +1,1 @@
+lib/passes/induction.ml: Ast Atom Consistency Expr Fir Float List Option Poly Program Punit Stmt String Summation Symbolic Symtab Util

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Ast Consistency Expr Fir Fmt Hashtbl List Option Program Punit Stmt String Symtab

@@ -1,0 +1,1 @@
+lib/passes/parallelize.ml: Analysis Ast Dep Expr Fir Fmt List Privatize Program Punit Range Range_prop Reduction Stmt String Symbolic Symtab

@@ -1,0 +1,1 @@
+lib/passes/privatize.ml: Ast Atom Compare Demand Expr Fir Fmt List Option Poly Punit Range Range_prop Stmt String Symbolic Symtab Util

@@ -1,0 +1,1 @@
+lib/passes/reduction.ml: Ast Expr Fir Hashtbl List Option Pattern Stmt String Symbolic Symtab

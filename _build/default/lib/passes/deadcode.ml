@@ -1,0 +1,79 @@
+(** Dead scalar-assignment elimination.
+
+    After induction substitution and constant propagation many scalar
+    assignments (old induction seeds, propagated copies, unused
+    last-value updates) are never read again; this cleanup removes them.
+    An assignment [v = e] is dead when [v] is a scalar that is never
+    read anywhere in the unit after the pass ran to fixpoint, [e] has no
+    side effects (no function calls that could reach user code), and [v]
+    is not a dummy argument or COMMON member (both escape the unit). *)
+
+open Fir
+open Ast
+
+(* every scalar READ in the unit (array subscripts included; assignment
+   left-hand sides excluded) *)
+let read_scalars (u : Punit.t) =
+  let acc = ref [] in
+  Stmt.iter
+    (fun (s : stmt) ->
+      List.iter
+        (fun ((role : Stmt.expr_role), e) ->
+          let relevant =
+            match (role, e) with
+            | Stmt.Elhs, Ref (_, subs) -> subs
+            | Stmt.Elhs, _ -> []
+            | _, e -> [ e ]
+          in
+          List.iter
+            (fun e ->
+              Expr.iter
+                (function Var v -> acc := v :: !acc | _ -> ())
+                e)
+            relevant)
+        (Stmt.exprs_of s))
+    u.pu_body;
+  List.sort_uniq String.compare !acc
+
+let escapes (u : Punit.t) v =
+  List.mem v u.pu_args
+  ||
+  match Symtab.find_opt u.pu_symtab v with
+  | Some sym -> sym.sym_common <> None
+  | None -> false
+
+let has_call e = Expr.exists (function Fun_call _ -> true | _ -> false) e
+
+(* one sweep: remove assignments to never-read, non-escaping scalars *)
+let sweep (u : Punit.t) : bool =
+  let reads = read_scalars u in
+  let changed = ref false in
+  let body' =
+    Stmt.rewrite
+      (fun (s : stmt) ->
+        match s.kind with
+        | Assign (Var v, rhs)
+          when (not (List.mem v reads))
+               && (not (escapes u v))
+               && (not (Symtab.is_array u.pu_symtab v))
+               && (not (has_call rhs))
+               && s.label = None ->
+          changed := true;
+          []
+        | _ -> [ s ])
+      u.pu_body
+  in
+  u.pu_body <- body';
+  !changed
+
+(** Remove dead scalar assignments from a unit, to fixpoint. *)
+let run_unit (u : Punit.t) : int =
+  let rounds = ref 0 in
+  while sweep u && !rounds < 16 do
+    incr rounds
+  done;
+  Consistency.check_unit u;
+  !rounds
+
+let run (p : Program.t) : int =
+  Util.Listx.sum_by run_unit (Program.units p)

@@ -1,0 +1,297 @@
+(** The parallelization driver: per-loop DOALL decisions.
+
+    For every loop (outermost first) this pass combines the analyses:
+    reduction recognition (§3.2), scalar classification (§3.4),
+    dependence testing per array (§3.3) with array privatization (§3.4)
+    as the fallback for failed arrays, and marks the loop's
+    {!Fir.Ast.loop_info} in place.  Loops defeated only by subscripted
+    subscripts are flagged [speculative]: candidates for the run-time
+    PD test (§3.5).
+
+    The [mode] selects Polaris (range test + array privatization +
+    histogram reductions) or the baseline "current compiler"
+    configuration (GCD/Banerjee, scalar privatization, scalar
+    single-address reductions only). *)
+
+open Fir
+open Ast
+open Symbolic
+module Loops = Analysis.Loops
+module Access = Analysis.Access
+module Defuse = Analysis.Defuse
+
+type mode = Polaris | Baseline
+
+type loop_report = {
+  loop_index : string;
+  loop_sid : int;
+  parallel : bool;
+  speculative : bool;
+  reason : string;
+}
+
+(* scalar [v] is read after the loop (conservative liveness over the
+   whole unit outside the loop body) *)
+let live_after (u : Punit.t) (d : do_loop) v =
+  let inside = Stmt.fold (fun acc s -> s.sid :: acc) [] d.body in
+  Stmt.fold
+    (fun acc (s : stmt) ->
+      acc
+      || (not (List.mem s.sid inside))
+         && List.exists (fun (_, e) -> Expr.mentions v e) (Stmt.exprs_of s))
+    false u.pu_body
+
+let analyze_loop ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
+    (nest : Loops.nest) : loop_report =
+  let target = Loops.innermost nest in
+  let enclosing = List.filter (fun l -> l != target) nest.loops in
+  let d = target.dloop in
+  let body = d.body in
+  let info = d.info in
+  let decide ~parallel ~speculative reason =
+    info.par <- parallel;
+    info.speculative <- speculative;
+    info.par_reason <- reason;
+    { loop_index = d.index; loop_sid = target.stmt.sid; parallel; speculative;
+      reason }
+  in
+  (* 0. structural disqualifiers *)
+  if Loops.has_disqualifying_control body then
+    decide ~parallel:false ~speculative:false "unstructured control flow or I/O"
+  else if Access.calls_in body ~is_intrinsic:Access.is_intrinsic <> [] then
+    decide ~parallel:false ~speculative:false "contains procedure calls"
+  else begin
+    (* 1. reductions *)
+    let reductions = Reduction.find u.pu_symtab body in
+    let reductions =
+      match mode with
+      | Polaris -> reductions
+      | Baseline ->
+        (* classic compilers: scalar single-address sums/products only *)
+        List.filter
+          (fun (f : Reduction.found) ->
+            f.red.red_kind = Single_address
+            && not (Symtab.is_array u.pu_symtab f.red.red_var))
+          reductions
+    in
+    (* the paper (§3.2): the data-dependence pass removes the flags of
+       reduction statements it can prove free of loop-carried
+       dependences — e.g. element-wise updates A(I) = A(I) + x, which
+       need no merge at all *)
+    let env0 = Loops.nest_env ~outer_env nest in
+    let env0 =
+      List.fold_left
+        (fun env n -> Loops.nest_env ~outer_env:env n)
+        env0
+        (Loops.nests_of_block body)
+    in
+    let inner0 =
+      Loops.nests_of_block body |> List.map (fun n -> Loops.innermost n)
+    in
+    let all_accesses = Access.of_block body in
+    let body_writes0 =
+      List.filter_map
+        (fun (a : Access.t) ->
+          if a.kind = Access.Write then Some a.array else None)
+        all_accesses
+      |> List.sort_uniq String.compare
+    in
+    let method0 =
+      match mode with
+      | Polaris -> Dep.Driver.Range_symbolic
+      | Baseline -> Dep.Driver.Banerjee_gcd
+    in
+    let reductions =
+      List.filter
+        (fun (f : Reduction.found) ->
+          if not (Symtab.is_array u.pu_symtab f.red.red_var) then true
+          else
+            let accs =
+              List.filter
+                (fun (a : Access.t) -> String.equal a.array f.red.red_var)
+                all_accesses
+            in
+            match
+              Dep.Driver.array_deps ~method_:method0 ~symtab:u.pu_symtab
+                ~env:env0 ~enclosing ~target ~inner:inner0
+                ~body_writes:body_writes0 ~accesses:accs
+            with
+            | Dep.Driver.Parallel _ -> false (* flag removed: independent *)
+            | Dep.Driver.Dependent _ -> true)
+        reductions
+    in
+    let reduction_vars = List.map (fun (f : Reduction.found) -> f.red.red_var) reductions in
+    let reduction_sids = List.concat_map (fun (f : Reduction.found) -> f.stmt_ids) reductions in
+    (* 2. scalars *)
+    let classes = Defuse.classify body in
+    let exposed =
+      Defuse.of_class Defuse.Exposed classes
+      |> List.filter (fun v ->
+             (not (List.mem v reduction_vars)) && not (Symtab.is_array u.pu_symtab v))
+    in
+    let exposed =
+      (* arrays are dealt with below; Defuse only tracks scalars, but be
+         safe against name confusion *)
+      exposed
+    in
+    if exposed <> [] then
+      decide ~parallel:false ~speculative:false
+        (Fmt.str "carried scalar dependence on %s" (String.concat "," exposed))
+    else begin
+      let private_scalars =
+        Defuse.of_class Defuse.Private classes
+        |> List.filter (fun v -> not (List.mem v reduction_vars))
+      in
+      (* 3. arrays: per-array dependence test, privatization fallback *)
+      let env = Loops.nest_env ~outer_env nest in
+      let inner =
+        Loops.nests_of_block body |> List.map (fun n -> Loops.innermost n)
+      in
+      let env =
+        (* add inner loop bounds facts *)
+        List.fold_left
+          (fun env n -> Loops.nest_env ~outer_env:env n)
+          env
+          (Loops.nests_of_block body)
+      in
+      let accesses = Access.of_block body in
+      let accesses =
+        List.filter
+          (fun (a : Access.t) ->
+            not
+              (List.mem a.sid reduction_sids
+              && List.mem a.array reduction_vars))
+          accesses
+      in
+      let arrays =
+        Access.by_array accesses
+        |> List.filter (fun (name, accs) ->
+               Symtab.is_array u.pu_symtab name
+               && List.exists (fun (a : Access.t) -> a.kind = Access.Write) accs)
+      in
+      (* arrays written anywhere in the body, including by reduction
+         statements: a subscript routed through any of them is
+         unanalyzable *)
+      let body_writes =
+        List.filter_map
+          (fun (a : Access.t) ->
+            if a.kind = Access.Write then Some a.array else None)
+          (Access.of_block body)
+        |> List.sort_uniq String.compare
+      in
+      let method_ =
+        match mode with
+        | Polaris -> Dep.Driver.Range_symbolic
+        | Baseline -> Dep.Driver.Banerjee_gcd
+      in
+      let privates = ref private_scalars in
+      let lastprivates = ref [] in
+      let failed = ref None in
+      let speculative = ref false in
+      let proof = ref [] in
+      List.iter
+        (fun (name, accs) ->
+          if !failed = None then
+            match
+              Dep.Driver.array_deps ~method_ ~symtab:u.pu_symtab ~env ~enclosing
+                ~target ~inner ~body_writes ~accesses:accs
+            with
+            | Dep.Driver.Parallel how ->
+              proof := Fmt.str "%s:%s" name how :: !proof
+            | Dep.Driver.Dependent why -> (
+              (* a subscript routed through any array element (written
+                 or not) makes the loop an LRPD candidate (paper 3.5) *)
+              let has_array_subscript =
+                List.exists
+                  (fun (a : Access.t) ->
+                    List.exists
+                      (fun p ->
+                        List.exists
+                          (function
+                            | Symbolic.Atom.Aopaque e ->
+                              Fir.Expr.exists
+                                (function Ast.Ref _ -> true | _ -> false)
+                                e
+                              || (match e with Ast.Ref _ -> true | _ -> false)
+                            | Symbolic.Atom.Avar _ -> false)
+                          (Symbolic.Poly.atoms p))
+                      a.subs)
+                  accs
+              in
+              let is_subscripted =
+                match mode with
+                | Polaris ->
+                  has_array_subscript
+                  || (String.length why >= 11
+                     && String.sub why 0 11 = "subscripted")
+                | Baseline -> false
+              in
+              match mode with
+              | Baseline ->
+                failed := Some (Fmt.str "%s: %s" name why)
+              | Polaris -> (
+                match
+                  Privatize.analyze ~unit_:u ~outer_env ~loop_sid:target.stmt.sid
+                    ~d ~array:name
+                with
+                | Ok ()
+                  when Privatize.needs_copy_out ~unit_:u ~d ~array:name
+                       && Stmt.exists
+                            (fun (s : stmt) ->
+                              match s.kind with
+                              | Assign (Ref (a, subs), _) ->
+                                String.equal a name
+                                && List.exists (Expr.mentions d.index) subs
+                              | _ -> false)
+                            body ->
+                  (* live after the loop with an iteration-dependent
+                     write set: the last iteration's copy-out would miss
+                     elements written by earlier iterations *)
+                  failed :=
+                    Some
+                      (Fmt.str
+                         "%s: %s; not privatizable: live-out with varying write set"
+                         name why)
+                | Ok () ->
+                  privates := name :: !privates;
+                  if Privatize.needs_copy_out ~unit_:u ~d ~array:name then
+                    lastprivates := name :: !lastprivates;
+                  proof := Fmt.str "%s:privatized" name :: !proof
+                | Error perr ->
+                  if is_subscripted then speculative := true;
+                  failed :=
+                    Some (Fmt.str "%s: %s; not privatizable: %s" name why perr))))
+        arrays;
+      match !failed with
+      | Some why -> decide ~parallel:false ~speculative:!speculative why
+      | None ->
+        (* lastprivate scalars *)
+        let lp_scalars =
+          List.filter (fun v -> live_after u d v) private_scalars
+        in
+        info.privates <- List.sort_uniq String.compare !privates;
+        info.lastprivates <-
+          List.sort_uniq String.compare (lp_scalars @ !lastprivates);
+        info.reductions <- List.map (fun (f : Reduction.found) -> f.red) reductions;
+        decide ~parallel:true ~speculative:false
+          (String.concat "; "
+             (List.rev
+                ((if reductions = [] then [] else [ "reductions solved" ])
+                @ !proof
+                @ [ "scalars private" ])))
+    end
+  end
+
+(** Analyze every loop of a unit (outermost first), marking loop_info in
+    place; returns the per-loop reports. *)
+let run_unit ~(mode : mode) (u : Punit.t) : loop_report list =
+  let nests = Loops.nests_of_unit u in
+  List.map
+    (fun nest ->
+      let target = Loops.innermost nest in
+      let outer_env = Range_prop.env_at u ~target:target.stmt.sid in
+      analyze_loop ~mode u outer_env nest)
+    nests
+
+let run ~mode (p : Program.t) : (string * loop_report list) list =
+  List.map (fun u -> (u.Punit.pu_name, run_unit ~mode u)) (Program.units p)

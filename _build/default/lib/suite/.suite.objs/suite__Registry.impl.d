@@ -1,0 +1,1 @@
+lib/suite/registry.ml: Code List Ncsa Perfect Spec String

@@ -1,0 +1,1 @@
+lib/suite/spec.ml: Code

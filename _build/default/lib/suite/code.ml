@@ -1,0 +1,29 @@
+(** One benchmark code of the evaluation suite (paper Table 1 / Fig. 7).
+
+    The Perfect, SPEC and NCSA sources are proprietary; each entry here
+    is a synthetic Fortran program reproducing the loop and dependence
+    structure that the paper (and the companion Polaris papers)
+    attribute to that code — in particular which analysis technique is
+    the enabler for its dominant loops (see DESIGN.md §2).
+
+    [paper_*] fields record what the paper reports (Table 1 exactly;
+    Fig. 7 bar heights read off the figure, so approximate). *)
+
+type origin = Perfect | Spec | Ncsa
+
+let origin_to_string = function
+  | Perfect -> "PERFECT"
+  | Spec -> "SPEC"
+  | Ncsa -> "NCSA"
+
+type t = {
+  name : string;
+  origin : origin;
+  paper_lines : int;           (** Table 1: lines of code *)
+  paper_serial_s : int;        (** Table 1: serial seconds *)
+  paper_polaris_speedup : float; (** Fig. 7 (approximate) *)
+  paper_pfa_speedup : float;     (** Fig. 7 (approximate) *)
+  enabling : string list;      (** techniques that unlock its loops *)
+  description : string;
+  source : string;             (** the synthetic Fortran program *)
+}

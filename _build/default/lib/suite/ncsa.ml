@@ -1,0 +1,110 @@
+(** The two NCSA production codes of the evaluation (paper §4.1). *)
+
+open Code
+
+(* CMHOG: 3-D ideal gas dynamics — deep rectangular nests sweeping
+   pencil work arrays; privatizing the pencil lets Polaris run the
+   outermost plane loop, while the baseline is confined to the inner
+   pencil loops. *)
+let cmhog =
+  { name = "CMHOG";
+    origin = Ncsa;
+    paper_lines = 11826;
+    paper_serial_s = 2333;
+    paper_polaris_speedup = 6.2;
+    paper_pfa_speedup = 1.5;
+    enabling = [ "array privatization"; "range test" ];
+    description = "3-D ideal gas hydrodynamics, pencil sweeps";
+    source = {|
+      PROGRAM CMHOG
+      INTEGER NI, NJ, NK, NIT, I, J, K, T
+      PARAMETER (NI = 24, NJ = 16, NK = 16, NIT = 4)
+      REAL RHO(24, 16, 16), Q(24, 16, 16), FLX(24), CHECK
+      DO K = 1, NK
+        DO J = 1, NJ
+          DO I = 1, NI
+            RHO(I, J, K) = 1.0 + 0.01 * I + 0.02 * J + 0.03 * K
+            Q(I, J, K) = 0.5 + 0.005 * I
+          END DO
+        END DO
+      END DO
+      DO T = 1, NIT
+        DO K = 2, NK - 1
+          DO J = 2, NJ - 1
+            DO I = 1, NI
+              FLX(I) = RHO(I, J, K) * 0.4 + Q(I, J, K) * 0.3
+     &               + Q(I, J, MOD(K, 2) + 1) * 0.3
+            END DO
+            DO I = 2, NI - 1
+              RHO(I, J, K) = RHO(I, J, K)
+     &                     + 0.05 * (FLX(I + 1) - 2.0 * FLX(I) + FLX(I - 1))
+            END DO
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+      DO K = 1, NK
+        CHECK = CHECK + RHO(12, 8, K)
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+(* CLOUD3D: atmospheric convection — the adjustment iteration uses
+   GOTO-driven control flow that disqualifies its loops for both
+   pipelines; only the diffusion stencil and one Polaris-privatized
+   column loop parallelize, leaving modest speedups. *)
+let cloud3d =
+  { name = "CLOUD3D";
+    origin = Ncsa;
+    paper_lines = 9813;
+    paper_serial_s = 20404;
+    paper_polaris_speedup = 1.5;
+    paper_pfa_speedup = 1.15;
+    enabling = [ "array privatization (partial)" ];
+    description = "3-D atmospheric convection with adjustment iteration";
+    source = {|
+      PROGRAM CLOUD3D
+      INTEGER NI, NK, NIT, I, K, T, IT
+      PARAMETER (NI = 48, NK = 40, NIT = 4)
+      REAL TH(48, 40), QV(48, 40), COL(40), RES, CHECK
+      DO K = 1, NK
+        DO I = 1, NI
+          TH(I, K) = 290.0 + 0.1 * K + 0.01 * I
+          QV(I, K) = 0.01 + 0.0001 * I
+        END DO
+      END DO
+      DO T = 1, NIT
+        DO K = 2, NK - 1
+          DO I = 2, NI - 1
+            TH(I, K) = TH(I, K) + 0.02 * (TH(I + 1, K) + TH(I - 1, K)
+     &               + TH(I, K + 1) + TH(I, K - 1) - 4.0 * TH(I, K))
+          END DO
+        END DO
+        DO I = 2, NI - 1
+          DO K = 1, NK
+            COL(K) = TH(I, K) * (1.0 + QV(I, K))
+          END DO
+          DO K = 2, NK - 1
+            QV(I, K) = QV(I, K) + 0.0001 * (COL(K + 1) - COL(K - 1))
+          END DO
+        END DO
+        IT = 0
+        RES = 1.0
+ 10     CONTINUE
+        IT = IT + 1
+        RES = RES * 0.5
+        DO K = 2, NK - 1
+          TH(24, K) = TH(24, K) + RES * 0.001
+        END DO
+        IF (IT .LT. 5 .AND. RES .GT. 0.01) GOTO 10
+      END DO
+      CHECK = 0.0
+      DO K = 1, NK
+        CHECK = CHECK + TH(24, K) + QV(24, K) * 100.0
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+let all = [ cmhog; cloud3d ]

@@ -1,0 +1,26 @@
+(** The full evaluation suite, in the paper's Table 1 order. *)
+
+let all : Code.t list =
+  let named n = n in
+  ignore named;
+  [ Spec.applu; Spec.appsp; Perfect.arc2d; Perfect.bdna; Ncsa.cmhog;
+    Ncsa.cloud3d; Perfect.flo52; Spec.hydro2d; Perfect.mdg; Perfect.ocean;
+    Spec.su2cor; Spec.swim; Spec.tfft2; Spec.tomcatv; Perfect.trfd;
+    Spec.wave5 ]
+
+(** Find a code by (case-insensitive) name.
+    @raise Not_found if unknown. *)
+let find name =
+  let name = String.uppercase_ascii name in
+  match List.find_opt (fun (c : Code.t) -> String.equal c.name name) all with
+  | Some c -> c
+  | None -> raise Not_found
+
+let names = List.map (fun (c : Code.t) -> c.name) all
+
+(** Lines of our synthetic source (for the Table-1 style report). *)
+let synthetic_lines (c : Code.t) =
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' c.source))

@@ -1,0 +1,401 @@
+(** The eight SPEC CFP92/CFP95 codes of the evaluation (paper §4.1). *)
+
+open Code
+
+(* APPLU: SSOR — the wavefront sweeps carry true recurrences in both
+   grid dimensions, so neither pipeline parallelizes the solver; both
+   get the right-hand-side stencil, leaving speedups near 1. *)
+let applu =
+  { name = "APPLU";
+    origin = Spec;
+    paper_lines = 3870;
+    paper_serial_s = 1203;
+    paper_polaris_speedup = 1.1;
+    paper_pfa_speedup = 1.05;
+    enabling = [ "(none: true recurrences dominate)" ];
+    description = "parabolic/elliptic PDE solver, SSOR wavefronts";
+    source = {|
+      PROGRAM APPLU
+      INTEGER NI, NJ, NIT, I, J, T
+      PARAMETER (NI = 64, NJ = 48, NIT = 4)
+      REAL U(64, 48), F(64, 48), B(64, 48), CHECK
+      DO J = 1, NJ
+        DO I = 1, NI
+          U(I, J) = 0.1 * I + 0.05 * J
+          B(I, J) = 1.0
+        END DO
+      END DO
+      DO T = 1, NIT
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            F(I, J) = B(I, J) + 0.2 * (U(I + 1, J) + U(I, J + 1))
+          END DO
+        END DO
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            U(I, J) = 0.25 * (U(I - 1, J) + U(I, J - 1) + F(I, J))
+          END DO
+        END DO
+        DO J = NJ - 1, 2, -1
+          DO I = NI - 1, 2, -1
+            U(I, J) = 0.25 * (U(I + 1, J) + U(I, J + 1) + F(I, J))
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+      DO J = 1, NJ
+        CHECK = CHECK + U(32, J)
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+(* APPSP: per-plane tridiagonal solves; the work row TMP must be
+   privatized (with written-so-far regions for the elimination sweep)
+   to run the K loop in parallel.  The baseline sees the same
+   parallelism only at the inner loops — the paper's "detects as much
+   parallelism, but the generated code does not take advantage". *)
+let appsp =
+  { name = "APPSP";
+    origin = Spec;
+    paper_lines = 4439;
+    paper_serial_s = 1241;
+    paper_polaris_speedup = 3.3;
+    paper_pfa_speedup = 1.4;
+    enabling = [ "array privatization (sweep regions)" ];
+    description = "pseudo-spectral solver, batched tridiagonal systems";
+    source = {|
+      PROGRAM APPSP
+      INTEGER NI, NK, NIT, I, K, T
+      PARAMETER (NI = 64, NK = 48, NIT = 4)
+      REAL RHS(64, 48), SOL(64, 48), TMP(64), CHECK
+      DO K = 1, NK
+        DO I = 1, NI
+          RHS(I, K) = 0.01 * I + 0.02 * K
+        END DO
+      END DO
+      DO T = 1, NIT
+        DO K = 1, NK
+          TMP(1) = RHS(1, K)
+          DO I = 2, NI
+            TMP(I) = RHS(I, K) - 0.3 * TMP(I - 1)
+          END DO
+          DO I = 1, NI
+            SOL(I, K) = TMP(I) * 1.1
+          END DO
+        END DO
+        DO K = 1, NK
+          DO I = 1, NI
+            RHS(I, K) = SOL(I, K) * 0.9 + 0.01
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+      DO K = 1, NK
+        CHECK = CHECK + SOL(32, K)
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+(* HYDRO2D: Navier-Stokes stencils plus global scalar reductions; both
+   pipelines parallelize the stencils and the scalar sum, Polaris also
+   privatizes the flux row. *)
+let hydro2d =
+  { name = "HYDRO2D";
+    origin = Spec;
+    paper_lines = 4292;
+    paper_serial_s = 1474;
+    paper_polaris_speedup = 4.3;
+    paper_pfa_speedup = 3.4;
+    enabling = [ "classic tests"; "scalar reductions"; "array privatization" ];
+    description = "galactical jet simulation, Navier-Stokes stencils";
+    source = {|
+      PROGRAM HYDRO2D
+      INTEGER NI, NJ, NIT, I, J, T
+      PARAMETER (NI = 56, NJ = 44, NIT = 4)
+      REAL RO(56, 44), RN(56, 44), VX(56, 44), FL(56), EK, CHECK
+      DO J = 1, NJ
+        DO I = 1, NI
+          RO(I, J) = 1.0 + 0.01 * I
+          RN(I, J) = RO(I, J)
+          VX(I, J) = 0.1 * J
+        END DO
+      END DO
+      DO T = 1, NIT
+        DO J = 2, NJ - 1
+          DO I = 1, NI
+            FL(I) = 0.5 * (RO(I, J) * VX(I, J) + RO(I, J - 1) * VX(I, J - 1))
+          END DO
+          DO I = 2, NI - 1
+            RN(I, J) = RO(I, J) - 0.02 * (FL(I + 1) - FL(I))
+          END DO
+        END DO
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            RO(I, J) = RN(I, J)
+          END DO
+        END DO
+        EK = 0.0
+        DO J = 1, NJ
+          DO I = 1, NI
+            EK = EK + VX(I, J) * VX(I, J) * RO(I, J)
+          END DO
+        END DO
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            VX(I, J) = VX(I, J) + 0.001 * EK / (1.0 + RO(I, J))
+          END DO
+        END DO
+      END DO
+      PRINT *, EK
+      END
+|} }
+
+(* SU2COR: one of the two codes where the baseline ends up ahead: the
+   gauge-update loop is a histogram reduction over a large table whose
+   merge cost exceeds the loop's work, so Polaris' parallelization of
+   it loses time, while the baseline leaves it serial and speeds up the
+   element-wise weight update instead. *)
+let su2cor =
+  { name = "SU2COR";
+    origin = Spec;
+    paper_lines = 2332;
+    paper_serial_s = 779;
+    paper_polaris_speedup = 0.8;
+    paper_pfa_speedup = 1.3;
+    enabling = [ "(histogram reduction parallelized at a loss)" ];
+    description = "Monte Carlo quantum field theory, gauge links";
+    source = {|
+      PROGRAM SU2COR
+      INTEGER NSITE, NG, NIT, I, T, S, NS
+      PARAMETER (NSITE = 256, NG = 8192, NIT = 4, NS = 8)
+      INTEGER LNK(256)
+      REAL G(8192), W(256), CHECK
+      DO I = 1, NSITE
+        LNK(I) = MOD(I * 37, NG) + 1
+        W(I) = 0.5 + 0.001 * I
+      END DO
+      DO I = 1, NG
+        G(I) = 0.0
+      END DO
+      DO T = 1, NIT
+        DO S = 1, NS
+          DO I = 1, NSITE
+            G(LNK(I)) = G(LNK(I)) + W(I) * 0.5
+          END DO
+          DO I = 1, NSITE
+            W(I) = W(I) * 0.9 + 0.01
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+      DO I = 1, NSITE
+        CHECK = CHECK + G(I) + W(I)
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+(* SWIM: shallow-water stencils — rectangular, stride-1, read/write
+   disjoint arrays; essentially everything parallelizes under both
+   pipelines (strong SIV is enough), as the paper's near-parity
+   suggests for simple codes. *)
+let swim =
+  { name = "SWIM";
+    origin = Spec;
+    paper_lines = 429;
+    paper_serial_s = 1106;
+    paper_polaris_speedup = 6.0;
+    paper_pfa_speedup = 5.7;
+    enabling = [ "classic dependence tests" ];
+    description = "shallow water equations, finite differences";
+    source = {|
+      PROGRAM SWIM
+      INTEGER NI, NJ, NIT, I, J, T
+      PARAMETER (NI = 64, NJ = 64, NIT = 4)
+      REAL U(64, 64), V(64, 64), P(64, 64), UN(64, 64), VN(64, 64), CHECK
+      DO J = 1, NJ
+        DO I = 1, NI
+          U(I, J) = 0.1 * I
+          V(I, J) = 0.1 * J
+          P(I, J) = 10.0
+        END DO
+      END DO
+      DO T = 1, NIT
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            UN(I, J) = U(I, J) - 0.05 * (P(I + 1, J) - P(I - 1, J))
+            VN(I, J) = V(I, J) - 0.05 * (P(I, J + 1) - P(I, J - 1))
+          END DO
+        END DO
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            P(I, J) = P(I, J) - 0.1 * (UN(I + 1, J) - UN(I - 1, J)
+     &              + VN(I, J + 1) - VN(I, J - 1))
+          END DO
+        END DO
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            U(I, J) = UN(I, J)
+            V(I, J) = VN(I, J)
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+      DO J = 1, NJ
+        CHECK = CHECK + P(32, J)
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+(* TFFT2: FFT-style halves with symbolic sizes behind a call: Polaris
+   inlines and propagates the size, then the range test proves the
+   butterfly halves disjoint; the baseline faces a symbolic term [N2+I]
+   it cannot make affine. *)
+let tfft2 =
+  { name = "TFFT2";
+    origin = Spec;
+    paper_lines = 642;
+    paper_serial_s = 946;
+    paper_polaris_speedup = 2.6;
+    paper_pfa_speedup = 1.1;
+    enabling = [ "inlining"; "symbolic range test" ];
+    description = "FFT kernels, disjoint butterfly halves";
+    source = {|
+      PROGRAM TFFT2
+      INTEGER N2, NIT, I, T
+      PARAMETER (NIT = 5)
+      REAL A(512), B(512), CHECK
+      N2 = 256
+      DO I = 1, 2 * N2
+        A(I) = 0.01 * I
+      END DO
+      DO T = 1, NIT
+        CALL STEP(A, B, N2)
+      END DO
+      CHECK = 0.0
+      DO I = 1, 2 * N2
+        CHECK = CHECK + A(I)
+      END DO
+      PRINT *, CHECK
+      END
+
+      SUBROUTINE STEP(A, B, N2)
+      INTEGER N2, I, BR
+      REAL A(512), B(512)
+      DO I = 1, N2
+        B(I) = A(2 * I - 1) + A(2 * I)
+        B(N2 + I) = A(2 * I - 1) - A(2 * I)
+      END DO
+      DO I = 1, 2 * N2, 2
+        BR = MOD(I * 317, 2 * N2 - 1) + 1
+        A(BR) = B(I) * 0.7 + 0.01
+        A(BR + 1) = B(I) * 0.3
+      END DO
+      RETURN
+      END
+|} }
+
+(* TOMCATV: mesh generation with per-row temporaries RX/RY; the outer
+   row loop needs them privatized (Polaris), the baseline parallelizes
+   only the inner column loops. *)
+let tomcatv =
+  { name = "TOMCATV";
+    origin = Spec;
+    paper_lines = 190;
+    paper_serial_s = 1327;
+    paper_polaris_speedup = 3.9;
+    paper_pfa_speedup = 1.4;
+    enabling = [ "array privatization" ];
+    description = "2-D mesh generation with row workspaces";
+    source = {|
+      PROGRAM TOMCATV
+      INTEGER NI, NJ, NIT, I, J, T
+      PARAMETER (NI = 12, NJ = 240, NIT = 4)
+      REAL X(12, 240), Y(12, 240), XO(12, 240), YO(12, 240)
+      REAL RX(12), RY(12), CHECK
+      DO J = 1, NJ
+        DO I = 1, NI
+          X(I, J) = I + 0.1 * J
+          Y(I, J) = J - 0.05 * I
+          XO(I, J) = X(I, J)
+          YO(I, J) = Y(I, J)
+        END DO
+      END DO
+      DO T = 1, NIT
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            RX(I) = XO(I + 1, J) + XO(I - 1, J) + XO(I, J + 1) + XO(I, J - 1)
+     &            - 4.0 * XO(I, J) + 0.01 * SQRT(XO(I, J) * XO(I, J) + 1.0)
+            RY(I) = YO(I + 1, J) + YO(I - 1, J) + YO(I, J + 1) + YO(I, J - 1)
+     &            - 4.0 * YO(I, J) + 0.01 * SQRT(YO(I, J) * YO(I, J) + 1.0)
+          END DO
+          DO I = 2, NI - 1
+            X(I, J) = XO(I, J) + 0.07 * RX(I)
+            Y(I, J) = YO(I, J) + 0.07 * RY(I)
+          END DO
+        END DO
+        DO J = 2, NJ - 1
+          DO I = 2, NI - 1
+            XO(I, J) = X(I, J)
+            YO(I, J) = Y(I, J)
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+      DO J = 1, NJ
+        CHECK = CHECK + X(6, J) + Y(6, J)
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+(* WAVE5: particle-in-cell — charge deposition through the particle
+   index array is a large histogram (Polaris parallelizes it at a loss,
+   the second baseline win), and the position scatter is not a
+   reduction at all: the paper's run-time (LRPD) candidate. *)
+let wave5 =
+  { name = "WAVE5";
+    origin = Spec;
+    paper_lines = 7764;
+    paper_serial_s = 788;
+    paper_polaris_speedup = 0.9;
+    paper_pfa_speedup = 1.2;
+    enabling = [ "(speculative candidate: LRPD)"; "histogram reductions" ];
+    description = "plasma particle-in-cell, scatter/gather";
+    source = {|
+      PROGRAM WAVE5
+      INTEGER NP, NGRID, NIT, K, T, I
+      PARAMETER (NP = 320, NGRID = 8192, NIT = 6)
+      INTEGER IP(320)
+      REAL RHO(8192), XV(320), VEL(320), CHECK
+      DO K = 1, NP
+        IP(K) = MOD(K * 29, NP) + 1
+        XV(K) = 0.5 * K
+        VEL(K) = 0.01 * K
+      END DO
+      DO I = 1, NGRID
+        RHO(I) = 0.0
+      END DO
+      DO T = 1, NIT
+        DO K = 1, NP
+          RHO(IP(K)) = RHO(IP(K)) + 0.3
+        END DO
+        DO K = 1, NP
+          XV(IP(K)) = XV(IP(K)) * 0.5 + VEL(K)
+        END DO
+        DO K = 1, NP
+          VEL(K) = VEL(K) * 0.99
+        END DO
+      END DO
+      CHECK = 0.0
+      DO K = 1, NP
+        CHECK = CHECK + XV(K)
+      END DO
+      PRINT *, CHECK
+      END
+|} }
+
+let all = [ applu; appsp; hydro2d; su2cor; swim; tfft2; tomcatv; wave5 ]

@@ -1,0 +1,1 @@
+lib/symbolic/atom.ml: Ast Expr Fir Fmt Stdlib String

@@ -1,0 +1,1 @@
+lib/symbolic/compare.ml: Atom Hashtbl List Poly Range Rat Util

@@ -1,0 +1,1 @@
+lib/symbolic/poly.ml: Ast Atom Expr Fir Float Fmt Hashtbl List Option Rat Stdlib String Util

@@ -1,0 +1,1 @@
+lib/symbolic/range.ml: Atom Fir Fmt List Poly

@@ -1,0 +1,1 @@
+lib/symbolic/range_prop.ml: Ast Atom Expr Fir List Poly Punit Range Stmt Symtab Util

@@ -1,0 +1,1 @@
+lib/symbolic/summation.ml: Atom Fir Hashtbl List Poly Rat Util

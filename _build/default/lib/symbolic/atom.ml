@@ -1,0 +1,36 @@
+(** Atoms: the indivisible symbols of the polynomial layer.
+
+    An atom is either a scalar integer variable (loop index or symbolic
+    parameter) or an opaque expression the polynomial algebra cannot see
+    into — an array element like [Z(K)], a function call, a symbolic
+    power [2**I].  Opaque atoms compare structurally, so two occurrences
+    of [Z(K)] are the same atom (value-numbering by structure, as in
+    Polaris' symbolic expression layer). *)
+
+open Fir
+
+type t =
+  | Avar of string         (** scalar variable, upper-case name *)
+  | Aopaque of Ast.expr    (** canonical opaque sub-expression *)
+
+let var name = Avar (String.uppercase_ascii name)
+let opaque e = Aopaque e
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+(** Scalar variables mentioned by the atom, including inside opaque
+    expressions (needed to invalidate ranges when a variable is killed). *)
+let mentions name = function
+  | Avar v -> String.equal v name
+  | Aopaque e -> Expr.mentions name e
+
+let to_expr = function
+  | Avar v -> Ast.Var v
+  | Aopaque e -> e
+
+let pp ppf = function
+  | Avar v -> Fmt.string ppf v
+  | Aopaque e -> Fmt.pf ppf "[%a]" Expr.pp e
+
+let to_string a = Fmt.str "%a" pp a

@@ -1,0 +1,194 @@
+(** Symbolic comparison of polynomials under a range environment.
+
+    The engine of the range test (paper §3.3.1): the minimum or maximum
+    of a polynomial over a set of bounded atoms is computed by repeated
+    monotone elimination — determine the sign of the forward difference
+    [p(a+1) - p(a)] (recursively, with the same machinery), then
+    substitute the appropriate interval endpoint for [a].  Comparing two
+    expressions reduces to bounding the sign of their difference. *)
+
+open Util
+
+type monotonicity = Nondecreasing | Nonincreasing | Constant | Unknown_mono
+
+let default_fuel = 16
+
+(* atoms to try eliminating, in environment order (innermost scope
+   first), duplicates removed *)
+let env_atoms_in_order (env : Range.env) (p : Poly.t) =
+  let atoms = Poly.atoms p in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (a, _) ->
+      if List.exists (Atom.equal a) atoms && not (Hashtbl.mem seen a) then begin
+        Hashtbl.replace seen a ();
+        Some a
+      end
+      else None)
+    env
+
+(** Forward difference of [p] in atom [a]: [p(a+1) - p(a)]. *)
+let forward_diff (a : Atom.t) (p : Poly.t) : Poly.t =
+  let ap1 = Poly.add (Poly.of_atom a) Poly.one in
+  Poly.sub (Poly.subst a ap1 p) p
+
+let rec lower_const ?(fuel = default_fuel) (env : Range.env) (p : Poly.t) :
+    Rat.t option =
+  extremum_const ~fuel env `Min p
+
+and upper_const ?(fuel = default_fuel) (env : Range.env) (p : Poly.t) :
+    Rat.t option =
+  extremum_const ~fuel env `Max p
+
+and extremum_const ~fuel env dir p =
+  match eliminate ~fuel ~grow:true env dir ~over:(env_atoms_in_order env p) p with
+  | Ok q | Error q -> Poly.const_val q
+
+(** Eliminate the atoms of [over] from [p] by monotone substitution of
+    interval endpoints, retrying in any order until no progress (an
+    atom's monotonicity may only become provable after another has been
+    substituted).  [Ok q] if every [over] atom was eliminated, [Error q]
+    with the partial result otherwise.  Atoms outside [over] are left
+    symbolic unless [grow] is set, in which case env-bounded atoms
+    introduced by substituted bounds are eliminated too (needed when the
+    goal is a constant bound and loop bounds are correlated, e.g.
+    [K <= I-1] under [I <= N]). *)
+and eliminate ?(fuel = default_fuel) ?(grow = false) (env : Range.env) dir
+    ~(over : Atom.t list) (p : Poly.t) : (Poly.t, Poly.t) result =
+  if fuel <= 0 then Error p
+  else
+    (* substituted bounds may reintroduce over-atoms (cyclic bounds);
+       bound the number of elimination rounds *)
+    let max_rounds = (2 * (List.length over + List.length env)) + 4 in
+    (* does the interval of [b] reference atom [a]?  such an [a] must be
+       eliminated *after* [b], or the correlation [b <= f(a)] is lost and
+       precision suffers (e.g. proving K <= I-1 under K in [1,I-1]) *)
+    let bound_references b a =
+      match Range.find env b with
+      | None -> false
+      | Some iv ->
+        let in_bound = function
+          | Range.Finite q -> (
+            Poly.contains_atom a q
+            ||
+            match a with
+            | Atom.Avar v -> Poly.mentions_var v q
+            | Atom.Aopaque _ -> false)
+          | Range.Neg_inf | Range.Pos_inf -> false
+        in
+        in_bound iv.lo || in_bound iv.hi
+    in
+    let order_present atoms =
+      let referenced a =
+        List.exists (fun b -> (not (Atom.equal a b)) && bound_references b a) atoms
+      in
+      let leaves, rest = List.partition (fun a -> not (referenced a)) atoms in
+      leaves @ rest
+    in
+    let rec pass p rounds =
+      let present =
+        if grow then env_atoms_in_order env p
+        else List.filter (fun a -> Poly.contains_atom a p) over
+      in
+      if present = [] then Ok p
+      else if rounds <= 0 then Error p
+      else
+        let rec try_each = function
+          | [] -> Error p
+          | a :: rest -> (
+            match eliminate_atom ~fuel env dir a p with
+            | Some p' -> pass p' (rounds - 1)
+            | None -> try_each rest)
+        in
+        try_each (order_present present)
+    in
+    pass p max_rounds
+
+(** Symbolic extremum over every env-bounded atom of [p]; [None] when
+    some atom resists elimination. *)
+and extremum ?(fuel = default_fuel) (env : Range.env) dir (p : Poly.t) :
+    Poly.t option =
+  match eliminate ~fuel env dir ~over:(env_atoms_in_order env p) p with
+  | Ok q -> Some q
+  | Error _ -> None
+
+and eliminate_atom ~fuel env dir a p =
+  match Range.find env a with
+  | None -> None
+  | Some iv -> (
+    let mono = monotonicity ~fuel:(fuel - 1) env a p in
+    let pick_bound b =
+      match b with
+      | Range.Finite q when not (Poly.contains_atom a q) ->
+        Some (Poly.subst a q p)
+      | _ -> None
+    in
+    match (mono, dir) with
+    | Constant, _ -> Some p (* cannot happen: p contains a *)
+    | Nondecreasing, `Min | Nonincreasing, `Max -> pick_bound iv.lo
+    | Nondecreasing, `Max | Nonincreasing, `Min -> pick_bound iv.hi
+    | Unknown_mono, _ -> None)
+
+(** Monotonicity of [p] in [a] over [env], by the sign of the forward
+    difference (which is itself bounded recursively). *)
+and monotonicity ?(fuel = default_fuel) (env : Range.env) (a : Atom.t)
+    (p : Poly.t) : monotonicity =
+  if fuel <= 0 then Unknown_mono
+  else
+    let d = forward_diff a p in
+    if Poly.is_zero d then Constant
+    else if
+      match lower_const ~fuel:(fuel - 1) env d with
+      | Some c -> Rat.sign c >= 0
+      | None -> false
+    then Nondecreasing
+    else if
+      match upper_const ~fuel:(fuel - 1) env d with
+      | Some c -> Rat.sign c <= 0
+      | None -> false
+    then Nonincreasing
+    else Unknown_mono
+
+(* ------------------------------------------------------------------ *)
+(* Relational proofs                                                   *)
+
+(* every atom is integer-valued, so a polynomial with integral
+   coefficients that is > c is also >= c+1 *)
+let integral_coeffs (p : Poly.t) =
+  List.for_all (fun (_, c) -> Rat.is_integer c) p
+
+(** Prove [p >= q] over [env]. *)
+let prove_ge ?fuel env p q =
+  match lower_const ?fuel env (Poly.sub p q) with
+  | Some c -> Rat.sign c >= 0
+  | None -> false
+
+(** Prove [p > q] over [env].  For integral polynomials [p > q] is also
+    tried as [p >= q + 1]. *)
+let prove_gt ?fuel env p q =
+  let d = Poly.sub p q in
+  match lower_const ?fuel env d with
+  | Some c ->
+    Rat.sign c > 0
+    || (integral_coeffs d && Rat.compare c Rat.one >= 0)
+  | None ->
+    integral_coeffs d
+    &&
+    (match lower_const ?fuel env (Poly.sub d Poly.one) with
+    | Some c -> Rat.sign c >= 0
+    | None -> false)
+
+let prove_le ?fuel env p q = prove_ge ?fuel env q p
+let prove_lt ?fuel env p q = prove_gt ?fuel env q p
+
+(** Prove [p = q] (canonical equality or zero difference bounds). *)
+let prove_eq ?fuel env p q =
+  Poly.equal p q
+  || (prove_ge ?fuel env p q && prove_le ?fuel env p q)
+
+(** Three-way symbolic comparison when provable. *)
+let compare ?fuel env p q : int option =
+  if prove_eq ?fuel env p q then Some 0
+  else if prove_lt ?fuel env p q then Some (-1)
+  else if prove_gt ?fuel env p q then Some 1
+  else None

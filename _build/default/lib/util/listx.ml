@@ -1,0 +1,40 @@
+(** Small list utilities shared across the compiler. *)
+
+(** [take n xs] is the first [n] elements of [xs] (all of [xs] if shorter). *)
+let rec take n xs =
+  if n <= 0 then [] else match xs with [] -> [] | x :: tl -> x :: take (n - 1) tl
+
+(** [drop n xs] is [xs] without its first [n] elements. *)
+let rec drop n xs = if n <= 0 then xs else match xs with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+(** [index_of p xs] is the position of the first element satisfying [p]. *)
+let index_of p xs =
+  let rec go i = function
+    | [] -> None
+    | x :: tl -> if p x then Some i else go (i + 1) tl
+  in
+  go 0 xs
+
+(** All permutations of [xs]; exponential, callers bound the input size. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+(** [uniq cmp xs] sorts and deduplicates. *)
+let uniq cmp xs = List.sort_uniq cmp xs
+
+(** Cartesian pairing of a list with itself, including the diagonal. *)
+let pairs xs = List.concat_map (fun a -> List.map (fun b -> (a, b)) xs) xs
+
+(** [fold_left_map] compatible helper: sum of an [int] projection. *)
+let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+
+let rec last = function
+  | [] -> invalid_arg "Listx.last: empty list"
+  | [ x ] -> x
+  | _ :: tl -> last tl

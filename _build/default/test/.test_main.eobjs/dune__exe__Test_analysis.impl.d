@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Fir Fmt Frontend List Program Suite Symbolic

@@ -1,0 +1,1 @@
+test/test_dep.ml: Alcotest Analysis Ast Atom Dep Fir Frontend Hashtbl List Passes Poly Printf Program Punit QCheck2 QCheck_alcotest Range Stmt String Symbolic Symtab Util

@@ -1,0 +1,1 @@
+test/test_fir.ml: Alcotest Ast Consistency Expr Fir List Option Pattern Program Punit QCheck2 QCheck_alcotest Stmt Symtab

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Expr Fir Frontend List Machine Option Passes Program String Suite Symtab

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Core Fir Fmt Frontend List Machine Printf Program QCheck2 QCheck_alcotest String Util

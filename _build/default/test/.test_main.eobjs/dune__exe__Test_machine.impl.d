@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Fir Frontend Machine Passes String Suite

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_core Test_dep Test_fir Test_frontend Test_fuzz Test_machine Test_passes Test_props Test_runtime Test_suite Test_symbolic Test_util

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Analysis Ast Fir Frontend List Machine Passes Program Stmt Symbolic

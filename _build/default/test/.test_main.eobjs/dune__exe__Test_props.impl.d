@@ -1,0 +1,1 @@
+test/test_props.ml: Analysis Atom Compare Dep Fir List Option Poly QCheck2 QCheck_alcotest Range Rat Summation Symbolic Util

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Fir Frontend Fruntime List Passes Pd_test Printf Shadow Speculative

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Core Frontend List Machine Printf String Suite

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Analysis Atom Compare Fir Frontend List Poly QCheck2 QCheck_alcotest Range Range_prop Rat Summation Symbolic Util

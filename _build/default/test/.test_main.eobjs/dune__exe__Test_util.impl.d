@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest List Listx Prng QCheck2 QCheck_alcotest Rat Util

@@ -1,0 +1,82 @@
+(* End-to-end pipeline tests: compile + simulate, configuration
+   differences, ablations. *)
+
+let test_pipeline_counts () =
+  let c = Suite.Registry.find "BDNA" in
+  let t = Core.Pipeline.compile (Core.Config.polaris ()) c.source in
+  Alcotest.(check bool) "some loops parallel" true
+    (List.length (Core.Pipeline.parallel_loops t) > 0);
+  Alcotest.(check bool) "some loops serial" true
+    (List.length (Core.Pipeline.serial_loops t) > 0)
+
+let test_pipeline_output_source_parses () =
+  let c = Suite.Registry.find "OCEAN" in
+  let t = Core.Pipeline.compile (Core.Config.polaris ()) c.source in
+  let out = Core.Pipeline.output_source t in
+  (* the annotated output must re-parse (directives are comments) *)
+  let p = Frontend.Parser.parse_string out in
+  Alcotest.(check bool) "units preserved" true
+    (List.length (Fir.Program.units p) >= 1)
+
+let test_simulate_consistency () =
+  let c = Suite.Registry.find "MDG" in
+  let _, r = Core.Simulate.compile_and_run (Core.Config.polaris ()) c.source in
+  Alcotest.(check bool) "parallel <= serial" true (r.parallel_time <= r.serial_time);
+  Alcotest.(check bool) "speedup > 1" true (r.speedup > 1.0)
+
+let test_polaris_beats_baseline_where_expected () =
+  List.iter
+    (fun name ->
+      let c = Suite.Registry.find name in
+      let _, rp = Core.Simulate.compile_and_run (Core.Config.polaris ()) c.source in
+      let _, rb = Core.Simulate.compile_and_run (Core.Config.baseline ()) c.source in
+      Alcotest.(check bool) (name ^ ": polaris ahead") true (rp.speedup > rb.speedup))
+    [ "TRFD"; "OCEAN"; "BDNA"; "MDG"; "TOMCATV"; "APPSP" ]
+
+let test_baseline_wins_su2cor_wave5 () =
+  (* the paper's "two of sixteen" *)
+  List.iter
+    (fun name ->
+      let c = Suite.Registry.find name in
+      let _, rp = Core.Simulate.compile_and_run (Core.Config.polaris ()) c.source in
+      let _, rb = Core.Simulate.compile_and_run (Core.Config.baseline ()) c.source in
+      Alcotest.(check bool) (name ^ ": baseline ahead") true (rb.speedup > rp.speedup))
+    [ "SU2COR"; "WAVE5" ]
+
+let test_ablation_ordering () =
+  (* removing a technique never helps on the codes that need it *)
+  let speedup cfg src =
+    let _, r = Core.Simulate.compile_and_run cfg src in
+    r.speedup
+  in
+  let trfd = (Suite.Registry.find "TRFD").source in
+  let full = speedup (Core.Config.polaris ()) trfd in
+  let no_gen = speedup (Core.Config.without_generalized_induction ()) trfd in
+  Alcotest.(check bool) "TRFD needs generalized induction" true (full > no_gen);
+  let ocean = (Suite.Registry.find "OCEAN").source in
+  let fullo = speedup (Core.Config.polaris ()) ocean in
+  let no_inline = speedup (Core.Config.without_inline ()) ocean in
+  Alcotest.(check bool) "OCEAN needs inlining" true (fullo > no_inline)
+
+let test_speculative_candidates_reported () =
+  let c = Suite.Registry.find "WAVE5" in
+  let t = Core.Pipeline.compile (Core.Config.polaris ()) c.source in
+  Alcotest.(check bool) "WAVE5 has LRPD candidates" true
+    (List.length (Core.Pipeline.speculative_candidates t) > 0)
+
+let test_determinism_end_to_end () =
+  let c = Suite.Registry.find "FLO52" in
+  let _, r1 = Core.Simulate.compile_and_run (Core.Config.polaris ()) c.source in
+  let _, r2 = Core.Simulate.compile_and_run (Core.Config.polaris ()) c.source in
+  Alcotest.(check int) "same serial time" r1.serial_time r2.serial_time;
+  Alcotest.(check int) "same parallel time" r1.parallel_time r2.parallel_time
+
+let tests =
+  [ ("pipeline loop counts", `Quick, test_pipeline_counts);
+    ("annotated output reparses", `Quick, test_pipeline_output_source_parses);
+    ("simulate consistency", `Quick, test_simulate_consistency);
+    ("polaris ahead where expected", `Slow, test_polaris_beats_baseline_where_expected);
+    ("baseline ahead on SU2COR/WAVE5", `Slow, test_baseline_wins_su2cor_wave5);
+    ("ablations hurt where expected", `Slow, test_ablation_ordering);
+    ("speculative candidates reported", `Quick, test_speculative_candidates_reported);
+    ("end-to-end determinism", `Quick, test_determinism_end_to_end) ]

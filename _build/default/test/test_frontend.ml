@@ -1,0 +1,229 @@
+(* Tests for the Fortran frontend: lexer, parser, unparser round trip. *)
+
+open Fir
+open Ast
+
+let parse = Frontend.Parser.parse_string
+
+let main_body src =
+  let p = parse src in
+  (Program.main p).pu_body
+
+let wrap stmts = "      PROGRAM T\n" ^ stmts ^ "\n      END\n"
+
+(* ----- lexer ----- *)
+
+let test_lexer_tokens () =
+  let open Frontend.Token in
+  let lines = Frontend.Lexer.lines_of_string "      X = 1.5D0 + A(2) .AND. .TRUE.\n" in
+  match lines with
+  | [ l ] ->
+    Alcotest.(check bool) "tokens" true
+      (l.toks
+      = [ ID "X"; EQUALS; FLOAT 1.5; PLUS; ID "A"; LPAR; INT 2; RPAR; AND; TRUE ])
+  | _ -> Alcotest.fail "one line expected"
+
+let test_lexer_dotted_vs_real () =
+  let open Frontend.Token in
+  let lines = Frontend.Lexer.lines_of_string "      X = 1.EQ.2\n" in
+  (match lines with
+  | [ l ] ->
+    Alcotest.(check bool) "1.EQ.2" true (l.toks = [ ID "X"; EQUALS; INT 1; EQ; INT 2 ])
+  | _ -> Alcotest.fail "one line");
+  let lines = Frontend.Lexer.lines_of_string "      X = 1.25\n" in
+  match lines with
+  | [ l ] -> Alcotest.(check bool) "real" true (l.toks = [ ID "X"; EQUALS; FLOAT 1.25 ])
+  | _ -> Alcotest.fail "one line"
+
+let test_lexer_comments_continuation () =
+  let src = "C comment line\n      X = 1 +\n     &    2\n      Y = 3 ! trailing\n" in
+  let lines = Frontend.Lexer.lines_of_string src in
+  Alcotest.(check int) "two logical lines" 2 (List.length lines)
+
+let test_lexer_labels () =
+  let lines = Frontend.Lexer.lines_of_string " 100  CONTINUE\n" in
+  match lines with
+  | [ l ] -> Alcotest.(check (option int)) "label" (Some 100) l.label
+  | _ -> Alcotest.fail "one line"
+
+(* ----- parser ----- *)
+
+let test_parse_assign_kinds () =
+  match main_body (wrap "      X = 1\n      A = 2") with
+  | [ { kind = Assign (Var "X", Int_lit 1); _ };
+      { kind = Assign (Var "A", Int_lit 2); _ } ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_array_vs_call () =
+  let src =
+    wrap "      REAL A(10)\n      A(3) = MOD(7, 2) + F(1)"
+  in
+  match main_body src with
+  | [ { kind = Assign (Ref ("A", [ Int_lit 3 ]), rhs); _ } ] ->
+    Alcotest.(check bool) "MOD is call" true
+      (Expr.exists (function Fun_call ("MOD", _) -> true | _ -> false) rhs);
+    Alcotest.(check bool) "F is call (undeclared)" true
+      (Expr.exists (function Fun_call ("F", _) -> true | _ -> false) rhs)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_do_variants () =
+  let src =
+    wrap
+      "      DO 10 I = 1, 5\n\
+       \        X = X + I\n\
+       \ 10   CONTINUE\n\
+       \      DO J = 1, 4, 2\n\
+       \        X = X + J\n\
+       \      END DO\n\
+       \      DO WHILE (X .LT. 100)\n\
+       \        X = X * 2\n\
+       \      END DO"
+  in
+  match main_body src with
+  | [ { kind = Do d1; _ }; { kind = Do d2; _ }; { kind = While _; _ } ] ->
+    Alcotest.(check string) "labeled do index" "I" d1.index;
+    Alcotest.(check int) "labeled body incl terminator" 2 (List.length d1.body);
+    Alcotest.(check bool) "step" true (d2.step = Some (Int_lit 2))
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_if_forms () =
+  let src =
+    wrap
+      "      IF (X .GT. 0) Y = 1\n\
+       \      IF (X .GT. 1) THEN\n\
+       \        Y = 2\n\
+       \      ELSE IF (X .GT. 2) THEN\n\
+       \        Y = 3\n\
+       \      ELSE\n\
+       \        Y = 4\n\
+       \      END IF"
+  in
+  match main_body src with
+  | [ { kind = If (_, [ _ ], []); _ }; { kind = If (_, _, [ { kind = If (_, _, [ _ ]); _ } ]); _ } ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_decls () =
+  let src =
+    "      PROGRAM T\n\
+     \      INTEGER N\n\
+     \      PARAMETER (N = 10)\n\
+     \      DOUBLE PRECISION D(N, 0:N)\n\
+     \      COMMON /BLK/ C1, C2\n\
+     \      DIMENSION C1(5)\n\
+     \      D(1, 0) = 1.0\n\
+     \      END\n"
+  in
+  let p = parse src in
+  let u = Program.main p in
+  let d = Symtab.lookup u.pu_symtab "D" in
+  Alcotest.(check int) "D rank 2" 2 (List.length d.sym_dims);
+  Alcotest.(check bool) "D double" true (d.sym_type = Double_precision);
+  let c1 = Symtab.lookup u.pu_symtab "C1" in
+  Alcotest.(check (option string)) "common" (Some "BLK") c1.sym_common;
+  Alcotest.(check bool) "param" true (Symtab.is_parameter u.pu_symtab "N")
+
+let test_parse_units () =
+  let src =
+    "      PROGRAM M\n      CALL S(1)\n      END\n\
+     \      SUBROUTINE S(K)\n      INTEGER K\n      RETURN\n      END\n\
+     \      REAL FUNCTION F(X)\n      F = X + 1.0\n      END\n"
+  in
+  let p = parse src in
+  Alcotest.(check int) "three units" 3 (List.length (Program.units p));
+  let f = Option.get (Program.find_unit p "F") in
+  Alcotest.(check bool) "function kind" true (f.pu_kind = Function Real)
+
+let test_parse_operator_precedence () =
+  match main_body (wrap "      X = 1 + 2 * 3 ** 2") with
+  | [ { kind = Assign (_, rhs); _ } ] ->
+    (* 1 + (2 * (3 ** 2)) *)
+    Alcotest.(check bool) "precedence" true
+      (rhs
+      = Binary
+          ( Add,
+            Int_lit 1,
+            Binary (Mul, Int_lit 2, Binary (Pow, Int_lit 3, Int_lit 2)) ))
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_logical_precedence () =
+  match main_body (wrap "      L = A .LT. B .AND. C .GT. D .OR. E .EQ. F") with
+  | [ { kind = Assign (_, Binary (Or, Binary (And, _, _), Binary (Eq, _, _))); _ } ] -> ()
+  | _ -> Alcotest.fail "unexpected logical parse"
+
+let test_parse_goto () =
+  let src = wrap "      GOTO 10\n 10   CONTINUE\n      GO TO 10" in
+  match main_body src with
+  | [ { kind = Goto 10; _ }; { kind = Continue; label = Some 10; _ }; { kind = Goto 10; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected goto parse"
+
+let test_parse_errors () =
+  let bad = [ wrap "      X = "; wrap "      DO I = 1"; wrap "      IF (X" ] in
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) "syntax error raised" true
+        (match parse src with
+        | _ -> false
+        | exception (Frontend.Parser.Error _ | Frontend.Lexer.Error _) -> true))
+    bad
+
+(* ----- unparser round trip ----- *)
+
+let roundtrip_ok src =
+  let p1 = parse src in
+  let out1 = Frontend.Unparse.program_to_string p1 in
+  let p2 = parse out1 in
+  let out2 = Frontend.Unparse.program_to_string p2 in
+  String.equal out1 out2
+
+let test_roundtrip_suite () =
+  List.iter
+    (fun (c : Suite.Code.t) ->
+      Alcotest.(check bool) (c.name ^ " round trip") true (roundtrip_ok c.source))
+    Suite.Registry.all
+
+let test_roundtrip_semantics () =
+  (* unparsed programs run identically *)
+  List.iter
+    (fun name ->
+      let c = Suite.Registry.find name in
+      let p1 = parse c.source in
+      let r1 = Machine.Interp.run p1 in
+      let p2 = parse (Frontend.Unparse.program_to_string p1) in
+      let r2 = Machine.Interp.run p2 in
+      Alcotest.(check (list string)) (name ^ " output") r1.output r2.output)
+    [ "TRFD"; "BDNA"; "CLOUD3D"; "OCEAN" ]
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_directive_emission () =
+  let src = wrap "      REAL A(10)\n      DO I = 1, 10\n        A(I) = 1.0\n      END DO" in
+  let p = parse src in
+  let _ = Passes.Parallelize.run ~mode:Passes.Parallelize.Polaris p in
+  let out = Frontend.Unparse.program_to_string p in
+  Alcotest.(check bool) "CPOLARIS$ directive present" true
+    (contains_substring out "CPOLARIS$ DOALL")
+
+let tests =
+  [ ("lexer tokens", `Quick, test_lexer_tokens);
+    ("lexer dotted op vs real", `Quick, test_lexer_dotted_vs_real);
+    ("lexer comments and continuation", `Quick, test_lexer_comments_continuation);
+    ("lexer labels", `Quick, test_lexer_labels);
+    ("parse assignments", `Quick, test_parse_assign_kinds);
+    ("parse array vs call", `Quick, test_parse_array_vs_call);
+    ("parse DO variants", `Quick, test_parse_do_variants);
+    ("parse IF forms", `Quick, test_parse_if_forms);
+    ("parse declarations", `Quick, test_parse_decls);
+    ("parse multiple units", `Quick, test_parse_units);
+    ("parse arithmetic precedence", `Quick, test_parse_operator_precedence);
+    ("parse logical precedence", `Quick, test_parse_logical_precedence);
+    ("parse goto", `Quick, test_parse_goto);
+    ("parse errors", `Quick, test_parse_errors);
+    ("unparse fixpoint on suite", `Quick, test_roundtrip_suite);
+    ("unparse preserves semantics", `Quick, test_roundtrip_semantics);
+    ("unparse emits directives", `Quick, test_directive_emission) ]

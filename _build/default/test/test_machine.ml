@@ -1,0 +1,293 @@
+(* Tests for the machine substrate: values, storage, cache, interpreter,
+   multiprocessor timing model. *)
+
+let parse = Frontend.Parser.parse_string
+
+let run_src ?cfg src = Machine.Interp.run ?cfg (parse src)
+
+let out1 ?cfg src =
+  match (run_src ?cfg src).output with
+  | [ line ] -> line
+  | other -> Alcotest.fail ("expected one output line, got " ^ String.concat "|" other)
+
+(* ----- values ----- *)
+
+let test_value_arith () =
+  let open Machine.Value in
+  Alcotest.(check bool) "int div truncates" true (div (Int 7) (Int 2) = Int 3);
+  Alcotest.(check bool) "int div negative" true (div (Int (-7)) (Int 2) = Int (-3));
+  Alcotest.(check bool) "mixed promotes" true (add (Int 1) (Real 0.5) = Real 1.5);
+  Alcotest.(check bool) "int pow" true (pow (Int 2) (Int 10) = Int 1024);
+  Alcotest.(check bool) "compare" true (compare_num (Int 2) (Real 2.5) < 0)
+
+(* ----- storage ----- *)
+
+let test_storage_column_major () =
+  (* A(4,3): A(i,j) at (i-1) + (j-1)*4 *)
+  let dims = [ (1, 4); (1, 3) ] in
+  Alcotest.(check int) "A(1,1)" 0 (Machine.Storage.linear_index dims [ 1; 1 ]);
+  Alcotest.(check int) "A(2,1)" 1 (Machine.Storage.linear_index dims [ 2; 1 ]);
+  Alcotest.(check int) "A(1,2)" 4 (Machine.Storage.linear_index dims [ 1; 2 ]);
+  Alcotest.(check int) "A(4,3)" 11 (Machine.Storage.linear_index dims [ 4; 3 ])
+
+let test_storage_lower_bounds () =
+  let dims = [ (0, 5) ] in
+  Alcotest.(check int) "A(0)" 0 (Machine.Storage.linear_index dims [ 0 ]);
+  Alcotest.(check int) "A(4)" 4 (Machine.Storage.linear_index dims [ 4 ])
+
+let test_storage_bounds_fault () =
+  let b = Machine.Storage.array_binding Fir.Ast.Real [ (1, 3) ] in
+  Alcotest.(check bool) "oob write faults" true
+    (match Machine.Storage.write_elem b.view 5 (Machine.Value.Real 1.0) with
+    | () -> false
+    | exception Machine.Storage.Fault _ -> true)
+
+let test_storage_snapshot () =
+  let b = Machine.Storage.array_binding Fir.Ast.Integer [ (1, 3) ] in
+  Machine.Storage.write_elem b.view 0 (Machine.Value.Int 7);
+  let snap = Machine.Storage.snapshot b.view.alloc in
+  Machine.Storage.write_elem b.view 0 (Machine.Value.Int 9);
+  Machine.Storage.restore b.view.alloc snap;
+  Alcotest.(check bool) "restored" true
+    (Machine.Storage.read_elem b.view 0 = Machine.Value.Int 7)
+
+(* ----- cache ----- *)
+
+let test_cache () =
+  let c = Machine.Cache.create ~sets:4 ~line_words:8 () in
+  Alcotest.(check bool) "first miss" false (Machine.Cache.access c 0);
+  Alcotest.(check bool) "same line hit" true (Machine.Cache.access c 7);
+  Alcotest.(check bool) "next line miss" false (Machine.Cache.access c 8);
+  (* conflicting line evicts: 4 sets * 8 words = line 0 and line 4 share set 0 *)
+  ignore (Machine.Cache.access c (4 * 8));
+  Alcotest.(check bool) "evicted" false (Machine.Cache.access c 0)
+
+(* ----- interpreter semantics ----- *)
+
+let test_interp_arith_and_intrinsics () =
+  let src =
+    "      PROGRAM T\n\
+     \      I = 7 / 2\n\
+     \      J = MOD(17, 5)\n\
+     \      X = SQRT(9.0)\n\
+     \      K = MAX(3, 9, 4)\n\
+     \      L = ABS(-6)\n\
+     \      PRINT *, I, J, X, K, L\n\
+     \      END\n"
+  in
+  Alcotest.(check string) "arith" "3 2 3 9 6" (out1 src)
+
+let test_interp_do_semantics () =
+  let src =
+    "      PROGRAM T\n\
+     \      S = 0\n\
+     \      DO I = 1, 10, 3\n\
+     \        S = S + I\n\
+     \      END DO\n\
+     \      DO J = 5, 1\n\
+     \        S = S + 100\n\
+     \      END DO\n\
+     \      PRINT *, S, I, J\n\
+     \      END\n"
+  in
+  (* iterations 1,4,7,10 -> 22; zero-trip loop leaves J = 5; I ends at 13 *)
+  Alcotest.(check string) "do semantics" "22 13 5" (out1 src)
+
+let test_interp_goto_loop () =
+  let src =
+    "      PROGRAM T\n\
+     \      K = 0\n\
+     \ 10   CONTINUE\n\
+     \      K = K + 1\n\
+     \      IF (K .LT. 5) GOTO 10\n\
+     \      PRINT *, K\n\
+     \      END\n"
+  in
+  Alcotest.(check string) "goto loop" "5" (out1 src)
+
+let test_interp_call_by_reference () =
+  let src =
+    "      PROGRAM T\n\
+     \      INTEGER K\n\
+     \      REAL A(5)\n\
+     \      K = 3\n\
+     \      A(2) = 1.0\n\
+     \      CALL BUMP(K, A)\n\
+     \      PRINT *, K, A(2)\n\
+     \      END\n\
+     \      SUBROUTINE BUMP(N, B)\n\
+     \      INTEGER N\n\
+     \      REAL B(5)\n\
+     \      N = N + 10\n\
+     \      B(2) = B(2) + 0.5\n\
+     \      END\n"
+  in
+  Alcotest.(check string) "by reference" "13 1.5" (out1 src)
+
+let test_interp_array_section_passing () =
+  let src =
+    "      PROGRAM T\n\
+     \      REAL A(10)\n\
+     \      DO I = 1, 10\n\
+     \        A(I) = I * 1.0\n\
+     \      END DO\n\
+     \      CALL DBL(A(4), 3)\n\
+     \      PRINT *, A(3), A(4), A(6), A(7)\n\
+     \      END\n\
+     \      SUBROUTINE DBL(B, N)\n\
+     \      INTEGER N\n\
+     \      REAL B(N)\n\
+     \      DO I = 1, N\n\
+     \        B(I) = B(I) * 2.0\n\
+     \      END DO\n\
+     \      END\n"
+  in
+  Alcotest.(check string) "offset view" "3 8 12 7" (out1 src)
+
+let test_interp_adjustable_dims_any_order () =
+  (* array formal precedes its dimension formals *)
+  let src =
+    "      PROGRAM T\n\
+     \      REAL C(12)\n\
+     \      DO I = 1, 12\n\
+     \        C(I) = 0.0\n\
+     \      END DO\n\
+     \      CALL FILL(C, 4, 3)\n\
+     \      S = 0.0\n\
+     \      DO I = 1, 12\n\
+     \        S = S + C(I)\n\
+     \      END DO\n\
+     \      PRINT *, S\n\
+     \      END\n\
+     \      SUBROUTINE FILL(D, M, K)\n\
+     \      INTEGER M, K\n\
+     \      REAL D(M, K)\n\
+     \      DO J = 1, K\n\
+     \        DO I = 1, M\n\
+     \          D(I, J) = 1.0\n\
+     \        END DO\n\
+     \      END DO\n\
+     \      END\n"
+  in
+  Alcotest.(check string) "all 12 filled" "12" (out1 src)
+
+let test_interp_common_blocks () =
+  let src =
+    "      PROGRAM T\n\
+     \      INTEGER N\n\
+     \      COMMON /CFG/ N\n\
+     \      N = 41\n\
+     \      CALL STEP\n\
+     \      PRINT *, N\n\
+     \      END\n\
+     \      SUBROUTINE STEP\n\
+     \      INTEGER N\n\
+     \      COMMON /CFG/ N\n\
+     \      N = N + 1\n\
+     \      END\n"
+  in
+  Alcotest.(check string) "common shared" "42" (out1 src)
+
+let test_interp_function_call () =
+  let src =
+    "      PROGRAM T\n\
+     \      K = TWICE(21)\n\
+     \      PRINT *, K\n\
+     \      END\n\
+     \      INTEGER FUNCTION TWICE(N)\n\
+     \      INTEGER N\n\
+     \      TWICE = 2 * N\n\
+     \      END\n"
+  in
+  Alcotest.(check string) "function" "42" (out1 src)
+
+let test_interp_fuel () =
+  let src =
+    "      PROGRAM T\n\
+     \      K = 0\n\
+     \ 10   K = K + 1\n\
+     \      GOTO 10\n\
+     \      END\n"
+  in
+  let cfg = { (Machine.Interp.default_config ()) with max_steps = 10_000 } in
+  Alcotest.(check bool) "fuel exhausted" true
+    (match run_src ~cfg src with
+    | _ -> false
+    | exception Machine.Interp.Fuel_exhausted -> true)
+
+let test_interp_determinism () =
+  let c = Suite.Registry.find "FLO52" in
+  let r1 = run_src c.Suite.Code.source and r2 = run_src c.Suite.Code.source in
+  Alcotest.(check bool) "same time" true (r1.time = r2.time);
+  Alcotest.(check (list string)) "same output" r1.output r2.output
+
+let test_parallel_timing_preserves_semantics () =
+  let c = Suite.Registry.find "MDG" in
+  let p = parse c.Suite.Code.source in
+  let _ = Passes.Parallelize.run ~mode:Passes.Parallelize.Polaris p in
+  let rs = Machine.Interp.run ~cfg:(Machine.Interp.default_config ~parallel:false ()) p in
+  let rp = Machine.Interp.run ~cfg:(Machine.Interp.default_config ~parallel:true ()) p in
+  Alcotest.(check (list string)) "same output" rs.output rp.output;
+  Alcotest.(check bool) "parallel faster" true (rp.time < rs.time)
+
+(* ----- parsim ----- *)
+
+let test_block_schedule () =
+  let cfg = Machine.Parsim.default ~procs:4 () in
+  (* 8 equal iterations on 4 procs: 2 each *)
+  Alcotest.(check int) "balanced" 20
+    (Machine.Parsim.block_schedule_time cfg (Array.make 8 10));
+  (* one heavy iteration dominates *)
+  let costs = [| 100; 1; 1; 1; 1; 1; 1; 1 |] in
+  Alcotest.(check int) "imbalanced" 101
+    (Machine.Parsim.block_schedule_time cfg costs);
+  Alcotest.(check int) "empty" 0 (Machine.Parsim.block_schedule_time cfg [||])
+
+let test_doall_time_overheads () =
+  let cfg = Machine.Parsim.default ~procs:8 () in
+  let t0 =
+    Machine.Parsim.doall_time cfg ~iter_costs:(Array.make 8 100) ~n_private:0
+      ~reduction_elems:0
+  in
+  let t1 =
+    Machine.Parsim.doall_time cfg ~iter_costs:(Array.make 8 100) ~n_private:2
+      ~reduction_elems:50
+  in
+  Alcotest.(check bool) "overheads monotone" true (t1 > t0);
+  Alcotest.(check bool) "fork dominates empty loop" true
+    (Machine.Parsim.doall_time cfg ~iter_costs:[||] ~n_private:0 ~reduction_elems:0
+    >= cfg.fork_cost)
+
+let test_speedup_more_procs () =
+  (* simulated parallel time should not increase with more processors
+     for a big balanced loop *)
+  let c = Suite.Registry.find "SWIM" in
+  let p = parse c.Suite.Code.source in
+  let _ = Passes.Parallelize.run ~mode:Passes.Parallelize.Polaris p in
+  let t procs =
+    (Machine.Interp.run ~cfg:(Machine.Interp.default_config ~parallel:true ~procs ()) p).time
+  in
+  let t2 = t 2 and t8 = t 8 in
+  Alcotest.(check bool) "8 procs faster than 2" true (t8 < t2)
+
+let tests =
+  [ ("value arithmetic", `Quick, test_value_arith);
+    ("storage column major", `Quick, test_storage_column_major);
+    ("storage lower bounds", `Quick, test_storage_lower_bounds);
+    ("storage bounds fault", `Quick, test_storage_bounds_fault);
+    ("storage snapshot/restore", `Quick, test_storage_snapshot);
+    ("cache direct mapped", `Quick, test_cache);
+    ("interp arithmetic+intrinsics", `Quick, test_interp_arith_and_intrinsics);
+    ("interp DO semantics", `Quick, test_interp_do_semantics);
+    ("interp goto loop", `Quick, test_interp_goto_loop);
+    ("interp call by reference", `Quick, test_interp_call_by_reference);
+    ("interp array section passing", `Quick, test_interp_array_section_passing);
+    ("interp adjustable dims order", `Quick, test_interp_adjustable_dims_any_order);
+    ("interp common blocks", `Quick, test_interp_common_blocks);
+    ("interp function call", `Quick, test_interp_function_call);
+    ("interp fuel", `Quick, test_interp_fuel);
+    ("interp deterministic", `Quick, test_interp_determinism);
+    ("parallel timing preserves semantics", `Quick, test_parallel_timing_preserves_semantics);
+    ("parsim block schedule", `Quick, test_block_schedule);
+    ("parsim doall overheads", `Quick, test_doall_time_overheads);
+    ("parsim more procs faster", `Quick, test_speedup_more_procs) ]

@@ -1,0 +1,18 @@
+(* Test runner: one alcotest binary over every library of the
+   reproduction. *)
+
+let () =
+  Alcotest.run "polaris-repro"
+    [ ("util", Test_util.tests);
+      ("fir", Test_fir.tests);
+      ("frontend", Test_frontend.tests);
+      ("symbolic", Test_symbolic.tests);
+      ("machine", Test_machine.tests);
+      ("analysis", Test_analysis.tests);
+      ("dep", Test_dep.tests);
+      ("passes", Test_passes.tests);
+      ("runtime", Test_runtime.tests);
+      ("core", Test_core.tests);
+      ("suite", Test_suite.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("props", Test_props.tests) ]

@@ -1,0 +1,249 @@
+(* Additional soundness properties, each checking a symbolic engine
+   against brute force:
+
+   - the Banerjee per-loop contributions (computed by vertex evaluation)
+     must bound the true min/max over the constrained integer box;
+   - Banerjee/SIV "Independent" verdicts must agree with exhaustive
+     enumeration of the dependence equation;
+   - the Compare prover's [prove_ge]/[prove_lt] answers must hold on
+     sampled integer assignments satisfying the range environment;
+   - Faulhaber power-sum polynomials have exact rational closed forms. *)
+
+open Symbolic
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Banerjee vertex formulas vs. exhaustive min/max                     *)
+
+let prop_banerjee_contrib =
+  let gen =
+    QCheck2.Gen.(
+      tup4 (int_range (-4) 4) (int_range (-4) 4) (int_range (-3) 3)
+        (pair (int_range 0 5) (oneofl [ `Lt; `Eq; `Gt; `Star ])))
+  in
+  QCheck2.Test.make ~name:"banerjee loop contribution is exact" ~count:500 gen
+    (fun (a, b, lo, (extent, dirv)) ->
+      let hi = lo + extent in
+      let dir =
+        match dirv with
+        | `Lt -> Dep.Banerjee.Lt
+        | `Eq -> Dep.Banerjee.Eq
+        | `Gt -> Dep.Banerjee.Gt
+        | `Star -> Dep.Banerjee.Star
+      in
+      (* brute force h = a*i - b*i' over the constrained box *)
+      let feasible = ref [] in
+      for i = lo to hi do
+        for i' = lo to hi do
+          let ok =
+            match dirv with
+            | `Lt -> i < i'
+            | `Eq -> i = i'
+            | `Gt -> i > i'
+            | `Star -> true
+          in
+          if ok then feasible := ((a * i) - (b * i')) :: !feasible
+        done
+      done;
+      match (Dep.Banerjee.loop_contrib ~a ~b ~lo ~hi dir, !feasible) with
+      | None, [] -> true
+      | None, _ -> false (* claimed infeasible but solutions exist *)
+      | Some _, [] -> false
+      | Some (mn, mx), vs ->
+        mn = List.fold_left min max_int vs && mx = List.fold_left max min_int vs)
+
+(* ------------------------------------------------------------------ *)
+(* Full Banerjee / SIV verdicts vs. exhaustive dependence check        *)
+
+let affine_gen indices =
+  QCheck2.Gen.(
+    map2
+      (fun coeffs const ->
+        List.fold_left2
+          (fun acc v c ->
+            Poly.add acc (Poly.scale (Rat.of_int c) (Poly.var v)))
+          (Poly.of_int const) indices coeffs)
+      (list_repeat (List.length indices) (int_range (-3) 3))
+      (int_range (-6) 6))
+
+let eval_affine (assign : (string * int) list) (p : Poly.t) =
+  match
+    Poly.eval
+      (function
+        | Atom.Avar v -> Option.map Rat.of_int (List.assoc_opt v assign)
+        | _ -> None)
+      p
+  with
+  | Some r -> Rat.to_int r
+  | None -> 0
+
+let mk_loop name lo hi : Analysis.Loops.loop =
+  let d : Fir.Ast.do_loop =
+    { index = name; init = Fir.Ast.Int_lit lo; limit = Fir.Ast.Int_lit hi;
+      step = None; body = []; info = Fir.Ast.fresh_loop_info () }
+  in
+  Analysis.Loops.describe (Fir.Stmt.mk (Fir.Ast.Do d)) d
+
+let prop_banerjee_carries_sound =
+  let gen =
+    QCheck2.Gen.(
+      tup4 (affine_gen [ "I"; "J" ]) (affine_gen [ "I"; "J" ])
+        (pair (int_range 1 4) (int_range 1 4))
+        unit)
+  in
+  QCheck2.Test.make ~name:"banerjee carries: Independent is sound" ~count:400
+    gen
+    (fun (f, g, (bi, bj), ()) ->
+      let loops = [ mk_loop "I" 1 bi; mk_loop "J" 1 bj ] in
+      (* does loop I really carry a dependence between f and g? *)
+      let really_carries =
+        let hit = ref false in
+        for i1 = 1 to bi do
+          for j1 = 1 to bj do
+            for i2 = 1 to bi do
+              for j2 = 1 to bj do
+                if i1 <> i2 then
+                  let v1 = eval_affine [ ("I", i1); ("J", j1) ] f in
+                  let v2 = eval_affine [ ("I", i2); ("J", j2) ] g in
+                  if v1 = v2 then hit := true
+              done
+            done
+          done
+        done;
+        !hit
+      in
+      match Dep.Banerjee.carries ~loops ~k:0 [ f ] [ g ] with
+      | Dep.Banerjee.Independent -> not really_carries
+      | Dep.Banerjee.Maybe_dependent -> true)
+
+let prop_siv_sound =
+  let gen =
+    QCheck2.Gen.(
+      triple (affine_gen [ "I" ]) (affine_gen [ "I" ]) (int_range 1 8))
+  in
+  QCheck2.Test.make ~name:"strong SIV: Independent is sound" ~count:400 gen
+    (fun (f, g, bound) ->
+      let really_carries =
+        let hit = ref false in
+        for i1 = 1 to bound do
+          for i2 = 1 to bound do
+            if i1 <> i2 then
+              if eval_affine [ ("I", i1) ] f = eval_affine [ ("I", i2) ] g then
+                hit := true
+          done
+        done;
+        !hit
+      in
+      match Dep.Siv.test ~enclosing:[] ~index:"I" ~inner:[] [ f ] [ g ] with
+      | Dep.Siv.Independent -> not really_carries
+      | Dep.Siv.Maybe_dependent -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Compare prover vs. sampled assignments                              *)
+
+(* environment: X in [xlo, xhi], Y in [X+1, 10] (a correlated bound) *)
+let compare_env xlo xhi =
+  let open Range in
+  let env = empty in
+  let env = refine env (Atom.var "X") (between (Poly.of_int xlo) (Poly.of_int xhi)) in
+  refine env (Atom.var "Y")
+    (between (Poly.add (Poly.var "X") Poly.one) (Poly.of_int 10))
+
+let small_poly_gen =
+  let open QCheck2.Gen in
+  let x = Poly.var "X" and y = Poly.var "Y" in
+  let leaf = oneof [ map Poly.of_int (int_range (-6) 6); return x; return y ] in
+  let rec go d =
+    if d = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map2 Poly.add (go (d - 1)) (go (d - 1));
+          map2 Poly.sub (go (d - 1)) (go (d - 1));
+          map2 Poly.mul (go (d - 1)) leaf ]
+  in
+  go 2
+
+let prop_prover_sound =
+  let gen = QCheck2.Gen.(triple small_poly_gen small_poly_gen (int_range 0 4)) in
+  QCheck2.Test.make ~name:"compare prover: prove_ge is sound" ~count:600 gen
+    (fun (p, q, xlo) ->
+      let xhi = xlo + 3 in
+      let env = compare_env xlo xhi in
+      if not (Compare.prove_ge env p q) then true
+      else begin
+        (* every assignment satisfying the env must satisfy p >= q *)
+        let ok = ref true in
+        for x = xlo to xhi do
+          for y = x + 1 to 10 do
+            let assign = [ ("X", x); ("Y", y) ] in
+            if eval_affine assign p < eval_affine assign q then ok := false
+          done
+        done;
+        !ok
+      end)
+
+let prop_prover_lt_sound =
+  let gen = QCheck2.Gen.(triple small_poly_gen small_poly_gen (int_range 0 4)) in
+  QCheck2.Test.make ~name:"compare prover: prove_lt is sound" ~count:600 gen
+    (fun (p, q, xlo) ->
+      let xhi = xlo + 3 in
+      let env = compare_env xlo xhi in
+      if not (Compare.prove_lt env p q) then true
+      else begin
+        let ok = ref true in
+        for x = xlo to xhi do
+          for y = x + 1 to 10 do
+            let assign = [ ("X", x); ("Y", y) ] in
+            if eval_affine assign p >= eval_affine assign q then ok := false
+          done
+        done;
+        !ok
+      end)
+
+let prop_monotonicity_sound =
+  QCheck2.Test.make ~name:"monotonicity verdicts are sound" ~count:400
+    QCheck2.Gen.(pair small_poly_gen (int_range 0 3))
+    (fun (p, xlo) ->
+      let env = compare_env xlo (xlo + 3) in
+      let check_pairs cmp =
+        let ok = ref true in
+        for x = xlo to xlo + 3 do
+          for y = x + 1 to 10 do
+            let v = eval_affine [ ("X", x); ("Y", y) ] p in
+            let v' = eval_affine [ ("X", x + 1); ("Y", y) ] p in
+            if not (cmp v v') then ok := false
+          done
+        done;
+        !ok
+      in
+      match Compare.monotonicity env (Atom.var "X") p with
+      | Compare.Nondecreasing ->
+        (* sampled only within X's env range minus one step *)
+        check_pairs ( <= )
+      | Compare.Nonincreasing -> check_pairs ( >= )
+      | Compare.Constant | Compare.Unknown_mono -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Faulhaber power sums                                                *)
+
+let prop_power_sums =
+  QCheck2.Test.make ~name:"power sums S_k(n) exact for k <= 6" ~count:200
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 0 12))
+    (fun (k, n) ->
+      let s = Summation.sum_powers k (Poly.of_int n) in
+      match Poly.const_val s with
+      | Some v ->
+        let brute = ref 0 in
+        for x = 0 to n do
+          let rec pw b e = if e = 0 then 1 else b * pw b (e - 1) in
+          brute := !brute + pw x k
+        done;
+        Rat.equal v (Rat.of_int !brute)
+      | None -> false)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_banerjee_contrib; prop_banerjee_carries_sound; prop_siv_sound;
+      prop_prover_sound; prop_prover_lt_sound; prop_monotonicity_sound;
+      prop_power_sums ]

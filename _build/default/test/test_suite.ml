@@ -1,0 +1,71 @@
+(* Suite-wide checks: every code parses, runs, and both pipelines
+   preserve its semantics. *)
+
+let test_all_parse_and_run () =
+  List.iter
+    (fun (c : Suite.Code.t) ->
+      let p = Frontend.Parser.parse_string c.source in
+      let r = Machine.Interp.run p in
+      Alcotest.(check bool) (c.name ^ " produces output") true (r.output <> []);
+      Alcotest.(check bool) (c.name ^ " takes time") true (r.time > 1000))
+    Suite.Registry.all
+
+let test_registry () =
+  Alcotest.(check int) "sixteen codes" 16 (List.length Suite.Registry.all);
+  Alcotest.(check bool) "find works" true
+    ((Suite.Registry.find "trfd").name = "TRFD");
+  Alcotest.(check bool) "unknown raises" true
+    (match Suite.Registry.find "NOPE" with _ -> false | exception Not_found -> true);
+  List.iter
+    (fun (c : Suite.Code.t) ->
+      Alcotest.(check bool) (c.name ^ " has paper data") true
+        (c.paper_lines > 0 && c.paper_serial_s > 0
+        && c.paper_polaris_speedup > 0.0 && c.paper_pfa_speedup > 0.0))
+    Suite.Registry.all
+
+let test_semantics_preserved_by_both_pipelines () =
+  List.iter
+    (fun (c : Suite.Code.t) ->
+      let reference = Machine.Interp.run (Frontend.Parser.parse_string c.source) in
+      List.iter
+        (fun cfg ->
+          let t = Core.Pipeline.compile cfg c.source in
+          let serial =
+            Machine.Interp.run
+              ~cfg:(Machine.Interp.default_config ~parallel:false ())
+              t.program
+          in
+          let parallel =
+            Machine.Interp.run
+              ~cfg:(Machine.Interp.default_config ~parallel:true ())
+              t.program
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s serial output" c.name cfg.Core.Config.name)
+            reference.output serial.output;
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s parallel output" c.name cfg.Core.Config.name)
+            reference.output parallel.output)
+        [ Core.Config.polaris (); Core.Config.baseline ();
+          Core.Config.without_inline ();
+          Core.Config.without_generalized_induction () ])
+    Suite.Registry.all
+
+let test_fig7_shape () =
+  (* the headline result: Polaris >= baseline on 14 codes, strictly
+     behind on exactly SU2COR and WAVE5 *)
+  let losses = ref [] in
+  List.iter
+    (fun (c : Suite.Code.t) ->
+      let _, rp = Core.Simulate.compile_and_run (Core.Config.polaris ()) c.source in
+      let _, rb = Core.Simulate.compile_and_run (Core.Config.baseline ()) c.source in
+      if rb.speedup > rp.speedup *. 1.02 then losses := c.name :: !losses)
+    Suite.Registry.all;
+  Alcotest.(check (slist string String.compare)) "PFA ahead on exactly two"
+    [ "SU2COR"; "WAVE5" ] !losses
+
+let tests =
+  [ ("all codes parse and run", `Quick, test_all_parse_and_run);
+    ("registry integrity", `Quick, test_registry);
+    ("semantics preserved by all configs", `Slow, test_semantics_preserved_by_both_pipelines);
+    ("Fig 7 shape: PFA ahead on exactly two", `Slow, test_fig7_shape) ]
