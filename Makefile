@@ -1,0 +1,27 @@
+# Convenience wrapper around dune.  `make check` is the CI entry point:
+# build, unit/property tests, then translation-validate the full
+# evaluation suite by differential execution (bit-for-bit integers,
+# 2-ULP floats, serial + p in {1,2,4,8}).
+
+.PHONY: all build test validate check bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+validate: build
+	dune exec bin/polaris_cli.exe -- validate --suite
+
+check: build
+	dune runtest
+	dune exec bin/polaris_cli.exe -- validate --suite
+
+bench: build
+	dune exec bench/main.exe -- all
+
+clean:
+	dune clean

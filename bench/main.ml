@@ -367,6 +367,62 @@ let coverage () =
     !successes
 
 (* ------------------------------------------------------------------ *)
+(* Translation validation: the full suite through the snapshot oracle   *)
+
+let validate () =
+  section
+    "validate: per-pass translation validation of all 16 codes (both pipelines)";
+  Printf.printf "%-8s %-9s | %6s %6s | %s\n" "Program" "config" "stages"
+    "checks" "verdict";
+  Printf.printf "%s\n" (String.make 56 '-');
+  let failures = ref 0 in
+  let dep0 = Dep.Driver.counters_snapshot () in
+  List.iter
+    (fun (c : Suite.Code.t) ->
+      List.iter
+        (fun config ->
+          let _, report =
+            Valid.Snapshot.validated_compile ~procs_list:[ 1; 2; 4; 8 ] config
+              c.source
+          in
+          let checks =
+            List.fold_left
+              (fun acc (s : Valid.Snapshot.stage_report) ->
+                match s.status with
+                | Valid.Snapshot.Ok_validated o | Valid.Snapshot.Diverged o ->
+                  acc + o.checks
+                | _ -> acc)
+              0 report.stages
+          in
+          let verdict =
+            match report.failed_stage with
+            | None -> "ok"
+            | Some s ->
+              incr failures;
+              "FAIL at " ^ s
+          in
+          Printf.printf "%-8s %-9s | %6d %6d | %s\n" c.name
+            config.Core.Config.name
+            (List.length report.stages)
+            checks verdict)
+        [ Core.Config.polaris (); Core.Config.baseline () ])
+    Suite.Registry.all;
+  let d =
+    let now = Dep.Driver.counters_snapshot () in
+    { Dep.Driver.range_proved = now.range_proved - dep0.range_proved;
+      range_failed = now.range_failed - dep0.range_failed;
+      linear_proved = now.linear_proved - dep0.linear_proved;
+      linear_failed = now.linear_failed - dep0.linear_failed }
+  in
+  Printf.printf
+    "\ndependence tests during validation: range %d/%d proved, gcd/banerjee %d/%d proved\n"
+    d.range_proved
+    (d.range_proved + d.range_failed)
+    d.linear_proved
+    (d.linear_proved + d.linear_failed);
+  Printf.printf "validation failures: %d (expected 0)\n" !failures
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks of the compiler itself (bechamel, wall clock)      *)
 
 let micro () =
@@ -433,7 +489,8 @@ let ablation () =
 let experiments =
   [ ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
-    ("coverage", coverage); ("ablation", ablation); ("micro", micro) ]
+    ("coverage", coverage); ("validate", validate); ("ablation", ablation);
+    ("micro", micro) ]
 
 let () =
   match Sys.argv with

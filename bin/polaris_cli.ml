@@ -6,7 +6,11 @@
     - [polaris run FILE]: compile and simulate on a p-processor machine,
       reporting serial/parallel simulated time and speedup.
     - [polaris suite [NAME]]: list the evaluation suite, or compile+run
-      one of its codes under both pipelines. *)
+      one of its codes under both pipelines.
+    - [polaris validate FILE | --suite]: translation validation — run
+      the pass pipeline with the per-pass snapshot oracle attached and
+      differentially execute every intermediate program against the
+      original; non-zero exit on any divergence. *)
 
 open Cmdliner
 
@@ -17,16 +21,49 @@ let read_file path =
   close_in ic;
   s
 
+(* user-facing failures print one clean line and exit 1; backtraces are
+   for bugs in the compiler, not for bad inputs *)
+let with_errors f =
+  try f () with
+  | Sys_error m ->
+    Fmt.epr "polaris: %s@." m;
+    exit 1
+  | Frontend.Lexer.Error m ->
+    Fmt.epr "polaris: lexical error: %s@." m;
+    exit 1
+  | Frontend.Parser.Error m ->
+    Fmt.epr "polaris: syntax error: %s@." m;
+    exit 1
+  | Fir.Consistency.Violation m ->
+    Fmt.epr "polaris: IR consistency violation: %s@." m;
+    exit 1
+  | Machine.Interp.Runtime_error m ->
+    Fmt.epr "polaris: runtime error: %s@." m;
+    exit 1
+  | Machine.Storage.Fault m ->
+    Fmt.epr "polaris: storage fault: %s@." m;
+    exit 1
+  | Core.Simulate.Output_mismatch ->
+    Fmt.epr "polaris: internal error: serial/parallel output mismatch@.";
+    exit 1
+
 let config_of ~baseline ~procs =
   if baseline then Core.Config.baseline ~procs ()
   else Core.Config.polaris ~procs ()
 
+let file_pos =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
+
+let required_file file =
+  match file with
+  | Some f -> f
+  | None ->
+    Fmt.epr "polaris: missing FILE argument@.";
+    exit 1
+
 (* ----- compile ----- *)
 
 let compile_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
-  in
   let baseline =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Use the baseline (PFA-like) pipeline")
   in
@@ -34,20 +71,21 @@ let compile_cmd =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the transformed source")
   in
   let run file baseline quiet =
-    let t = Core.Pipeline.compile (config_of ~baseline ~procs:8) (read_file file) in
-    if not quiet then Fmt.pr "%a@." Core.Pipeline.pp_summary t;
-    print_string (Core.Pipeline.output_source t)
+    with_errors (fun () ->
+        let file = required_file file in
+        let t =
+          Core.Pipeline.compile (config_of ~baseline ~procs:8) (read_file file)
+        in
+        if not quiet then Fmt.pr "%a@." Core.Pipeline.pp_summary t;
+        print_string (Core.Pipeline.output_source t))
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Restructure a Fortran program and print it")
-    Term.(const run $ file $ baseline $ quiet)
+    Term.(const run $ file_pos $ baseline $ quiet)
 
 (* ----- run ----- *)
 
 let run_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
-  in
   let baseline =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Use the baseline (PFA-like) pipeline")
   in
@@ -55,17 +93,19 @@ let run_cmd =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
   let go file baseline procs =
-    let cfg = config_of ~baseline ~procs in
-    let t, r = Core.Simulate.compile_and_run cfg (read_file file) in
-    Fmt.pr "%a@." Core.Pipeline.pp_summary t;
-    Fmt.pr "serial time   : %d@." r.serial_time;
-    Fmt.pr "parallel time : %d (%d processors)@." r.parallel_time procs;
-    Fmt.pr "speedup       : %.2fx@." r.speedup;
-    List.iter (fun l -> Fmt.pr "output: %s@." l) r.output
+    with_errors (fun () ->
+        let file = required_file file in
+        let cfg = config_of ~baseline ~procs in
+        let t, r = Core.Simulate.compile_and_run cfg (read_file file) in
+        Fmt.pr "%a@." Core.Pipeline.pp_summary t;
+        Fmt.pr "serial time   : %d@." r.serial_time;
+        Fmt.pr "parallel time : %d (%d processors)@." r.parallel_time procs;
+        Fmt.pr "speedup       : %.2fx@." r.speedup;
+        List.iter (fun l -> Fmt.pr "output: %s@." l) r.output)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated multiprocessor")
-    Term.(const go $ file $ baseline $ procs)
+    Term.(const go $ file_pos $ baseline $ procs)
 
 (* ----- suite ----- *)
 
@@ -77,38 +117,177 @@ let suite_cmd =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
   let go code_name procs =
-    match code_name with
-    | None ->
-      Fmt.pr "%-8s %-8s %s@." "name" "origin" "description";
-      List.iter
-        (fun (c : Suite.Code.t) ->
-          Fmt.pr "%-8s %-8s %s@." c.name
-            (Suite.Code.origin_to_string c.origin)
-            c.description)
-        Suite.Registry.all
-    | Some name -> (
-      match Suite.Registry.find name with
-      | c ->
-        let _, rp =
-          Core.Simulate.compile_and_run (Core.Config.polaris ~procs ()) c.source
-        in
-        let _, rb =
-          Core.Simulate.compile_and_run (Core.Config.baseline ~procs ()) c.source
-        in
-        Fmt.pr "%s (%s): %s@." c.name
-          (Suite.Code.origin_to_string c.origin)
-          c.description;
-        Fmt.pr "enabling techniques: %s@." (String.concat "; " c.enabling);
-        Fmt.pr "polaris : %.2fx   (paper ~%.1fx)@." rp.speedup c.paper_polaris_speedup;
-        Fmt.pr "baseline: %.2fx   (paper PFA ~%.1fx)@." rb.speedup c.paper_pfa_speedup
-      | exception Not_found ->
-        Fmt.epr "unknown code %s; try `polaris suite' for the list@." name;
-        exit 1)
+    with_errors (fun () ->
+        match code_name with
+        | None ->
+          Fmt.pr "%-8s %-8s %s@." "name" "origin" "description";
+          List.iter
+            (fun (c : Suite.Code.t) ->
+              Fmt.pr "%-8s %-8s %s@." c.name
+                (Suite.Code.origin_to_string c.origin)
+                c.description)
+            Suite.Registry.all
+        | Some name -> (
+          match Suite.Registry.find name with
+          | c ->
+            let _, rp =
+              Core.Simulate.compile_and_run (Core.Config.polaris ~procs ()) c.source
+            in
+            let _, rb =
+              Core.Simulate.compile_and_run (Core.Config.baseline ~procs ()) c.source
+            in
+            Fmt.pr "%s (%s): %s@." c.name
+              (Suite.Code.origin_to_string c.origin)
+              c.description;
+            Fmt.pr "enabling techniques: %s@." (String.concat "; " c.enabling);
+            Fmt.pr "polaris : %.2fx   (paper ~%.1fx)@." rp.speedup c.paper_polaris_speedup;
+            Fmt.pr "baseline: %.2fx   (paper PFA ~%.1fx)@." rb.speedup c.paper_pfa_speedup
+          | exception Not_found ->
+            Fmt.epr "unknown code %s; try `polaris suite' for the list@." name;
+            exit 1))
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"List or run the evaluation-suite codes")
     Term.(const go $ code_name $ procs)
 
+(* ----- validate ----- *)
+
+let parse_int_list ~what s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           match int_of_string_opt (String.trim tok) with
+           | Some n -> n
+           | None ->
+             Fmt.epr "polaris: bad %s list %S@." what s;
+             exit 1)
+
+let checks_of_report (r : Valid.Snapshot.report) =
+  List.fold_left
+    (fun acc (s : Valid.Snapshot.stage_report) ->
+      match s.status with
+      | Valid.Snapshot.Ok_validated o | Valid.Snapshot.Diverged o ->
+        acc + o.checks
+      | _ -> acc)
+    0 r.stages
+
+(* validate one source under one config; returns the report *)
+let validate_one ~cmp ~procs_list ~seeds ~label (config : Core.Config.t)
+    (source : string) : Valid.Snapshot.report =
+  let t0 = Sys.time () in
+  let _, report =
+    Valid.Snapshot.validated_compile ~cmp ~procs_list ~seeds config source
+  in
+  let dt = Sys.time () -. t0 in
+  if Valid.Snapshot.ok report then
+    Fmt.pr "%-10s %-9s ok     %2d stages  %4d checks  %6.2fs@." label
+      config.name
+      (List.length report.stages)
+      (checks_of_report report) dt
+  else begin
+    Fmt.pr "%-10s %-9s FAIL@." label config.name;
+    Fmt.pr "@[<v>%a@]@." Valid.Snapshot.pp_report report
+  end;
+  report
+
+let validate_cmd =
+  let suite =
+    Arg.(value & flag & info [ "suite" ] ~doc:"Validate all 16 evaluation-suite codes")
+  in
+  let baseline_only =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Only the baseline pipeline (default: both)")
+  in
+  let polaris_only =
+    Arg.(value & flag & info [ "polaris" ] ~doc:"Only the Polaris pipeline (default: both)")
+  in
+  let ulp =
+    Arg.(value & opt int 2 & info [ "ulp" ] ~doc:"Float tolerance in units-in-the-last-place")
+  in
+  let seeds =
+    Arg.(value & opt string ""
+         & info [ "seeds" ] ~docv:"S1,S2"
+             ~doc:"Extra splitmix64-seeded initial stores (comma-separated)")
+  in
+  let procs =
+    Arg.(value & opt string "1,2,4,8"
+         & info [ "p"; "procs" ] ~docv:"P1,P2"
+             ~doc:"Machine sizes for the parallel-timing runs")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"OUT.json"
+             ~doc:"Write the flight-recorder + validation report as JSON")
+  in
+  let go file suite baseline_only polaris_only ulp seeds procs trace_out =
+    with_errors (fun () ->
+        let cmp = { Valid.Oracle.ulp_tol = ulp } in
+        let seeds = parse_int_list ~what:"seed" seeds in
+        let procs_list = parse_int_list ~what:"processor" procs in
+        let procs_list = if procs_list = [] then [ 1; 2; 4; 8 ] else procs_list in
+        let configs =
+          match (baseline_only, polaris_only) with
+          | true, false -> [ Core.Config.baseline () ]
+          | false, true -> [ Core.Config.polaris () ]
+          | _ -> [ Core.Config.polaris (); Core.Config.baseline () ]
+        in
+        let targets =
+          if suite then
+            List.map
+              (fun (c : Suite.Code.t) -> (c.name, c.source))
+              Suite.Registry.all
+          else
+            let f = required_file file in
+            [ (Filename.basename f, read_file f) ]
+        in
+        let results =
+          List.concat_map
+            (fun (label, source) ->
+              List.map
+                (fun config ->
+                  ( label,
+                    config.Core.Config.name,
+                    validate_one ~cmp ~procs_list ~seeds ~label config source ))
+                configs)
+            targets
+        in
+        (match trace_out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          let entries =
+            List.map
+              (fun (label, cfg, report) ->
+                Valid.Trace.Json.obj
+                  [ ("code", Valid.Trace.Json.str label);
+                    ("config", Valid.Trace.Json.str cfg);
+                    ("report", Valid.Snapshot.report_json report) ])
+              results
+          in
+          output_string oc (Valid.Trace.Json.arr entries);
+          output_string oc "\n";
+          close_out oc;
+          Fmt.pr "flight record written to %s@." path);
+        let failures =
+          List.filter (fun (_, _, r) -> not (Valid.Snapshot.ok r)) results
+        in
+        if failures <> [] then begin
+          Fmt.epr "validation failed on %d of %d compilations@."
+            (List.length failures) (List.length results);
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Translation-validate the pipeline by differential execution")
+    Term.(
+      const go $ file_pos $ suite $ baseline_only $ polaris_only $ ulp $ seeds
+      $ procs $ trace_out)
+
 let () =
   let doc = "Polaris-style automatic parallelizer (ICPP'96 reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "polaris" ~doc) [ compile_cmd; run_cmd; suite_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "polaris" ~doc)
+          [ compile_cmd; run_cmd; suite_cmd; validate_cmd ]))

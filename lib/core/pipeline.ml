@@ -20,18 +20,44 @@ type t = {
 }
 
 (** Run the configured pipeline on a parsed program (the program is
-    transformed in place and returned in the result). *)
-let run (config : Config.t) (program : Fir.Program.t) : t =
+    transformed in place and returned in the result).
+
+    [observer] is invoked after each pass that actually ran, with the
+    pass name and the (in-place mutated) program — the hook the
+    translation-validation oracle ({!Valid.Snapshot}) and the flight
+    recorder ({!Valid.Trace}) use to snapshot intermediate states and
+    localize a divergence to the pass that introduced it.  The first
+    event is ["parse"], before any transformation. *)
+let run ?(observer : (string -> Fir.Program.t -> unit) option)
+    (config : Config.t) (program : Fir.Program.t) : t =
+  let obs name = match observer with Some f -> f name program | None -> () in
+  obs "parse";
   let inline_stats =
-    if config.inline then Some (Passes.Inline.run program) else None
+    if config.inline then begin
+      let s = Passes.Inline.run program in
+      obs "inline";
+      Some s
+    end
+    else None
   in
-  if config.constprop then Passes.Constprop.run program;
+  if config.constprop then begin
+    Passes.Constprop.run program;
+    obs "constprop"
+  end;
   let inductions =
     Passes.Induction.run ~generalized:config.generalized_induction program
   in
-  if config.constprop then Passes.Constprop.run program;
-  if config.deadcode then ignore (Passes.Deadcode.run program);
+  obs "induction";
+  if config.constprop then begin
+    Passes.Constprop.run program;
+    obs "constprop2"
+  end;
+  if config.deadcode then begin
+    ignore (Passes.Deadcode.run program);
+    obs "deadcode"
+  end;
   let reports = Passes.Parallelize.run ~mode:config.mode program in
+  obs "parallelize";
   let loops =
     List.concat_map
       (fun (unit_name, rs) ->
@@ -41,8 +67,8 @@ let run (config : Config.t) (program : Fir.Program.t) : t =
   { config; program; loops; inductions; inline_stats }
 
 (** Parse Fortran source and run the pipeline. *)
-let compile (config : Config.t) (source : string) : t =
-  run config (Frontend.Parser.parse_string source)
+let compile ?observer (config : Config.t) (source : string) : t =
+  run ?observer config (Frontend.Parser.parse_string source)
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)

@@ -20,12 +20,19 @@ type t = {
 }
 
 (** Run the configured pipeline on a parsed program (transformed in
-    place and returned in the result). *)
-val run : Config.t -> Fir.Program.t -> t
+    place and returned in the result).
+
+    [observer] is called after each pass that actually ran with the pass
+    name and the (mutated) program; the first event is ["parse"].  The
+    translation-validation oracle ({!Valid.Snapshot}) and the flight
+    recorder ({!Valid.Trace}) hook in here to snapshot intermediate
+    states and localize divergences to the pass that introduced them. *)
+val run :
+  ?observer:(string -> Fir.Program.t -> unit) -> Config.t -> Fir.Program.t -> t
 
 (** Parse Fortran source and run the pipeline.
     @raise Frontend.Parser.Error on syntax errors. *)
-val compile : Config.t -> string -> t
+val compile : ?observer:(string -> Fir.Program.t -> unit) -> Config.t -> string -> t
 
 val parallel_loops : t -> loop_result list
 val serial_loops : t -> loop_result list

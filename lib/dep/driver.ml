@@ -22,6 +22,35 @@ type verdict =
 
 let is_parallel = function Parallel _ -> true | Dependent _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Outcome counters (the flight recorder's dependence-test telemetry)   *)
+
+type counters = {
+  mutable range_proved : int;   (** range test: independence proved *)
+  mutable range_failed : int;
+  mutable linear_proved : int;  (** gcd/banerjee/siv: independence proved *)
+  mutable linear_failed : int;
+}
+
+let counters =
+  { range_proved = 0; range_failed = 0; linear_proved = 0; linear_failed = 0 }
+
+let reset_counters () =
+  counters.range_proved <- 0;
+  counters.range_failed <- 0;
+  counters.linear_proved <- 0;
+  counters.linear_failed <- 0
+
+(** A copy of the live counters (safe to keep across {!reset_counters}). *)
+let counters_snapshot () = { counters with range_proved = counters.range_proved }
+
+let record method_ verdict =
+  match (method_, verdict) with
+  | Range_symbolic, Parallel _ -> counters.range_proved <- counters.range_proved + 1
+  | Range_symbolic, Dependent _ -> counters.range_failed <- counters.range_failed + 1
+  | Banerjee_gcd, Parallel _ -> counters.linear_proved <- counters.linear_proved + 1
+  | Banerjee_gcd, Dependent _ -> counters.linear_failed <- counters.linear_failed + 1
+
 let index_name (l : Loops.loop) =
   match l.index with Atom.Avar v -> v | Atom.Aopaque _ -> "?"
 
@@ -203,15 +232,19 @@ let array_deps ~(method_ : method_) ~(symtab : Fir.Symtab.t)
           subscript_issue ~assigned_scalars ~written_arrays ~index_names a)
       None accesses
   in
-  match issue with
-  | Some (Varying_scalar v) ->
-    Dependent (Fmt.str "subscript contains loop-varying scalar %s" v)
-  | Some (Subscripted_subscript arr) ->
-    Dependent (Fmt.str "subscripted subscript through array %s written in loop" arr)
-  | None -> (
-    let pairs = conflict_pairs accesses in
-    if pairs = [] then Parallel "no conflicting accesses"
-    else
-      match method_ with
-      | Range_symbolic -> range_test_verdict env ~target ~inner pairs
-      | Banerjee_gcd -> banerjee_verdict ~enclosing ~target ~inner pairs)
+  let verdict =
+    match issue with
+    | Some (Varying_scalar v) ->
+      Dependent (Fmt.str "subscript contains loop-varying scalar %s" v)
+    | Some (Subscripted_subscript arr) ->
+      Dependent (Fmt.str "subscripted subscript through array %s written in loop" arr)
+    | None -> (
+      let pairs = conflict_pairs accesses in
+      if pairs = [] then Parallel "no conflicting accesses"
+      else
+        match method_ with
+        | Range_symbolic -> range_test_verdict env ~target ~inner pairs
+        | Banerjee_gcd -> banerjee_verdict ~enclosing ~target ~inner pairs)
+  in
+  record method_ verdict;
+  verdict

@@ -28,6 +28,12 @@ type outcome = {
   t_total : int;        (** what this instantiation costs end-to-end *)
   accesses : int;
   iterations : int;
+  checkpoint : Machine.Storage.data option;
+      (** contents of the tested array at loop entry — what a failed
+          speculation must restore *)
+  tested_alloc : Machine.Storage.alloc option;
+      (** the tested array's live allocation, so callers (and tests) can
+          exercise {!Machine.Storage.restore} against the checkpoint *)
 }
 
 (** Potential slowdown of this instantiation had the test failed:
@@ -68,10 +74,22 @@ let run ?(cost = Pd_test.default_cost) ?(procs = 8) ~(loop_sid : int)
   let iterations = ref 0 in
   let cfg = Machine.Interp.default_config ~parallel:false ~procs () in
   let st = Machine.Interp.fresh_state ~cfg prog in
+  let checkpoint = ref None in
+  let tested_alloc = ref None in
+  let fr : Machine.Interp.frame =
+    { unit_ = main; vars = Hashtbl.create 32 }
+  in
   st.on_loop_iter <-
     Some
       (fun sid k time ->
         if sid = loop_sid then begin
+          if not !in_loop then begin
+            (* loop entry: checkpoint the tested array so a failed
+               speculation can restore it (paper §3.5.3) *)
+            let b = Machine.Interp.binding_for st fr array in
+            tested_alloc := Some b.view.alloc;
+            checkpoint := Some (Machine.Storage.snapshot b.view.alloc)
+          end;
           if k > 0 || !in_loop then begin
             iter_costs := (time - !iter_start_time) :: !iter_costs;
             Shadow.end_iteration shadow
@@ -90,9 +108,6 @@ let run ?(cost = Pd_test.default_cost) ?(procs = 8) ~(loop_sid : int)
           | Machine.Interp.R -> Shadow.read shadow idx
           | Machine.Interp.W -> Shadow.write shadow idx
         end);
-  let fr : Machine.Interp.frame =
-    { unit_ = main; vars = Hashtbl.create 32 }
-  in
   Machine.Interp.run_unit_body st fr;
   (* the final on_loop_iter event (k = trips) closed the last iteration;
      the cost list is reversed and one entry longer than the trip count
@@ -120,4 +135,5 @@ let run ?(cost = Pd_test.default_cost) ?(procs = 8) ~(loop_sid : int)
       t_checkpoint + t_spec + t_pd_analysis + t_restore + t_seq
   in
   { verdict; t_seq; t_spec; t_pd_analysis; t_checkpoint; t_restore; t_total;
-    accesses = !accesses; iterations = !iterations }
+    accesses = !accesses; iterations = !iterations;
+    checkpoint = !checkpoint; tested_alloc = !tested_alloc }

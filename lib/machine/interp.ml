@@ -49,11 +49,18 @@ type config = {
   machine : Parsim.config;
   use_cache : bool;
   max_steps : int;              (** fuel: statements executed before abort *)
+  seed : int option;
+      (** when set, fresh local/COMMON storage is filled with
+          deterministic splitmix64 values (keyed by variable name, not
+          allocation order) instead of zeros — the translation-validation
+          oracle uses this to differentially execute a program pair on
+          several initial stores *)
 }
 
-let default_config ?(parallel = false) ?(procs = 8) ?(use_cache = true) () =
+let default_config ?(parallel = false) ?(procs = 8) ?(use_cache = true)
+    ?seed () =
   { parallel; machine = Parsim.default ~procs (); use_cache;
-    max_steps = 200_000_000 }
+    max_steps = 200_000_000; seed }
 
 type rw = R | W
 
@@ -92,6 +99,27 @@ let tick st =
   st.steps <- st.steps + 1;
   if st.steps > st.cfg.max_steps then raise Fuel_exhausted
 
+(* deterministic per-name seeding of fresh storage: the value stream
+   depends only on (seed, name), so the original and the transformed
+   program see the same initial store regardless of allocation order;
+   integers are kept small so seeded loop bounds stay tame *)
+let seed_binding seed name (b : Storage.binding) =
+  let r = Util.Prng.create (seed lxor (Hashtbl.hash name * 0x2545F491)) in
+  let n = Storage.extent_of b in
+  for i = 0 to n - 1 do
+    let v =
+      match b.Storage.elem with
+      | Integer -> Value.Int (Util.Prng.int r 4)
+      | Logical -> Value.Bool (Util.Prng.int r 2 = 1)
+      | _ -> Value.Real (Util.Prng.float r)
+    in
+    Storage.write_elem b.view i v
+  done
+
+let maybe_seed st name (b : Storage.binding) =
+  (match st.cfg.seed with Some s -> seed_binding s name b | None -> ());
+  b
+
 (* ------------------------------------------------------------------ *)
 (* Variable binding                                                    *)
 
@@ -117,8 +145,9 @@ and binding_for st (fr : frame) name : Storage.binding =
           Storage.write_elem b.view 0 (eval st fr value);
           b
         | None ->
-          if sym.sym_dims = [] then Storage.scalar_binding sym.sym_type
-          else Storage.array_binding sym.sym_type (eval_dims st fr sym))
+          maybe_seed st sym.sym_name
+            (if sym.sym_dims = [] then Storage.scalar_binding sym.sym_type
+             else Storage.array_binding sym.sym_type (eval_dims st fr sym)))
     in
     Hashtbl.replace fr.vars name b;
     b
@@ -140,8 +169,9 @@ and common_binding st fr blk (sym : symbol) =
   | Some b -> b
   | None ->
     let b =
-      if sym.sym_dims = [] then Storage.scalar_binding sym.sym_type
-      else Storage.array_binding sym.sym_type (eval_dims st fr sym)
+      maybe_seed st key
+        (if sym.sym_dims = [] then Storage.scalar_binding sym.sym_type
+         else Storage.array_binding sym.sym_type (eval_dims st fr sym))
     in
     Hashtbl.replace st.commons key b;
     b
@@ -519,29 +549,36 @@ type result = {
       (** final values of the main unit's scalar variables *)
 }
 
-(** Run the main program unit to completion. *)
-let run ?cfg (prog : Program.t) : result =
+(* run the main unit and hand back the full machine state *)
+let run_main ?cfg (prog : Program.t) : state * frame =
   let st = fresh_state ?cfg prog in
   let main = Program.main prog in
   let fr = { unit_ = main; vars = Hashtbl.create 32 } in
   run_unit_body st fr;
-  let final =
-    Hashtbl.fold
-      (fun name (b : Storage.binding) acc ->
-        if b.dims = [] then (name, Storage.read_elem b.view 0) :: acc else acc)
-      fr.vars []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  { time = st.time; output = List.rev st.output; final }
+  (st, fr)
+
+let sorted_by_name xs = List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+let final_scalars (fr : frame) =
+  Hashtbl.fold
+    (fun name (b : Storage.binding) acc ->
+      if b.dims = [] then (name, Storage.read_elem b.view 0) :: acc else acc)
+    fr.vars []
+  |> sorted_by_name
+
+let result_of (st : state) (fr : frame) : result =
+  { time = st.time; output = List.rev st.output; final = final_scalars fr }
+
+(** Run the main program unit to completion. *)
+let run ?cfg (prog : Program.t) : result =
+  let st, fr = run_main ?cfg prog in
+  result_of st fr
 
 (** Like {!run} but also returns every array of the main frame, flattened,
     for memory-equivalence checks between original and transformed code. *)
 let run_capture ?cfg (prog : Program.t) :
     result * (string * float array) list =
-  let st = fresh_state ?cfg prog in
-  let main = Program.main prog in
-  let fr = { unit_ = main; vars = Hashtbl.create 32 } in
-  run_unit_body st fr;
+  let st, fr = run_main ?cfg prog in
   let arrays =
     Hashtbl.fold
       (fun name (b : Storage.binding) acc ->
@@ -554,13 +591,36 @@ let run_capture ?cfg (prog : Program.t) :
           done;
           (name, out) :: acc)
       fr.vars []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> sorted_by_name
   in
-  let final =
+  (result_of st fr, arrays)
+
+(** Typed full-state capture for the translation-validation oracle:
+    the {!result} plus every main-frame array and every COMMON member,
+    flattened to typed values so integers and logicals compare
+    bit-for-bit and floats can be compared within an ULP tolerance. *)
+type capture = {
+  cap_result : result;
+  cap_arrays : (string * Value.t array) list;   (** main-frame arrays *)
+  cap_commons : (string * Value.t array) list;  (** key "BLK/NAME" *)
+}
+
+let values_of_binding (b : Storage.binding) =
+  Array.init (Storage.extent_of b) (fun i -> Storage.read_elem b.view i)
+
+let run_full ?cfg (prog : Program.t) : capture =
+  let st, fr = run_main ?cfg prog in
+  let arrays =
     Hashtbl.fold
       (fun name (b : Storage.binding) acc ->
-        if b.dims = [] then (name, Storage.read_elem b.view 0) :: acc else acc)
+        if b.dims = [] then acc else (name, values_of_binding b) :: acc)
       fr.vars []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> sorted_by_name
   in
-  ({ time = st.time; output = List.rev st.output; final }, arrays)
+  let commons =
+    Hashtbl.fold
+      (fun key (b : Storage.binding) acc -> (key, values_of_binding b) :: acc)
+      st.commons []
+    |> sorted_by_name
+  in
+  { cap_result = result_of st fr; cap_arrays = arrays; cap_commons = commons }

@@ -1,0 +1,223 @@
+(** Translation-validation oracle: differential execution.
+
+    Polaris's credibility rested on pervasive consistency assertions
+    (paper §2); the analogue for a reproduction that transforms programs
+    is an end-to-end check that the transformed program computes the
+    same answers as the original.  This module runs an original /
+    transformed program pair through {!Machine.Interp} on deterministic
+    initial stores (zero-filled, plus optional splitmix64-seeded fills)
+    and compares the observable final states:
+
+    - PRINT output must match exactly (execution is sequential under
+      every timing model, so even float output is deterministic);
+    - integer and logical storage must match bit-for-bit;
+    - float storage must match within a configurable ULP tolerance
+      (headroom for reduction-reordering transforms).
+
+    The transformed program is executed under serial timing and under
+    parallel (DOALL-honouring) timing at each requested machine size, so
+    the annotation-driven timing paths are exercised as well. *)
+
+open Machine
+
+(* ------------------------------------------------------------------ *)
+(* Float and value comparison                                          *)
+
+type cmp = { ulp_tol : int }
+
+let default_cmp = { ulp_tol = 2 }
+
+(** Distance between two floats in units-in-the-last-place, using the
+    monotone integer encoding of IEEE-754 doubles.  NaN/NaN compare as
+    0; NaN against a number is [max_int]. *)
+let ulp_diff a b =
+  if a = b then 0 (* also identifies +0.0 with -0.0 *)
+  else if Float.is_nan a && Float.is_nan b then 0
+  else if Float.is_nan a || Float.is_nan b then max_int
+  else
+    let key x =
+      let bits = Int64.bits_of_float x in
+      if Int64.compare bits 0L >= 0 then bits else Int64.sub Int64.min_int bits
+    in
+    let d = Int64.abs (Int64.sub (key a) (key b)) in
+    if Int64.compare d (Int64.of_int max_int) > 0 || Int64.compare d 0L < 0
+    then max_int
+    else Int64.to_int d
+
+let value_close (c : cmp) (a : Value.t) (b : Value.t) =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> x = y
+  | Value.Bool x, Value.Bool y -> x = y
+  | Value.Str x, Value.Str y -> String.equal x y
+  | Value.Real x, Value.Real y -> ulp_diff x y <= c.ulp_tol
+  | _ ->
+    (* mixed numeric kinds should not arise (same variable, same type);
+       fall back to exact numeric equality *)
+    (try Value.to_float a = Value.to_float b with Value.Type_error _ -> false)
+
+(** Storage-level comparator (used by the speculative checkpoint test):
+    integers and logicals bit-for-bit, floats within the tolerance. *)
+let data_close ?(cmp = default_cmp) (a : Storage.data) (b : Storage.data) =
+  match (a, b) with
+  | Storage.Iarr x, Storage.Iarr y -> x = y
+  | Storage.Barr x, Storage.Barr y -> x = y
+  | Storage.Farr x, Storage.Farr y ->
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i v -> if ulp_diff v y.(i) > cmp.ulp_tol then ok := false) x;
+        !ok)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+type outcome =
+  | Finished of Interp.capture
+  | Fault of string  (** runtime error; two faulting runs compare equal *)
+
+let execute ?seed ?(parallel = false) ?(procs = 8) (p : Fir.Program.t) :
+    outcome =
+  let cfg = Interp.default_config ~parallel ~procs ?seed () in
+  try Finished (Interp.run_full ~cfg p) with
+  | Interp.Runtime_error m -> Fault ("runtime error: " ^ m)
+  | Interp.Fuel_exhausted -> Fault "fuel exhausted"
+  | Storage.Fault m -> Fault ("storage fault: " ^ m)
+  | Value.Type_error m -> Fault ("type error: " ^ m)
+  | Division_by_zero -> Fault "division by zero"
+
+(* ------------------------------------------------------------------ *)
+(* Capture comparison                                                  *)
+
+type divergence = {
+  at : string;       (** location: "output", "scalar X", "array A[17]" *)
+  expected : string;
+  got : string;
+}
+
+let pp_divergence ppf (d : divergence) =
+  Fmt.pf ppf "%s: expected %s, got %s" d.at d.expected d.got
+
+(* compare only names both sides bind: transformation passes may remove
+   dead locals (deadcode) or add remapped ones (inlining); locals are
+   not observable, so the common names are the comparable store *)
+let common_names a b =
+  List.filter_map
+    (fun (name, x) ->
+      match List.assoc_opt name b with
+      | Some y -> Some (name, x, y)
+      | None -> None)
+    a
+
+let compare_captures (c : cmp) (ref_ : Interp.capture) (got : Interp.capture) :
+    divergence list =
+  let divs = ref [] in
+  let add at expected got = divs := { at; expected; got } :: !divs in
+  (* PRINT output: exact, line by line *)
+  let ro = ref_.cap_result.output and go = got.cap_result.output in
+  if List.length ro <> List.length go then
+    add "output" (Fmt.str "%d lines" (List.length ro))
+      (Fmt.str "%d lines" (List.length go))
+  else
+    List.iteri
+      (fun i (a, b) ->
+        if not (String.equal a b) then
+          add (Fmt.str "output line %d" (i + 1)) a b)
+      (List.combine ro go);
+  (* main-frame scalars *)
+  List.iter
+    (fun (name, x, y) ->
+      if not (value_close c x y) then
+        add ("scalar " ^ name) (Value.to_string x) (Value.to_string y))
+    (common_names ref_.cap_result.final got.cap_result.final);
+  (* main-frame arrays and COMMON members *)
+  let compare_arrays kind ref_arrays got_arrays =
+    List.iter
+      (fun (name, x, y) ->
+        if Array.length x <> Array.length y then
+          add
+            (Fmt.str "%s %s" kind name)
+            (Fmt.str "%d elements" (Array.length x))
+            (Fmt.str "%d elements" (Array.length y))
+        else
+          Array.iteri
+            (fun i v ->
+              if not (value_close c v y.(i)) then
+                add
+                  (Fmt.str "%s %s[%d]" kind name i)
+                  (Value.to_string v) (Value.to_string y.(i)))
+            x)
+      (common_names ref_arrays got_arrays)
+  in
+  compare_arrays "array" ref_.cap_arrays got.cap_arrays;
+  compare_arrays "common" ref_.cap_commons got.cap_commons;
+  List.rev !divs
+
+let compare_outcomes (c : cmp) (ref_ : outcome) (got : outcome) :
+    divergence list =
+  match (ref_, got) with
+  | Finished a, Finished b -> compare_captures c a b
+  | Fault _, Fault _ ->
+    (* both executions fault: a transformation may legitimately move the
+       fault point, so messages are not compared *)
+    []
+  | Fault m, Finished _ -> [ { at = "termination"; expected = "fault: " ^ m; got = "normal completion" } ]
+  | Finished _, Fault m -> [ { at = "termination"; expected = "normal completion"; got = "fault: " ^ m } ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential oracle                                             *)
+
+type check = {
+  context : string;  (** e.g. "seed=7 parallel p=4" *)
+  divergences : divergence list;  (** non-empty *)
+}
+
+type report = {
+  checks : int;             (** differential runs performed *)
+  failures : check list;
+}
+
+let equivalent (r : report) = r.failures = []
+
+let pp_report ppf (r : report) =
+  if equivalent r then Fmt.pf ppf "equivalent (%d checks)" r.checks
+  else
+    Fmt.pf ppf "DIVERGED in %d of %d checks:@,%a" (List.length r.failures)
+      r.checks
+      (Fmt.list ~sep:Fmt.cut (fun ppf (ck : check) ->
+           Fmt.pf ppf "  [%s] %a" ck.context
+             (Fmt.list ~sep:(Fmt.any "; ") pp_divergence)
+             (List.filteri (fun i _ -> i < 3) ck.divergences)))
+      r.failures
+
+(** Differentially execute [transformed] against [original].
+
+    For the zero-filled store and each seeded store, the original is run
+    serially (the reference) and the transformed program is run serially
+    and with parallel timing at each machine size of [procs_list]. *)
+let differential ?(cmp = default_cmp) ?(procs_list = [ 1; 2; 4; 8 ])
+    ?(seeds = []) ~(original : Fir.Program.t)
+    ~(transformed : Fir.Program.t) () : report =
+  let checks = ref 0 in
+  let failures = ref [] in
+  let stores = None :: List.map Option.some seeds in
+  List.iter
+    (fun seed ->
+      let seed_ctx =
+        match seed with None -> "zero-init" | Some s -> Fmt.str "seed=%d" s
+      in
+      let reference = execute ?seed original in
+      let check context run =
+        incr checks;
+        let divergences = compare_outcomes cmp reference run in
+        if divergences <> [] then
+          failures := { context; divergences } :: !failures
+      in
+      check (seed_ctx ^ " serial") (execute ?seed transformed);
+      List.iter
+        (fun procs ->
+          check
+            (Fmt.str "%s parallel p=%d" seed_ctx procs)
+            (execute ?seed ~parallel:true ~procs transformed))
+        procs_list)
+    stores;
+  { checks = !checks; failures = List.rev !failures }

@@ -1,0 +1,153 @@
+(** Pass-level snapshot validation: localize a divergence to the pass
+    that introduced it.
+
+    Hooks into {!Core.Pipeline}'s observer to deep-copy the program
+    after every pass, then replays the snapshots in order through the
+    {!Oracle} (each against the untransformed original) and through
+    {!Fir.Consistency} (the paper's p_assert discipline).  The first
+    snapshot that fails names the guilty pass — the whole-pipeline
+    analogue of bisecting a miscompile. *)
+
+type stage_status =
+  | Ok_validated of Oracle.report  (** consistency + oracle both passed *)
+  | Skipped_unchanged    (** snapshot textually identical to the previous *)
+  | Inconsistent of string         (** {!Fir.Consistency.Violation} *)
+  | Diverged of Oracle.report
+
+type stage_report = {
+  stage : string;
+  status : stage_status;
+}
+
+type report = {
+  stages : stage_report list;
+  failed_stage : string option;  (** first stage that failed, if any *)
+  trace : Trace.t option;        (** flight record, when compiled here *)
+}
+
+let ok (r : report) = r.failed_stage = None
+
+let status_failed = function
+  | Ok_validated _ | Skipped_unchanged -> false
+  | Inconsistent _ | Diverged _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Core: validate an ordered list of snapshots against the original    *)
+
+let validate_snapshots ?cmp ?procs_list ?seeds ~(original : Fir.Program.t)
+    (snaps : (string * Fir.Program.t) list) : stage_report list * string option
+    =
+  let prev_src = ref None in
+  let failed = ref None in
+  let stages =
+    List.map
+      (fun (stage, prog) ->
+        let src = Frontend.Unparse.program_to_string prog in
+        let status =
+          if !prev_src = Some src then Skipped_unchanged
+          else begin
+            prev_src := Some src;
+            match Fir.Consistency.check prog with
+            | exception Fir.Consistency.Violation m -> Inconsistent m
+            | _ ->
+              let r =
+                Oracle.differential ?cmp ?procs_list ?seeds ~original
+                  ~transformed:prog ()
+              in
+              if Oracle.equivalent r then Ok_validated r else Diverged r
+          end
+        in
+        if !failed = None && status_failed status then failed := Some stage;
+        { stage; status })
+      snaps
+  in
+  (stages, !failed)
+
+(** Validate an explicit stage list: each stage mutates the working copy
+    in place, and every intermediate state is checked.  This is how the
+    mutation smoke tests inject a deliberately broken pass and assert
+    the oracle localizes it. *)
+let validate_stages ?cmp ?procs_list ?seeds ~(original : Fir.Program.t)
+    (stages : (string * (Fir.Program.t -> unit)) list) : report =
+  let work = Fir.Program.copy original in
+  let snaps =
+    List.map
+      (fun (name, pass) ->
+        pass work;
+        (name, Fir.Program.copy work))
+      stages
+  in
+  let stages, failed_stage =
+    validate_snapshots ?cmp ?procs_list ?seeds ~original snaps
+  in
+  { stages; failed_stage; trace = None }
+
+(** Compile [source] under [config] with the oracle attached to every
+    pass boundary and the flight recorder running.  Returns the ordinary
+    pipeline result plus the validation report. *)
+let validated_compile ?cmp ?procs_list ?seeds (config : Core.Config.t)
+    (source : string) : Core.Pipeline.t * report =
+  let original = Frontend.Parser.parse_string source in
+  let recorder = Trace.create () in
+  let snaps = ref [] in
+  let observer pass prog =
+    Trace.observe recorder pass prog;
+    snaps := (pass, Fir.Program.copy prog) :: !snaps
+  in
+  let t = Core.Pipeline.compile ~observer config source in
+  let trace = Trace.finish recorder t in
+  let stages, failed_stage =
+    validate_snapshots ?cmp ?procs_list ?seeds ~original (List.rev !snaps)
+  in
+  (t, { stages; failed_stage; trace = Some trace })
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let pp_stage ppf (s : stage_report) =
+  match s.status with
+  | Ok_validated r -> Fmt.pf ppf "  %-12s ok (%d checks)" s.stage r.checks
+  | Skipped_unchanged -> Fmt.pf ppf "  %-12s unchanged" s.stage
+  | Inconsistent m -> Fmt.pf ppf "  %-12s IR INCONSISTENT: %s" s.stage m
+  | Diverged r -> Fmt.pf ppf "  %-12s %a" s.stage Oracle.pp_report r
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_stage) r.stages;
+  match r.failed_stage with
+  | None -> Fmt.pf ppf "@,validation: PASS (%d stages)" (List.length r.stages)
+  | Some s -> Fmt.pf ppf "@,validation: FAIL — first divergence in pass '%s'" s
+
+let report_json (r : report) : string =
+  let open Trace.Json in
+  let stage_json (s : stage_report) =
+    let status, detail =
+      match s.status with
+      | Ok_validated rep -> ("ok", int rep.checks)
+      | Skipped_unchanged -> ("unchanged", null)
+      | Inconsistent m -> ("inconsistent", str m)
+      | Diverged rep ->
+        ( "diverged",
+          arr
+            (List.map
+               (fun (ck : Oracle.check) ->
+                 obj
+                   [ ("context", str ck.context);
+                     ( "divergences",
+                       arr
+                         (List.map
+                            (fun (d : Oracle.divergence) ->
+                              obj
+                                [ ("at", str d.at);
+                                  ("expected", str d.expected);
+                                  ("got", str d.got) ])
+                            ck.divergences) ) ])
+               rep.failures) )
+    in
+    obj [ ("stage", str s.stage); ("status", str status); ("detail", detail) ]
+  in
+  obj
+    [ ("stages", arr (List.map stage_json r.stages));
+      ( "failed_stage",
+        match r.failed_stage with None -> null | Some s -> str s );
+      ( "trace",
+        match r.trace with None -> null | Some t -> Trace.to_json t ) ]

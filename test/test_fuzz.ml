@@ -108,7 +108,8 @@ let run_program ?(parallel = false) (p : Program.t) =
 
 let check_one (seed : int) : bool =
   let src = gen_program (Util.Prng.create seed) in
-  let reference, ref_mem = run_program (Frontend.Parser.parse_string src) in
+  let original = Frontend.Parser.parse_string src in
+  let reference, ref_mem = run_program original in
   List.for_all
     (fun cfg ->
       let t = Core.Pipeline.compile cfg src in
@@ -119,12 +120,21 @@ let check_one (seed : int) : bool =
       let serial, serial_mem = run_program t.program in
       let par, par_mem = run_program ~parallel:true t.program in
       let rep, rep_mem = run_program reparsed in
+      (* the lib/valid translation-validation oracle as a second judge:
+         ULP-tolerant, multiple machine sizes, plus a seeded initial
+         store (safe here: single unit, no CALLs, so seeding by name is
+         stable across the transformation) *)
+      let oracle =
+        Valid.Oracle.differential ~procs_list:[ 2; 8 ]
+          ~seeds:[ seed land 0xFFFF ] ~original ~transformed:t.program ()
+      in
       reference.output = serial.output
       && ref_mem = serial_mem
       && reference.output = par.output
       && ref_mem = par_mem
       && reference.output = rep.output
-      && ref_mem = rep_mem)
+      && ref_mem = rep_mem
+      && Valid.Oracle.equivalent oracle)
     [ Core.Config.polaris (); Core.Config.baseline () ]
 
 let prop_pipeline_preserves_semantics =

@@ -15,4 +15,5 @@ let () =
       ("core", Test_core.tests);
       ("suite", Test_suite.tests);
       ("fuzz", Test_fuzz.tests);
+      ("valid", Test_valid.tests);
       ("props", Test_props.tests) ]
