@@ -1,9 +1,10 @@
 # Convenience wrapper around dune.  `make check` is the CI entry point:
-# build, unit/property tests, then translation-validate the full
-# evaluation suite by differential execution (bit-for-bit integers,
-# 2-ULP floats, serial + p in {1,2,4,8}).
+# build, unit/property tests, translation-validate the full evaluation
+# suite by differential execution (bit-for-bit integers, 2-ULP floats,
+# serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
+# faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate check bench clean
+.PHONY: all build test validate chaos check bench clean
 
 all: build
 
@@ -14,11 +15,15 @@ test: build
 	dune runtest
 
 validate: build
-	dune exec bin/polaris_cli.exe -- validate --suite
+	dune exec bin/polaris_cli.exe -- validate --suite --trace trace-report.json
+
+chaos: build
+	dune exec bin/polaris_cli.exe -- chaos --seeds 120 --out chaos-report.json
 
 check: build
 	dune runtest
-	dune exec bin/polaris_cli.exe -- validate --suite
+	dune exec bin/polaris_cli.exe -- validate --suite --trace trace-report.json
+	dune exec bin/polaris_cli.exe -- chaos --seeds 120 --out chaos-report.json
 
 bench: build
 	dune exec bench/main.exe -- all

@@ -412,7 +412,8 @@ let validate () =
     { Dep.Driver.range_proved = now.range_proved - dep0.range_proved;
       range_failed = now.range_failed - dep0.range_failed;
       linear_proved = now.linear_proved - dep0.linear_proved;
-      linear_failed = now.linear_failed - dep0.linear_failed }
+      linear_failed = now.linear_failed - dep0.linear_failed;
+      unknown = now.unknown - dep0.unknown }
   in
   Printf.printf
     "\ndependence tests during validation: range %d/%d proved, gcd/banerjee %d/%d proved\n"
@@ -485,12 +486,32 @@ let ablation () =
     [ "TRFD"; "OCEAN"; "ARC2D"; "TFFT2"; "MDG" ]
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: fault-injection resilience of the fail-safe pipeline         *)
+
+let chaos () =
+  section
+    "chaos: seeded fault injection (exceptions, IR corruption, budget \
+     exhaustion)";
+  let sources = Valid.Chaos.default_sources () in
+  let sweep =
+    Valid.Chaos.run_sweep ~procs_list:[ 4 ] ~first_seed:1 ~n:100 sources
+  in
+  Printf.printf
+    "seeds run            : %d\nfaults contained     : %d\ncontract failures    : %d\nstrict-mode failures : %d\n"
+    sweep.sw_seeds sweep.sw_contained
+    (List.length sweep.sw_failures)
+    (List.length sweep.sw_strict_failures);
+  List.iter
+    (fun o -> Fmt.pr "  %a@." Valid.Chaos.pp_outcome o)
+    sweep.sw_failures;
+  Printf.printf "chaos failures: %d (expected 0)\n"
+    (List.length sweep.sw_failures + List.length sweep.sw_strict_failures)
 
 let experiments =
   [ ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("coverage", coverage); ("validate", validate); ("ablation", ablation);
-    ("micro", micro) ]
+    ("chaos", chaos); ("micro", micro) ]
 
 let () =
   match Sys.argv with

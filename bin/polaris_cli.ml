@@ -40,6 +40,9 @@ let with_errors f =
   | Machine.Interp.Runtime_error m ->
     Fmt.epr "polaris: runtime error: %s@." m;
     exit 1
+  | Machine.Interp.Fuel_exhausted m ->
+    Fmt.epr "polaris: execution fuel exhausted %s@." m;
+    exit 1
   | Machine.Storage.Fault m ->
     Fmt.epr "polaris: storage fault: %s@." m;
     exit 1
@@ -50,6 +53,27 @@ let with_errors f =
 let config_of ~baseline ~procs =
   if baseline then Core.Config.baseline ~procs ()
   else Core.Config.polaris ~procs ()
+
+let strict_flag =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Disable fault containment: re-raise the first pass fault instead \
+           of rolling the pass back (debugging)")
+
+(* fail-safe contract: a compilation that contained pass faults still
+   produced a correct (possibly less optimized) program, but the caller
+   must be able to tell — exit 2, distinct from hard failures (exit 1) *)
+let exit_on_incidents (t : Core.Pipeline.t) =
+  if t.incidents <> [] then begin
+    Fmt.epr "polaris: compiled with %d contained incident(s):@."
+      (List.length t.incidents);
+    List.iter
+      (fun i -> Fmt.epr "  %a@." Core.Pipeline.pp_incident i)
+      t.incidents;
+    exit 2
+  end
 
 let file_pos =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
@@ -70,18 +94,20 @@ let compile_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the transformed source")
   in
-  let run file baseline quiet =
+  let run file baseline quiet strict =
     with_errors (fun () ->
         let file = required_file file in
         let t =
-          Core.Pipeline.compile (config_of ~baseline ~procs:8) (read_file file)
+          Core.Pipeline.compile ~strict (config_of ~baseline ~procs:8)
+            (read_file file)
         in
         if not quiet then Fmt.pr "%a@." Core.Pipeline.pp_summary t;
-        print_string (Core.Pipeline.output_source t))
+        print_string (Core.Pipeline.output_source t);
+        exit_on_incidents t)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Restructure a Fortran program and print it")
-    Term.(const run $ file_pos $ baseline $ quiet)
+    Term.(const run $ file_pos $ baseline $ quiet $ strict_flag)
 
 (* ----- run ----- *)
 
@@ -92,20 +118,21 @@ let run_cmd =
   let procs =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
-  let go file baseline procs =
+  let go file baseline procs strict =
     with_errors (fun () ->
         let file = required_file file in
         let cfg = config_of ~baseline ~procs in
-        let t, r = Core.Simulate.compile_and_run cfg (read_file file) in
+        let t, r = Core.Simulate.compile_and_run ~strict cfg (read_file file) in
         Fmt.pr "%a@." Core.Pipeline.pp_summary t;
         Fmt.pr "serial time   : %d@." r.serial_time;
         Fmt.pr "parallel time : %d (%d processors)@." r.parallel_time procs;
         Fmt.pr "speedup       : %.2fx@." r.speedup;
-        List.iter (fun l -> Fmt.pr "output: %s@." l) r.output)
+        List.iter (fun l -> Fmt.pr "output: %s@." l) r.output;
+        exit_on_incidents t)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated multiprocessor")
-    Term.(const go $ file_pos $ baseline $ procs)
+    Term.(const go $ file_pos $ baseline $ procs $ strict_flag)
 
 (* ----- suite ----- *)
 
@@ -284,10 +311,52 @@ let validate_cmd =
       const go $ file_pos $ suite $ baseline_only $ polaris_only $ ulp $ seeds
       $ procs $ trace_out)
 
+(* ----- chaos ----- *)
+
+let chaos_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeded fault plans to run")
+  in
+  let first_seed =
+    Arg.(value & opt int 1 & info [ "first-seed" ] ~docv:"S" ~doc:"First seed")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"OUT.json"
+          ~doc:"Write the sweep report (failures, incidents) as JSON")
+  in
+  let go seeds first_seed out =
+    with_errors (fun () ->
+        let sources = Valid.Chaos.default_sources () in
+        let sweep =
+          Valid.Chaos.run_sweep ~procs_list:[ 4 ] ~first_seed ~n:seeds sources
+        in
+        Fmt.pr "%a" Valid.Chaos.pp_sweep sweep;
+        (match out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Valid.Chaos.sweep_json sweep);
+          output_string oc "\n";
+          close_out oc;
+          Fmt.pr "chaos report written to %s@." path);
+        if not (Valid.Chaos.sweep_ok sweep) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection sweep: seeded exceptions, IR corruptions and \
+          budget exhaustion must all be contained, attributed and \
+          oracle-equivalent")
+    Term.(const go $ seeds $ first_seed $ out)
+
 let () =
   let doc = "Polaris-style automatic parallelizer (ICPP'96 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "polaris" ~doc)
-          [ compile_cmd; run_cmd; suite_cmd; validate_cmd ]))
+          [ compile_cmd; run_cmd; suite_cmd; validate_cmd; chaos_cmd ]))

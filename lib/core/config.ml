@@ -12,20 +12,31 @@ type t = {
       (** range test + array privatization vs. GCD/Banerjee + scalars *)
   deadcode : bool;            (** dead scalar-assignment cleanup *)
   procs : int;                (** simulated machine size *)
+  budget_steps : int;
+      (** analysis budget: symbolic/dependence-test steps available per
+          loop verdict; exhaustion degrades the verdict to
+          "unknown → serial" (see {!Util.Budget}, {!Dep.Driver}) *)
+  budget_deadline_s : float option;
+      (** optional CPU-seconds deadline per loop verdict, for bounding
+          pathological inputs at the cost of time-dependent verdicts *)
 }
 
 (** The full Polaris configuration (paper §3). *)
 let polaris ?(procs = 8) () =
   { name = "polaris"; inline = true; constprop = true;
     generalized_induction = true; mode = Passes.Parallelize.Polaris;
-    deadcode = true; procs }
+    deadcode = true; procs;
+    budget_steps = Dep.Driver.default_budget_steps;
+    budget_deadline_s = None }
 
 (** The baseline configuration standing in for SGI's PFA: the
     capability set the paper ascribes to "current compilers". *)
 let baseline ?(procs = 8) () =
   { name = "baseline"; inline = false; constprop = true;
     generalized_induction = false; mode = Passes.Parallelize.Baseline;
-    deadcode = true; procs }
+    deadcode = true; procs;
+    budget_steps = Dep.Driver.default_budget_steps;
+    budget_deadline_s = None }
 
 (** Ablations: Polaris minus one technique, for the ablation bench. *)
 let without_inline ?(procs = 8) () =

@@ -13,6 +13,12 @@ type t = {
       (** range test + array privatization vs. GCD/Banerjee + scalars *)
   deadcode : bool;             (** dead scalar-assignment cleanup *)
   procs : int;                 (** simulated machine size *)
+  budget_steps : int;
+      (** analysis budget: symbolic/dependence-test steps available per
+          loop verdict; exhaustion degrades the verdict to
+          "unknown → serial" instead of looping or raising *)
+  budget_deadline_s : float option;
+      (** optional CPU-seconds deadline per loop verdict *)
 }
 
 (** The full Polaris configuration (paper §3). *)

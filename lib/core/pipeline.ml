@@ -4,11 +4,30 @@
     induction substitution → another propagation round (the TRFD
     [X = X0] cleanup) → reduction/dependence/privatization analysis
     (the parallelize driver).  The baseline configuration runs the same
-    skeleton with the weaker capability set. *)
+    skeleton with the weaker capability set.
+
+    {b Fail-safe contract} (paper §2: a restructurer must never
+    miscompile).  Every pass runs inside a fault-containment guard: the
+    program is deep-snapshotted first, the pass result is re-checked
+    with {!Fir.Consistency}, and any exception or consistency violation
+    rolls the program back to the snapshot, disables the guilty
+    capability for the rest of the run, and appends an {!incident}
+    record.  [run]/[compile] therefore never raise past parse errors
+    (unless [strict] is set): the worst possible output is the original
+    program compiled serially, plus a non-empty [incidents] list. *)
 
 type loop_result = {
   unit_name : string;
   report : Passes.Parallelize.loop_report;
+}
+
+(** One contained pass failure. *)
+type incident = {
+  inc_pass : string;      (** guarded pass that failed *)
+  inc_reason : string;    (** exception / violation, backtrace-free *)
+  inc_rolled_back : bool; (** program restored to the pre-pass snapshot *)
+  inc_disabled : string option;
+      (** capability disabled for the remainder of the run, if any *)
 }
 
 type t = {
@@ -17,58 +36,120 @@ type t = {
   loops : loop_result list;
   inductions : (string * string) list;  (** substituted induction vars *)
   inline_stats : Passes.Inline.stats option;
+  incidents : incident list;      (** contained pass failures, in order *)
 }
+
+let pp_incident ppf (i : incident) =
+  Fmt.pf ppf "incident in pass '%s': %s%s%s" i.inc_pass i.inc_reason
+    (if i.inc_rolled_back then " [rolled back]" else "")
+    (match i.inc_disabled with
+    | Some c -> Fmt.str " [capability '%s' disabled]" c
+    | None -> "")
 
 (** Run the configured pipeline on a parsed program (the program is
     transformed in place and returned in the result).
 
-    [observer] is invoked after each pass that actually ran, with the
-    pass name and the (in-place mutated) program — the hook the
-    translation-validation oracle ({!Valid.Snapshot}) and the flight
-    recorder ({!Valid.Trace}) use to snapshot intermediate states and
-    localize a divergence to the pass that introduced it.  The first
-    event is ["parse"], before any transformation. *)
-let run ?(observer : (string -> Fir.Program.t -> unit) option)
+    [observer] is invoked after each pass that ran {e and survived its
+    guard}, with the pass name and the (in-place mutated) program — the
+    hook the translation-validation oracle ({!Valid.Snapshot}) and the
+    flight recorder ({!Valid.Trace}) use to snapshot intermediate states
+    and localize a divergence to the pass that introduced it.  The first
+    event is ["parse"], before any transformation.  A rolled-back pass
+    is not observed: its (discarded) effect is invisible downstream.
+
+    [fault_hook] is invoked {e inside} the guard, right after the pass
+    body and before the post-pass consistency check — the seam the chaos
+    injector ({!Valid.Chaos}) uses to raise exceptions or corrupt the IR
+    at a pass boundary and have the fault attributed to that pass.
+
+    [strict] disables containment: the first fault re-raises (the
+    debugging mode behind [polaris --strict]). *)
+let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
+    ?(fault_hook : (string -> Fir.Program.t -> unit) option)
     (config : Config.t) (program : Fir.Program.t) : t =
   let obs name = match observer with Some f -> f name program | None -> () in
+  let incidents = ref [] in
+  let disabled = ref [] in
+  let enabled cap = not (List.mem cap !disabled) in
+  (* run one pass under the containment guard; [disables] is the
+     capability to switch off if the pass faults (its later runs are
+     skipped — e.g. a crashed first propagation round disables the
+     second) *)
+  let guard : 'a. pass:string -> ?disables:string -> (unit -> 'a) -> 'a option
+      =
+   fun ~pass ?disables f ->
+    let snapshot = Fir.Program.copy program in
+    match
+      let v = f () in
+      (match fault_hook with Some h -> h pass program | None -> ());
+      ignore (Fir.Consistency.check program : Fir.Program.t);
+      v
+    with
+    | v ->
+      obs pass;
+      Some v
+    | exception e ->
+      if strict then raise e;
+      let reason =
+        match e with
+        | Fir.Consistency.Violation m ->
+          "post-pass IR consistency violation: " ^ m
+        | e -> Printexc.to_string e
+      in
+      Fir.Program.restore ~from:snapshot program;
+      Option.iter (fun c -> disabled := c :: !disabled) disables;
+      incidents :=
+        { inc_pass = pass; inc_reason = reason; inc_rolled_back = true;
+          inc_disabled = disables }
+        :: !incidents;
+      None
+  in
   obs "parse";
   let inline_stats =
-    if config.inline then begin
-      let s = Passes.Inline.run program in
-      obs "inline";
-      Some s
-    end
+    if config.inline then
+      guard ~pass:"inline" ~disables:"inline" (fun () ->
+          Passes.Inline.run program)
     else None
   in
-  if config.constprop then begin
-    Passes.Constprop.run program;
-    obs "constprop"
-  end;
+  if config.constprop then
+    ignore
+      (guard ~pass:"constprop" ~disables:"constprop" (fun () ->
+           Passes.Constprop.run program));
   let inductions =
-    Passes.Induction.run ~generalized:config.generalized_induction program
+    Option.value ~default:[]
+      (guard ~pass:"induction" ~disables:"induction" (fun () ->
+           Passes.Induction.run ~generalized:config.generalized_induction
+             program))
   in
-  obs "induction";
-  if config.constprop then begin
-    Passes.Constprop.run program;
-    obs "constprop2"
-  end;
-  if config.deadcode then begin
-    ignore (Passes.Deadcode.run program);
-    obs "deadcode"
-  end;
-  let reports = Passes.Parallelize.run ~mode:config.mode program in
-  obs "parallelize";
+  if config.constprop && enabled "constprop" then
+    ignore
+      (guard ~pass:"constprop2" ~disables:"constprop" (fun () ->
+           Passes.Constprop.run program));
+  if config.deadcode then
+    ignore
+      (guard ~pass:"deadcode" ~disables:"deadcode" (fun () ->
+           ignore (Passes.Deadcode.run program)));
+  let reports =
+    Option.value ~default:[]
+      (guard ~pass:"parallelize" ~disables:"parallelize" (fun () ->
+           Dep.Driver.with_budget ~steps:config.budget_steps
+             ?deadline_s:config.budget_deadline_s (fun () ->
+               Passes.Parallelize.run ~mode:config.mode program)))
+  in
   let loops =
     List.concat_map
       (fun (unit_name, rs) ->
         List.map (fun report -> { unit_name; report }) rs)
       reports
   in
-  { config; program; loops; inductions; inline_stats }
+  { config; program; loops; inductions; inline_stats;
+    incidents = List.rev !incidents }
 
 (** Parse Fortran source and run the pipeline. *)
-let compile ?observer (config : Config.t) (source : string) : t =
-  run ?observer config (Frontend.Parser.parse_string source)
+let compile ?strict ?observer ?fault_hook (config : Config.t)
+    (source : string) : t =
+  run ?strict ?observer ?fault_hook config
+    (Frontend.Parser.parse_string source)
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -81,6 +162,9 @@ let serial_loops (t : t) =
 
 let speculative_candidates (t : t) =
   List.filter (fun l -> l.report.speculative) t.loops
+
+(** True when every pass survived its guard. *)
+let clean (t : t) = t.incidents = []
 
 (** Annotated Fortran source of the transformed program. *)
 let output_source (t : t) = Frontend.Unparse.program_to_string t.program
@@ -96,4 +180,8 @@ let pp_summary ppf (t : t) =
         (if l.report.parallel then "PARALLEL" else "serial  ")
         (if l.report.speculative then " (speculative candidate)" else "")
         l.report.reason)
-    t.loops
+    t.loops;
+  if t.incidents <> [] then begin
+    Fmt.pf ppf "  compiled with %d incident(s):@." (List.length t.incidents);
+    List.iter (fun i -> Fmt.pf ppf "    %a@." pp_incident i) t.incidents
+  end

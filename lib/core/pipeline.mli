@@ -3,11 +3,30 @@
 
     Pass order (paper §3): inline expansion → constant/copy propagation
     → induction substitution → propagation again → dead-code cleanup →
-    reduction/dependence/privatization analysis. *)
+    reduction/dependence/privatization analysis.
+
+    {b Fail-safe contract.}  Every pass runs inside a fault-containment
+    guard: the program is deep-snapshotted before the pass, the result
+    is re-checked with {!Fir.Consistency}, and any exception or
+    consistency violation rolls the program back to the snapshot,
+    disables the guilty capability for the rest of the run, and appends
+    an {!incident} record.  [run]/[compile] never raise past parse
+    errors (unless [strict] is set): the worst possible output is the
+    original program compiled serially, plus a non-empty incident
+    list. *)
 
 type loop_result = {
   unit_name : string;                      (** enclosing program unit *)
   report : Passes.Parallelize.loop_report; (** the loop's verdict *)
+}
+
+(** One contained pass failure. *)
+type incident = {
+  inc_pass : string;      (** guarded pass that failed *)
+  inc_reason : string;    (** exception / consistency violation *)
+  inc_rolled_back : bool; (** program restored to the pre-pass snapshot *)
+  inc_disabled : string option;
+      (** capability disabled for the remainder of the run, if any *)
 }
 
 type t = {
@@ -17,22 +36,39 @@ type t = {
   inductions : (string * string) list;
       (** substituted induction variables with their region loop *)
   inline_stats : Passes.Inline.stats option;
+  incidents : incident list; (** contained pass failures, in order *)
 }
+
+val pp_incident : Format.formatter -> incident -> unit
 
 (** Run the configured pipeline on a parsed program (transformed in
     place and returned in the result).
 
-    [observer] is called after each pass that actually ran with the pass
-    name and the (mutated) program; the first event is ["parse"].  The
-    translation-validation oracle ({!Valid.Snapshot}) and the flight
-    recorder ({!Valid.Trace}) hook in here to snapshot intermediate
-    states and localize divergences to the pass that introduced them. *)
+    [observer] is called after each pass that ran and survived its
+    guard, with the pass name and the (mutated) program; the first event
+    is ["parse"].  The translation-validation oracle ({!Valid.Snapshot})
+    and the flight recorder ({!Valid.Trace}) hook in here to snapshot
+    intermediate states and localize divergences to the pass that
+    introduced them.  A rolled-back pass is not observed.
+
+    [fault_hook] runs {e inside} each pass's guard, after the pass body
+    and before the consistency check — the fault-injection seam used by
+    {!Valid.Chaos}.
+
+    [strict] disables containment: the first fault re-raises. *)
 val run :
-  ?observer:(string -> Fir.Program.t -> unit) -> Config.t -> Fir.Program.t -> t
+  ?strict:bool ->
+  ?observer:(string -> Fir.Program.t -> unit) ->
+  ?fault_hook:(string -> Fir.Program.t -> unit) ->
+  Config.t -> Fir.Program.t -> t
 
 (** Parse Fortran source and run the pipeline.
     @raise Frontend.Parser.Error on syntax errors. *)
-val compile : ?observer:(string -> Fir.Program.t -> unit) -> Config.t -> string -> t
+val compile :
+  ?strict:bool ->
+  ?observer:(string -> Fir.Program.t -> unit) ->
+  ?fault_hook:(string -> Fir.Program.t -> unit) ->
+  Config.t -> string -> t
 
 val parallel_loops : t -> loop_result list
 val serial_loops : t -> loop_result list
@@ -41,9 +77,12 @@ val serial_loops : t -> loop_result list
     run-time PD test (paper §3.5). *)
 val speculative_candidates : t -> loop_result list
 
+(** True when every pass survived its guard (no incidents). *)
+val clean : t -> bool
+
 (** Annotated Fortran source of the transformed program ([CPOLARIS$]
     directives); re-parses with {!Frontend.Parser}. *)
 val output_source : t -> string
 
-(** Human-readable per-loop summary. *)
+(** Human-readable per-loop summary, including incidents if any. *)
 val pp_summary : Format.formatter -> t -> unit

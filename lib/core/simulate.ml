@@ -40,15 +40,15 @@ let run ?(procs = 8) ?(use_cache = true) (program : Fir.Program.t) : run =
     (the paper's §3.2 note on strength reduction), so timing the
     transformed program serially would overstate both pipelines.
     Returns (pipeline result, run). *)
-let compile_and_run ?(use_cache = true) (config : Config.t) (source : string) :
-    Pipeline.t * run =
+let compile_and_run ?strict ?(use_cache = true) (config : Config.t)
+    (source : string) : Pipeline.t * run =
   let original = Frontend.Parser.parse_string source in
   let serial_cfg =
     Machine.Interp.default_config ~parallel:false ~procs:config.procs
       ~use_cache ()
   in
   let rs = Machine.Interp.run ~cfg:serial_cfg original in
-  let t = Pipeline.compile config source in
+  let t = Pipeline.compile ?strict config source in
   let parallel_cfg =
     Machine.Interp.default_config ~parallel:true ~procs:config.procs
       ~use_cache ()

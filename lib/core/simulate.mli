@@ -18,5 +18,7 @@ val run : ?procs:int -> ?use_cache:bool -> Fir.Program.t -> run
 (** Compile [source] under a configuration and simulate it.  The serial
     reference time is measured on the {e original} program, because
     induction substitution trades recurrences for stronger arithmetic
-    (paper §3.2). *)
-val compile_and_run : ?use_cache:bool -> Config.t -> string -> Pipeline.t * run
+    (paper §3.2).  [strict] is passed to {!Pipeline.compile}: pass
+    faults re-raise instead of being contained. *)
+val compile_and_run :
+  ?strict:bool -> ?use_cache:bool -> Config.t -> string -> Pipeline.t * run

@@ -45,7 +45,8 @@ let loop_contrib ~a ~b ~lo ~hi (dir : direction) : (int * int) option =
     vector [dirs] (one entry per loop of [loops], outermost first)?
     Falls back to [Maybe_dependent] whenever the affine/constant-bounds
     requirements fail. *)
-let test ~(loops : Analysis.Loops.loop list) ~(dirs : direction list)
+let test ?(budget = Util.Budget.unlimited ())
+    ~(loops : Analysis.Loops.loop list) ~(dirs : direction list)
     (f : Symbolic.Poly.t list) (g : Symbolic.Poly.t list) : verdict =
   let indices =
     List.map
@@ -54,6 +55,11 @@ let test ~(loops : Analysis.Loops.loop list) ~(dirs : direction list)
       loops
   in
   if List.length f <> List.length g then Maybe_dependent
+  else if
+    (* each dimension costs one budget step per loop of the nest;
+       an exhausted budget degrades to "dependence possible" (safe) *)
+    not (Util.Budget.spend budget (List.length f * max 1 (List.length loops)))
+  then Maybe_dependent
   else
     let dim_independent (pf, pg) =
       match (Linear.of_poly indices pf, Linear.of_poly indices pg) with
@@ -92,12 +98,14 @@ let test ~(loops : Analysis.Loops.loop list) ~(dirs : direction list)
     position [k], [<] (resp. [>]) at [k] and [*] inside; the loop is
     free of carried dependences for this pair if both are
     [Independent]. *)
-let carries ~(loops : Analysis.Loops.loop list) ~k f g : verdict =
+let carries ?budget ~(loops : Analysis.Loops.loop list) ~k f g : verdict =
   let n = List.length loops in
   let dirs_with at =
     List.init n (fun i -> if i < k then Eq else if i = k then at else Star)
   in
-  match (test ~loops ~dirs:(dirs_with Lt) f g, test ~loops ~dirs:(dirs_with Gt) f g)
+  match
+    ( test ?budget ~loops ~dirs:(dirs_with Lt) f g,
+      test ?budget ~loops ~dirs:(dirs_with Gt) f g )
   with
   | Independent, Independent -> Independent
   | _ -> Maybe_dependent

@@ -30,16 +30,22 @@ type counters = {
   mutable range_failed : int;
   mutable linear_proved : int;  (** gcd/banerjee/siv: independence proved *)
   mutable linear_failed : int;
+  mutable unknown : int;
+      (** verdicts degraded to serial because the analysis budget ran
+          out before the tests could finish (counted on top of the
+          failed counter for the method) *)
 }
 
 let counters =
-  { range_proved = 0; range_failed = 0; linear_proved = 0; linear_failed = 0 }
+  { range_proved = 0; range_failed = 0; linear_proved = 0; linear_failed = 0;
+    unknown = 0 }
 
 let reset_counters () =
   counters.range_proved <- 0;
   counters.range_failed <- 0;
   counters.linear_proved <- 0;
-  counters.linear_failed <- 0
+  counters.linear_failed <- 0;
+  counters.unknown <- 0
 
 (** A copy of the live counters (safe to keep across {!reset_counters}). *)
 let counters_snapshot () = { counters with range_proved = counters.range_proved }
@@ -53,6 +59,31 @@ let record method_ verdict =
 
 let index_name (l : Loops.loop) =
   match l.index with Atom.Avar v -> v | Atom.Aopaque _ -> "?"
+
+(* ------------------------------------------------------------------ *)
+(* Analysis budgets                                                    *)
+
+(** Default step fuel for one {!array_deps} verdict.  Generous: the
+    whole evaluation suite spends well under this per loop; the point is
+    to bound pathological symbolic blow-ups, not to change verdicts. *)
+let default_budget_steps = 200_000
+
+(** Produces the budget for one verdict when the caller passes none.
+    {!Core.Pipeline} installs a factory honouring the configuration's
+    budget (and the chaos injector installs an exhausted one). *)
+let budget_factory : (unit -> Util.Budget.t) ref =
+  ref (fun () -> Util.Budget.create ~steps:default_budget_steps ())
+
+(** Run [f] with budgets drawn as [steps] of fuel plus an optional
+    deadline; restores the previous factory on exit. *)
+let with_budget ?steps ?deadline_s f =
+  let saved = !budget_factory in
+  budget_factory :=
+    (fun () ->
+      Util.Budget.create
+        ~steps:(Option.value steps ~default:default_budget_steps)
+        ?deadline_s ());
+  Fun.protect ~finally:(fun () -> budget_factory := saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Access-pair enumeration                                             *)
@@ -107,13 +138,15 @@ let subscript_issue ~(assigned_scalars : string list)
 
 (* one position test: iterations of [tested] differ, [collapsed] loops
    range-collapse, everything else is fixed *)
-let position_passes env ~(tested : Loops.loop) ~(collapsed : Loops.loop list)
-    (pairs : (Access.t * Access.t) list) : bool =
+let position_passes ~budget env ~(tested : Loops.loop)
+    ~(collapsed : Loops.loop list) (pairs : (Access.t * Access.t) list) : bool
+    =
   let inner = List.map (fun (l : Loops.loop) -> l.index) collapsed in
   let index = index_name tested in
   List.for_all
     (fun ((a : Access.t), (b : Access.t)) ->
-      Range_test.test_pair env ~index ~inner a.subs b.subs = Range_test.Disjoint)
+      Range_test.test_pair ~budget env ~index ~inner a.subs b.subs
+      = Range_test.Disjoint)
     pairs
 
 (* candidate promotion prefixes: empty, each single inner loop, each
@@ -131,8 +164,8 @@ let promotion_prefixes (inner : Loops.loop list) : Loops.loop list list =
   in
   ([] :: singles) @ pairs
 
-let range_test_verdict env ~(target : Loops.loop) ~(inner : Loops.loop list)
-    pairs : verdict =
+let range_test_verdict ~budget env ~(target : Loops.loop)
+    ~(inner : Loops.loop list) pairs : verdict =
   let try_prefix (prefix : Loops.loop list) : bool =
     (* each promoted loop must pass with earlier promotions fixed and
        everything else (including the target) collapsed *)
@@ -142,13 +175,13 @@ let range_test_verdict env ~(target : Loops.loop) ~(inner : Loops.loop list)
         let collapsed =
           target :: List.filter (fun l -> not (List.memq l (before @ [ s ]))) inner
         in
-        position_passes env ~tested:s ~collapsed pairs
+        position_passes ~budget env ~tested:s ~collapsed pairs
         && check_promoted (before @ [ s ]) rest
     in
     check_promoted [] prefix
     &&
     let collapsed = List.filter (fun l -> not (List.memq l prefix)) inner in
-    position_passes env ~tested:target ~collapsed pairs
+    position_passes ~budget env ~tested:target ~collapsed pairs
   in
   let rec first_passing = function
     | [] -> Dependent "range test: overlap possible in every tested order"
@@ -169,14 +202,14 @@ let range_test_verdict env ~(target : Loops.loop) ~(inner : Loops.loop list)
 (* ------------------------------------------------------------------ *)
 (* Baseline: GCD + Banerjee                                            *)
 
-let banerjee_verdict ~(enclosing : Loops.loop list) ~(target : Loops.loop)
-    ~(inner : Loops.loop list) pairs : verdict =
+let banerjee_verdict ~budget ~(enclosing : Loops.loop list)
+    ~(target : Loops.loop) ~(inner : Loops.loop list) pairs : verdict =
   let loops = enclosing @ [ target ] @ inner in
   let k = List.length enclosing in
   let indices = List.map index_name loops in
   let pair_ok ((a : Access.t), (b : Access.t)) =
     Gcd_test.test ~indices a.subs b.subs = Gcd_test.Independent
-    || Banerjee.carries ~loops ~k a.subs b.subs = Banerjee.Independent
+    || Banerjee.carries ~budget ~loops ~k a.subs b.subs = Banerjee.Independent
     || Siv.test
          ~enclosing:(List.map index_name enclosing)
          ~index:(index_name target)
@@ -197,11 +230,17 @@ let banerjee_verdict ~(enclosing : Loops.loop list) ~(target : Loops.loop)
     [accesses] are the accesses of the target's body (use
     {!Analysis.Access.of_block}), already filtered of flagged reduction
     statements.  [env] must include loop-bound facts for enclosing,
-    target and inner loops (use {!Analysis.Loops.nest_env}). *)
-let array_deps ~(method_ : method_) ~(symtab : Fir.Symtab.t)
+    target and inner loops (use {!Analysis.Loops.nest_env}).
+
+    [budget] (default: one drawn from {!budget_factory}) bounds the
+    symbolic work of this one verdict; when it runs out the verdict
+    degrades to a serial "dependence unknown" — never an exception, and
+    never an unsound "independent". *)
+let array_deps ?budget ~(method_ : method_) ~(symtab : Fir.Symtab.t)
     ~(env : Range.env) ~(enclosing : Loops.loop list) ~(target : Loops.loop)
     ~(inner : Loops.loop list) ~(body_writes : string list)
-    ~(accesses : Access.t list) : verdict =
+    ~(accesses : Access.t list) () : verdict =
+  let budget = match budget with Some b -> b | None -> !budget_factory () in
   let body = target.dloop.body in
   let assigned_scalars =
     List.filter
@@ -243,8 +282,21 @@ let array_deps ~(method_ : method_) ~(symtab : Fir.Symtab.t)
       if pairs = [] then Parallel "no conflicting accesses"
       else
         match method_ with
-        | Range_symbolic -> range_test_verdict env ~target ~inner pairs
-        | Banerjee_gcd -> banerjee_verdict ~enclosing ~target ~inner pairs)
+        | Range_symbolic -> range_test_verdict ~budget env ~target ~inner pairs
+        | Banerjee_gcd -> banerjee_verdict ~budget ~enclosing ~target ~inner pairs)
+  in
+  (* a Dependent verdict reached with an exhausted budget is not a
+     disproof, it is "analysis did not finish": degrade explicitly so
+     the reason (and the counters) say so.  A Parallel verdict is kept —
+     a proof that completed before the fuel ran out is still a proof. *)
+  let verdict =
+    match verdict with
+    | Dependent why when Util.Budget.exhausted budget ->
+      counters.unknown <- counters.unknown + 1;
+      Dependent
+        (Fmt.str "analysis budget exhausted: dependence unknown, loop stays serial (last test: %s)"
+           why)
+    | v -> v
   in
   record method_ verdict;
   verdict

@@ -58,10 +58,10 @@ type ranged = {
 
 (** Collapse the [inner] index atoms out of subscript [p] (one array
     dimension) under [env], producing its per-iteration range. *)
-let collapse env ~(inner : Atom.t list) (p : Poly.t) : ranged option =
+let collapse ?budget env ~(inner : Atom.t list) (p : Poly.t) : ranged option =
   match
-    ( Compare.eliminate env `Min ~over:inner p,
-      Compare.eliminate env `Max ~over:inner p )
+    ( Compare.eliminate ?budget env `Min ~over:inner p,
+      Compare.eliminate ?budget env `Max ~over:inner p )
   with
   | Ok rmin, Ok rmax -> Some { rmin; rmax }
   | _ -> None
@@ -71,26 +71,26 @@ let shift_index ~index (p : Poly.t) =
 
 (* prove that range [a] at iteration i never meets range [b] at any
    iteration i' > i of [index] *)
-let disjoint_forward env ~index (a : ranged) (b : ranged) : bool =
+let disjoint_forward ?budget env ~index (a : ranged) (b : ranged) : bool =
   let i = Atom.var index in
   (* adjacent + monotone: max a(i) < min b(i+1), min b nondecreasing *)
-  (Compare.prove_lt env a.rmax (shift_index ~index b.rmin)
-  && Compare.monotonicity env i b.rmin = Compare.Nondecreasing)
+  (Compare.prove_lt ?budget env a.rmax (shift_index ~index b.rmin)
+  && Compare.monotonicity ?budget env i b.rmin = Compare.Nondecreasing)
   || (* decreasing variant: min a(i) > max b(i+1), max b nonincreasing *)
-  (Compare.prove_gt env a.rmin (shift_index ~index b.rmax)
-  && Compare.monotonicity env i b.rmax = Compare.Nonincreasing)
+  (Compare.prove_gt ?budget env a.rmin (shift_index ~index b.rmax)
+  && Compare.monotonicity ?budget env i b.rmax = Compare.Nonincreasing)
 
 (* prove the two accesses can never touch the same element at all
    (distinct or equal iterations): whole-range disjointness *)
-let globally_disjoint env ~index (a : ranged) (b : ranged) : bool =
+let globally_disjoint ?budget env ~index (a : ranged) (b : ranged) : bool =
   let over = [ Atom.var index ] in
-  let amax_all = Compare.eliminate env `Max ~over a.rmax in
-  let bmin_all = Compare.eliminate env `Min ~over b.rmin in
-  let amin_all = Compare.eliminate env `Min ~over a.rmin in
-  let bmax_all = Compare.eliminate env `Max ~over b.rmax in
+  let amax_all = Compare.eliminate ?budget env `Max ~over a.rmax in
+  let bmin_all = Compare.eliminate ?budget env `Min ~over b.rmin in
+  let amin_all = Compare.eliminate ?budget env `Min ~over a.rmin in
+  let bmax_all = Compare.eliminate ?budget env `Max ~over b.rmax in
   match (amax_all, bmin_all, amin_all, bmax_all) with
-  | Ok amax, Ok bmin, _, _ when Compare.prove_lt env amax bmin -> true
-  | _, _, Ok amin, Ok bmax when Compare.prove_gt env amin bmax -> true
+  | Ok amax, Ok bmin, _, _ when Compare.prove_lt ?budget env amax bmin -> true
+  | _, _, Ok amin, Ok bmax when Compare.prove_gt ?budget env amin bmax -> true
   | _ -> false
 
 (** Test one dimension of an access pair for cross-iteration
@@ -99,29 +99,32 @@ let globally_disjoint env ~index (a : ranged) (b : ranged) : bool =
 
     [env] must already contain the bounds facts of every loop in scope
     (see {!Analysis.Loops.nest_env}); it is sanitized here. *)
-let test_dimension env ~(index : string) ~(inner : Atom.t list)
+let test_dimension ?budget env ~(index : string) ~(inner : Atom.t list)
     (f : Poly.t) (g : Poly.t) : pair_verdict =
   let env = sanitize_env env ~index ~keep:inner in
-  match (collapse env ~inner f, collapse env ~inner g) with
+  match (collapse ?budget env ~inner f, collapse ?budget env ~inner g) with
   | Some rf, Some rg ->
     if
       opaque_captures index rf.rmin || opaque_captures index rf.rmax
       || opaque_captures index rg.rmin || opaque_captures index rg.rmax
     then Overlap_possible
-    else if globally_disjoint env ~index rf rg then Disjoint
+    else if globally_disjoint ?budget env ~index rf rg then Disjoint
     else if
       (* both temporal directions must be covered *)
-      disjoint_forward env ~index rf rg && disjoint_forward env ~index rg rf
+      disjoint_forward ?budget env ~index rf rg
+      && disjoint_forward ?budget env ~index rg rf
     then Disjoint
     else Overlap_possible
   | _ -> Overlap_possible
 
 (** Full access-pair test: the pair is independent across iterations of
     [index] if some dimension proves disjoint. *)
-let test_pair env ~index ~inner (f : Poly.t list) (g : Poly.t list) :
+let test_pair ?budget env ~index ~inner (f : Poly.t list) (g : Poly.t list) :
     pair_verdict =
   if List.length f <> List.length g then Overlap_possible
   else if
-    List.exists2 (fun pf pg -> test_dimension env ~index ~inner pf pg = Disjoint) f g
+    List.exists2
+      (fun pf pg -> test_dimension ?budget env ~index ~inner pf pg = Disjoint)
+      f g
   then Disjoint
   else Overlap_possible

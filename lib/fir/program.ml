@@ -33,5 +33,23 @@ let merge a b =
 
 let copy t = { units = List.map Punit.copy t.units }
 
+(** In-place rollback: restore every unit of [t] from [from], a {!copy}
+    taken earlier.  Unit records keep their identity — outstanding
+    references to [t] and its units observe the restored state — while
+    bodies and symbol tables are replaced by fresh deep copies of the
+    snapshot (fresh statement ids, so id-uniqueness invariants hold even
+    if the aborted pass leaked statements elsewhere).
+
+    The unit list itself is immutable, so [t] and [from] always pair up
+    positionally; {!Fir.Consistency} violations introduced by a failed
+    pass are erased wholesale. *)
+let restore ~(from : t) (t : t) =
+  List.iter2
+    (fun (u : Punit.t) (s : Punit.t) ->
+      let fresh = Punit.copy s in
+      u.pu_body <- fresh.pu_body;
+      Symtab.restore ~from:fresh.pu_symtab u.pu_symtab)
+    t.units from.units
+
 let pp ppf t = List.iter (fun u -> Fmt.pf ppf "%a@." Punit.pp u) t.units
 let to_string t = Fmt.str "%a" pp t

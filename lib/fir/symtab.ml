@@ -61,6 +61,14 @@ let symbols (t : t) =
 
 let copy (t : t) : t = Hashtbl.copy t
 
+(** In-place restore of [t] to the contents of [from] (typically an
+    earlier {!copy}); existing references to [t] see the rolled-back
+    state.  The fail-safe pipeline uses this to undo a pass that
+    corrupted the symbol table. *)
+let restore ~(from : t) (t : t) =
+  Hashtbl.reset t;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t k v) from
+
 (** Number of elements of array symbol [s] if all dims are constant. *)
 let const_size (s : symbol) =
   let dim_size (lo, hi) =

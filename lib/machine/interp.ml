@@ -17,7 +17,10 @@ open Fir
 open Ast
 
 exception Runtime_error of string
-exception Fuel_exhausted
+
+(** Raised when execution exceeds [max_steps]; the payload locates the
+    abort: statement count, executing unit, innermost DO loop. *)
+exception Fuel_exhausted of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
 
@@ -72,6 +75,8 @@ type state = {
   mutable time : int;
   mutable steps : int;
   mutable par_depth : int;       (** > 0 when inside a simulated DOALL *)
+  mutable cur_unit : string;     (** unit being executed (fuel diagnostics) *)
+  mutable cur_loop : string option;  (** innermost DO index being executed *)
   mutable output : string list;  (** PRINT lines, reversed *)
   mutable on_access : (rw -> string -> int -> unit) option;
       (** runtime-analysis hook: kind, array name, linear element index *)
@@ -97,7 +102,13 @@ let charge_mem st (v : Storage.view) i =
 
 let tick st =
   st.steps <- st.steps + 1;
-  if st.steps > st.cfg.max_steps then raise Fuel_exhausted
+  if st.steps > st.cfg.max_steps then
+    raise
+      (Fuel_exhausted
+         (Fmt.str "after %d statements in unit %s%s" st.steps st.cur_unit
+            (match st.cur_loop with
+            | Some i -> ", loop DO " ^ i
+            | None -> "")))
 
 (* deterministic per-name seeding of fresh storage: the value stream
    depends only on (seed, name), so the original and the transformed
@@ -446,6 +457,16 @@ and exec_stmt st fr (s : stmt) : outcome =
     Normal
 
 and exec_do st fr sid (d : do_loop) : outcome =
+  (* track the innermost executing loop for fuel-exhaustion diagnostics;
+     restored on normal exit only — on an abort the innermost loop is
+     exactly the location to report *)
+  let enclosing_loop = st.cur_loop in
+  st.cur_loop <- Some d.index;
+  let outcome = exec_do_body st fr sid d in
+  st.cur_loop <- enclosing_loop;
+  outcome
+
+and exec_do_body st fr sid (d : do_loop) : outcome =
   let init = Value.to_int (eval st fr d.init) in
   let limit = Value.to_int (eval st fr d.limit) in
   let step =
@@ -530,17 +551,20 @@ and exec_do st fr sid (d : do_loop) : outcome =
   end
 
 and run_unit_body st (fr : frame) =
-  match exec_block st fr fr.unit_.pu_body with
+  let caller = st.cur_unit in
+  st.cur_unit <- fr.unit_.pu_name;
+  (match exec_block st fr fr.unit_.pu_body with
   | Normal | Returned | Stopped -> ()
-  | Jump l -> error "unit %s: GOTO %d escapes the unit" fr.unit_.pu_name l
+  | Jump l -> error "unit %s: GOTO %d escapes the unit" fr.unit_.pu_name l);
+  st.cur_unit <- caller
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
 let fresh_state ?(cfg = default_config ()) prog =
   { prog; cfg; cache = Cache.create (); commons = Hashtbl.create 8; time = 0;
-    steps = 0; par_depth = 0; output = []; on_access = None;
-    on_loop_iter = None; on_loop_done = None }
+    steps = 0; par_depth = 0; cur_unit = "?"; cur_loop = None; output = [];
+    on_access = None; on_loop_iter = None; on_loop_done = None }
 
 type result = {
   time : int;                 (** simulated time units *)

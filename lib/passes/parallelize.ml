@@ -114,7 +114,7 @@ let analyze_loop ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
             match
               Dep.Driver.array_deps ~method_:method0 ~symtab:u.pu_symtab
                 ~env:env0 ~enclosing ~target ~inner:inner0
-                ~body_writes:body_writes0 ~accesses:accs
+                ~body_writes:body_writes0 ~accesses:accs ()
             with
             | Dep.Driver.Parallel _ -> false (* flag removed: independent *)
             | Dep.Driver.Dependent _ -> true)
@@ -194,7 +194,7 @@ let analyze_loop ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
           if !failed = None then
             match
               Dep.Driver.array_deps ~method_ ~symtab:u.pu_symtab ~env ~enclosing
-                ~target ~inner ~body_writes ~accesses:accs
+                ~target ~inner ~body_writes ~accesses:accs ()
             with
             | Dep.Driver.Parallel how ->
               proof := Fmt.str "%s:%s" name how :: !proof

@@ -475,7 +475,14 @@ let rec walk st env (b : block) : region list =
            written-so-far regions are available while walking it *)
         let fact_actives = List.map (fun f -> f.active) st.facts in
         let probe = { st with failure = st.failure } in
-        let probe_made = try walk probe denv d.body with _ -> [] in
+        (* the probe is best-effort: arithmetic and lookup failures on
+           odd subscripts just mean "no dense regions discovered", but
+           anything else (Stack_overflow, Out_of_memory, genuine bugs)
+           must propagate to the pipeline's fault-containment guard *)
+        let probe_made =
+          try walk probe denv d.body
+          with Division_by_zero | Invalid_argument _ | Not_found -> []
+        in
         List.iter2 (fun f a -> f.active <- a) st.facts fact_actives;
         List.iter
           (fun r ->

@@ -13,6 +13,12 @@ type monotonicity = Nondecreasing | Nonincreasing | Constant | Unknown_mono
 
 let default_fuel = 16
 
+(* the ambient budget when the caller does not thread one: unlimited, so
+   behaviour without a budget is exactly the pre-budget engine (the
+   per-call [fuel] still bounds recursion depth; the budget bounds total
+   work across one verdict) *)
+let no_budget = Util.Budget.unlimited ()
+
 (* atoms to try eliminating, in environment order (innermost scope
    first), duplicates removed *)
 let env_atoms_in_order (env : Range.env) (p : Poly.t) =
@@ -32,16 +38,18 @@ let forward_diff (a : Atom.t) (p : Poly.t) : Poly.t =
   let ap1 = Poly.add (Poly.of_atom a) Poly.one in
   Poly.sub (Poly.subst a ap1 p) p
 
-let rec lower_const ?(fuel = default_fuel) (env : Range.env) (p : Poly.t) :
-    Rat.t option =
-  extremum_const ~fuel env `Min p
+let rec lower_const ?(fuel = default_fuel) ?(budget = no_budget)
+    (env : Range.env) (p : Poly.t) : Rat.t option =
+  extremum_const ~fuel ~budget env `Min p
 
-and upper_const ?(fuel = default_fuel) (env : Range.env) (p : Poly.t) :
-    Rat.t option =
-  extremum_const ~fuel env `Max p
+and upper_const ?(fuel = default_fuel) ?(budget = no_budget)
+    (env : Range.env) (p : Poly.t) : Rat.t option =
+  extremum_const ~fuel ~budget env `Max p
 
-and extremum_const ~fuel env dir p =
-  match eliminate ~fuel ~grow:true env dir ~over:(env_atoms_in_order env p) p with
+and extremum_const ~fuel ~budget env dir p =
+  match
+    eliminate ~fuel ~budget ~grow:true env dir ~over:(env_atoms_in_order env p) p
+  with
   | Ok q | Error q -> Poly.const_val q
 
 (** Eliminate the atoms of [over] from [p] by monotone substitution of
@@ -53,9 +61,10 @@ and extremum_const ~fuel env dir p =
     introduced by substituted bounds are eliminated too (needed when the
     goal is a constant bound and loop bounds are correlated, e.g.
     [K <= I-1] under [I <= N]). *)
-and eliminate ?(fuel = default_fuel) ?(grow = false) (env : Range.env) dir
-    ~(over : Atom.t list) (p : Poly.t) : (Poly.t, Poly.t) result =
-  if fuel <= 0 then Error p
+and eliminate ?(fuel = default_fuel) ?(budget = no_budget) ?(grow = false)
+    (env : Range.env) dir ~(over : Atom.t list) (p : Poly.t) :
+    (Poly.t, Poly.t) result =
+  if fuel <= 0 || not (Util.Budget.spend budget 1) then Error p
   else
     (* substituted bounds may reintroduce over-atoms (cyclic bounds);
        bound the number of elimination rounds *)
@@ -91,12 +100,12 @@ and eliminate ?(fuel = default_fuel) ?(grow = false) (env : Range.env) dir
         else List.filter (fun a -> Poly.contains_atom a p) over
       in
       if present = [] then Ok p
-      else if rounds <= 0 then Error p
+      else if rounds <= 0 || not (Util.Budget.spend budget 1) then Error p
       else
         let rec try_each = function
           | [] -> Error p
           | a :: rest -> (
-            match eliminate_atom ~fuel env dir a p with
+            match eliminate_atom ~fuel ~budget env dir a p with
             | Some p' -> pass p' (rounds - 1)
             | None -> try_each rest)
         in
@@ -106,17 +115,17 @@ and eliminate ?(fuel = default_fuel) ?(grow = false) (env : Range.env) dir
 
 (** Symbolic extremum over every env-bounded atom of [p]; [None] when
     some atom resists elimination. *)
-and extremum ?(fuel = default_fuel) (env : Range.env) dir (p : Poly.t) :
-    Poly.t option =
-  match eliminate ~fuel env dir ~over:(env_atoms_in_order env p) p with
+and extremum ?(fuel = default_fuel) ?(budget = no_budget) (env : Range.env)
+    dir (p : Poly.t) : Poly.t option =
+  match eliminate ~fuel ~budget env dir ~over:(env_atoms_in_order env p) p with
   | Ok q -> Some q
   | Error _ -> None
 
-and eliminate_atom ~fuel env dir a p =
+and eliminate_atom ~fuel ~budget env dir a p =
   match Range.find env a with
   | None -> None
   | Some iv -> (
-    let mono = monotonicity ~fuel:(fuel - 1) env a p in
+    let mono = monotonicity ~fuel:(fuel - 1) ~budget env a p in
     let pick_bound b =
       match b with
       | Range.Finite q when not (Poly.contains_atom a q) ->
@@ -131,19 +140,19 @@ and eliminate_atom ~fuel env dir a p =
 
 (** Monotonicity of [p] in [a] over [env], by the sign of the forward
     difference (which is itself bounded recursively). *)
-and monotonicity ?(fuel = default_fuel) (env : Range.env) (a : Atom.t)
-    (p : Poly.t) : monotonicity =
-  if fuel <= 0 then Unknown_mono
+and monotonicity ?(fuel = default_fuel) ?(budget = no_budget)
+    (env : Range.env) (a : Atom.t) (p : Poly.t) : monotonicity =
+  if fuel <= 0 || not (Util.Budget.spend budget 1) then Unknown_mono
   else
     let d = forward_diff a p in
     if Poly.is_zero d then Constant
     else if
-      match lower_const ~fuel:(fuel - 1) env d with
+      match lower_const ~fuel:(fuel - 1) ~budget env d with
       | Some c -> Rat.sign c >= 0
       | None -> false
     then Nondecreasing
     else if
-      match upper_const ~fuel:(fuel - 1) env d with
+      match upper_const ~fuel:(fuel - 1) ~budget env d with
       | Some c -> Rat.sign c <= 0
       | None -> false
     then Nonincreasing
@@ -158,37 +167,37 @@ let integral_coeffs (p : Poly.t) =
   List.for_all (fun (_, c) -> Rat.is_integer c) p
 
 (** Prove [p >= q] over [env]. *)
-let prove_ge ?fuel env p q =
-  match lower_const ?fuel env (Poly.sub p q) with
+let prove_ge ?fuel ?budget env p q =
+  match lower_const ?fuel ?budget env (Poly.sub p q) with
   | Some c -> Rat.sign c >= 0
   | None -> false
 
 (** Prove [p > q] over [env].  For integral polynomials [p > q] is also
     tried as [p >= q + 1]. *)
-let prove_gt ?fuel env p q =
+let prove_gt ?fuel ?budget env p q =
   let d = Poly.sub p q in
-  match lower_const ?fuel env d with
+  match lower_const ?fuel ?budget env d with
   | Some c ->
     Rat.sign c > 0
     || (integral_coeffs d && Rat.compare c Rat.one >= 0)
   | None ->
     integral_coeffs d
     &&
-    (match lower_const ?fuel env (Poly.sub d Poly.one) with
+    (match lower_const ?fuel ?budget env (Poly.sub d Poly.one) with
     | Some c -> Rat.sign c >= 0
     | None -> false)
 
-let prove_le ?fuel env p q = prove_ge ?fuel env q p
-let prove_lt ?fuel env p q = prove_gt ?fuel env q p
+let prove_le ?fuel ?budget env p q = prove_ge ?fuel ?budget env q p
+let prove_lt ?fuel ?budget env p q = prove_gt ?fuel ?budget env q p
 
 (** Prove [p = q] (canonical equality or zero difference bounds). *)
-let prove_eq ?fuel env p q =
+let prove_eq ?fuel ?budget env p q =
   Poly.equal p q
-  || (prove_ge ?fuel env p q && prove_le ?fuel env p q)
+  || (prove_ge ?fuel ?budget env p q && prove_le ?fuel ?budget env p q)
 
 (** Three-way symbolic comparison when provable. *)
-let compare ?fuel env p q : int option =
-  if prove_eq ?fuel env p q then Some 0
-  else if prove_lt ?fuel env p q then Some (-1)
-  else if prove_gt ?fuel env p q then Some 1
+let compare ?fuel ?budget env p q : int option =
+  if prove_eq ?fuel ?budget env p q then Some 0
+  else if prove_lt ?fuel ?budget env p q then Some (-1)
+  else if prove_gt ?fuel ?budget env p q then Some 1
   else None

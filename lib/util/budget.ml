@@ -1,0 +1,66 @@
+(** Analysis budgets: step fuel plus an optional CPU-time deadline.
+
+    The symbolic engine and the dependence tests are recursive searches
+    whose worst case is exponential; Polaris's answer (paper §2) was that
+    an analysis that cannot finish must fail {e safe} — the verdict
+    degrades to "unknown" and the loop stays serial, it never loops
+    forever or aborts the compilation.  A [Budget.t] is the shared
+    currency of that contract: every elimination / monotonicity step of
+    {!Symbolic.Compare} and every access-pair test of the dependence
+    drivers spends from one budget, and once it is exhausted every
+    further proof attempt answers "unprovable" immediately.
+
+    Exhaustion is sticky: once [spend] refuses, the budget stays
+    exhausted, so a search cannot oscillate between starved and funded
+    sub-proofs.  Budgets are deterministic for a fixed step allowance;
+    the optional deadline (checked against [Sys.time ()]) trades that
+    determinism for a hard bound on pathological inputs and is off by
+    default. *)
+
+type t = {
+  mutable steps : int;       (** remaining step fuel (meaningless if infinite) *)
+  infinite : bool;           (** no step limit *)
+  deadline : float option;   (** absolute [Sys.time] bound *)
+  mutable exhausted : bool;
+}
+
+(** [create ?steps ?deadline_s ()]: a budget with [steps] of fuel
+    (omit for unlimited steps) and an optional deadline [deadline_s]
+    CPU-seconds from now. *)
+let create ?steps ?deadline_s () =
+  { steps = Option.value steps ~default:0;
+    infinite = steps = None;
+    deadline = Option.map (fun d -> Sys.time () +. d) deadline_s;
+    exhausted = false }
+
+(** A budget that never exhausts on its own. *)
+let unlimited () = create ()
+
+let exhausted t = t.exhausted
+
+(** Force exhaustion (the chaos injector's lever; also useful to cancel
+    an in-flight analysis). *)
+let exhaust t = t.exhausted <- true
+
+(** [spend t n] consumes [n] steps.  Returns [true] if the budget still
+    stands, [false] (sticky) if it is now — or already was — exhausted.
+    Callers must treat [false] as "stop proving, answer unknown". *)
+let spend t n =
+  if t.exhausted then false
+  else begin
+    (if not t.infinite then
+       if t.steps < n then t.exhausted <- true
+       else t.steps <- t.steps - n);
+    (match t.deadline with
+    | Some d when Sys.time () > d -> t.exhausted <- true
+    | _ -> ());
+    not t.exhausted
+  end
+
+(** [check t] = [spend t 0]: deadline-only probe. *)
+let check t = spend t 0
+
+let pp ppf t =
+  if t.exhausted then Fmt.string ppf "exhausted"
+  else if t.infinite then Fmt.string ppf "unlimited"
+  else Fmt.pf ppf "%d steps left" t.steps

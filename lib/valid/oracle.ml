@@ -80,7 +80,7 @@ let execute ?seed ?(parallel = false) ?(procs = 8) (p : Fir.Program.t) :
   let cfg = Interp.default_config ~parallel ~procs ?seed () in
   try Finished (Interp.run_full ~cfg p) with
   | Interp.Runtime_error m -> Fault ("runtime error: " ^ m)
-  | Interp.Fuel_exhausted -> Fault "fuel exhausted"
+  | Interp.Fuel_exhausted m -> Fault ("fuel exhausted " ^ m)
   | Storage.Fault m -> Fault ("storage fault: " ^ m)
   | Value.Type_error m -> Fault ("type error: " ^ m)
   | Division_by_zero -> Fault "division by zero"
@@ -160,8 +160,16 @@ let compare_outcomes (c : cmp) (ref_ : outcome) (got : outcome) :
     (* both executions fault: a transformation may legitimately move the
        fault point, so messages are not compared *)
     []
-  | Fault m, Finished _ -> [ { at = "termination"; expected = "fault: " ^ m; got = "normal completion" } ]
-  | Finished _, Fault m -> [ { at = "termination"; expected = "normal completion"; got = "fault: " ^ m } ]
+  | Fault m, Finished _ ->
+    (* name the faulting side: "the original ran out of fuel" reads very
+       differently from "the transformed program ran out of fuel" *)
+    [ { at = "termination";
+        expected = "original program faulted: " ^ m;
+        got = "transformed program completed normally" } ]
+  | Finished _, Fault m ->
+    [ { at = "termination";
+        expected = "original program completed normally";
+        got = "transformed program faulted: " ^ m } ]
 
 (* ------------------------------------------------------------------ *)
 (* The differential oracle                                             *)

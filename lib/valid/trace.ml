@@ -32,6 +32,8 @@ type t = {
   tr_passes : pass_record list;
   tr_dep : Dep.Driver.counters;  (** counters accumulated by this run *)
   tr_loops : loop_record list;
+  tr_incidents : Core.Pipeline.incident list;
+      (** contained pass failures (fail-safe rollbacks) during the run *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -116,7 +118,8 @@ let dep_delta (base : Dep.Driver.counters) (now : Dep.Driver.counters) :
   { Dep.Driver.range_proved = now.range_proved - base.range_proved;
     range_failed = now.range_failed - base.range_failed;
     linear_proved = now.linear_proved - base.linear_proved;
-    linear_failed = now.linear_failed - base.linear_failed }
+    linear_failed = now.linear_failed - base.linear_failed;
+    unknown = now.unknown - base.unknown }
 
 let finish (r : recorder) (t : Core.Pipeline.t) : t =
   let loops =
@@ -132,7 +135,8 @@ let finish (r : recorder) (t : Core.Pipeline.t) : t =
     tr_total_s = Sys.time () -. r.started;
     tr_passes = List.rev r.recs;
     tr_dep = dep_delta r.base_dep (Dep.Driver.counters_snapshot ());
-    tr_loops = loops }
+    tr_loops = loops;
+    tr_incidents = t.incidents }
 
 (** Compile [source] under [config] with the recorder attached. *)
 let record_compile (config : Core.Config.t) (source : string) :
@@ -180,7 +184,16 @@ let dep_json (d : Dep.Driver.counters) =
     [ ("range_proved", Json.int d.range_proved);
       ("range_failed", Json.int d.range_failed);
       ("gcd_banerjee_proved", Json.int d.linear_proved);
-      ("gcd_banerjee_failed", Json.int d.linear_failed) ]
+      ("gcd_banerjee_failed", Json.int d.linear_failed);
+      ("budget_unknown", Json.int d.unknown) ]
+
+let incident_json (i : Core.Pipeline.incident) =
+  Json.obj
+    [ ("pass", Json.str i.inc_pass);
+      ("reason", Json.str i.inc_reason);
+      ("rolled_back", Json.bool i.inc_rolled_back);
+      ( "disabled",
+        match i.inc_disabled with Some c -> Json.str c | None -> Json.null ) ]
 
 let to_json (t : t) : string =
   Json.obj
@@ -207,7 +220,8 @@ let to_json (t : t) : string =
                    ("parallel", Json.bool l.lr_parallel);
                    ("speculative", Json.bool l.lr_speculative);
                    ("reason", Json.str l.lr_reason) ])
-             t.tr_loops) ) ]
+             t.tr_loops) );
+      ("incidents", Json.arr (List.map incident_json t.tr_incidents)) ]
 
 let pp ppf (t : t) =
   Fmt.pf ppf "flight record [%s] %.3fs@," t.tr_config t.tr_total_s;
@@ -220,4 +234,7 @@ let pp ppf (t : t) =
     t.tr_dep.range_proved
     (t.tr_dep.range_proved + t.tr_dep.range_failed)
     t.tr_dep.linear_proved
-    (t.tr_dep.linear_proved + t.tr_dep.linear_failed)
+    (t.tr_dep.linear_proved + t.tr_dep.linear_failed);
+  List.iter
+    (fun i -> Fmt.pf ppf "  %a@," Core.Pipeline.pp_incident i)
+    t.tr_incidents

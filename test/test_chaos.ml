@@ -1,0 +1,246 @@
+(* Fault-injection (chaos) suite for the fail-safe pipeline: injected
+   exceptions and IR corruptions must be contained and attributed by
+   Core.Pipeline, budget exhaustion must degrade verdicts to serial
+   "unknown" (never an unsound "independent"), the degraded output must
+   stay oracle-equivalent to the original, and --strict must re-raise.
+   Everything is seeded, so any failure replays from its seed. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let small_src = {|
+      PROGRAM CHAOTIC
+      INTEGER I, K
+      REAL A(60), S
+      K = 3
+      S = 0.0
+      DO 10 I = 1, 50
+        A(I) = I * 0.5 + K
+ 10   CONTINUE
+      DO 20 I = 1, 50
+        S = S + A(I)
+ 20   CONTINUE
+      PRINT *, S
+      END
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Direct containment checks, one per injected pass                    *)
+
+let test_containment_per_pass () =
+  List.iter
+    (fun pass ->
+      let fault_hook p _prog =
+        if p = pass then failwith ("boom in " ^ pass)
+      in
+      let t =
+        Core.Pipeline.compile ~fault_hook (Core.Config.polaris ()) small_src
+      in
+      Alcotest.(check int)
+        (pass ^ ": exactly one incident")
+        1
+        (List.length t.incidents);
+      let i = List.hd t.incidents in
+      Alcotest.(check string) (pass ^ ": attributed") pass i.inc_pass;
+      Alcotest.(check bool) (pass ^ ": rolled back") true i.inc_rolled_back;
+      (* the surviving program must still be consistent and runnable *)
+      ignore (Fir.Consistency.check t.program);
+      match Valid.Oracle.execute t.program with
+      | Valid.Oracle.Finished _ -> ()
+      | Valid.Oracle.Fault m ->
+        Alcotest.failf "%s: degraded program faults: %s" pass m)
+    [ "inline"; "constprop"; "induction"; "constprop2"; "deadcode";
+      "parallelize" ]
+
+let test_corruption_contained () =
+  (* corrupt the IR inside the guard: the post-pass consistency check
+     must catch it, roll back, and name the violation *)
+  let fault_hook p (prog : Fir.Program.t) =
+    if p = "induction" then
+      match Fir.Program.units prog with
+      | u :: _ -> u.pu_body <- List.hd u.pu_body :: u.pu_body
+      | [] -> ()
+  in
+  let t =
+    Core.Pipeline.compile ~fault_hook (Core.Config.polaris ()) small_src
+  in
+  Alcotest.(check int) "one incident" 1 (List.length t.incidents);
+  let i = List.hd t.incidents in
+  Alcotest.(check string) "attributed to induction" "induction" i.inc_pass;
+  Alcotest.(check bool) "reason names the consistency violation" true
+    (contains i.inc_reason "consistency violation");
+  (* rollback erased the duplicate statement *)
+  ignore (Fir.Consistency.check t.program)
+
+let test_capability_disabled () =
+  (* a fault in the first propagation round must disable the capability:
+     constprop2 is skipped, so exactly one incident, not two *)
+  let fired = ref [] in
+  let fault_hook p _ =
+    if p = "constprop" || p = "constprop2" then begin
+      fired := p :: !fired;
+      failwith "boom"
+    end
+  in
+  let t =
+    Core.Pipeline.compile ~fault_hook (Core.Config.polaris ()) small_src
+  in
+  Alcotest.(check (list string)) "only the first round ran" [ "constprop" ]
+    !fired;
+  Alcotest.(check int) "one incident" 1 (List.length t.incidents);
+  Alcotest.(check (option string)) "capability disabled" (Some "constprop")
+    (List.hd t.incidents).inc_disabled
+
+let test_strict_reraises () =
+  let fault_hook p _ = if p = "deadcode" then failwith "boom" in
+  Alcotest.check_raises "strict re-raises" (Failure "boom") (fun () ->
+      ignore
+        (Core.Pipeline.compile ~strict:true ~fault_hook
+           (Core.Config.polaris ()) small_src))
+
+let test_clean_run_has_no_incidents () =
+  let t = Core.Pipeline.compile (Core.Config.polaris ()) small_src in
+  Alcotest.(check bool) "clean" true (Core.Pipeline.clean t);
+  Alcotest.(check int) "no incidents" 0 (List.length t.incidents)
+
+(* ------------------------------------------------------------------ *)
+(* Budget exhaustion must degrade, never lie                           *)
+
+(* writes A(51..99), reads A(1..49): independent, but only a completed
+   range-test proof shows it (not a reduction, not privatizable); with a
+   zero budget the test exhausts and the verdict must degrade to
+   serial/unknown — never to "independent" *)
+let budget_src = {|
+      PROGRAM TIGHT
+      INTEGER I
+      REAL A(100)
+      DO 10 I = 1, 49
+        A(I+50) = A(I) + 1.0
+ 10   CONTINUE
+      PRINT *, A(60)
+      END
+|}
+
+let test_budget_exhaustion_degrades () =
+  (* sanity: with the default budget the loop parallelizes *)
+  let roomy = Core.Pipeline.compile (Core.Config.polaris ()) budget_src in
+  Alcotest.(check bool) "roomy budget: parallel" true
+    (List.exists
+       (fun (l : Core.Pipeline.loop_result) -> l.report.parallel)
+       roomy.loops);
+  let before = (Dep.Driver.counters_snapshot ()).unknown in
+  let cfg = { (Core.Config.polaris ()) with budget_steps = 0 } in
+  let t = Core.Pipeline.compile cfg budget_src in
+  Alcotest.(check bool) "no incidents (degradation is not a fault)" true
+    (Core.Pipeline.clean t);
+  List.iter
+    (fun (l : Core.Pipeline.loop_result) ->
+      Alcotest.(check bool)
+        ("loop " ^ l.report.loop_index ^ " serial under zero budget")
+        false l.report.parallel;
+      Alcotest.(check bool) "reason says budget exhausted" true
+        (contains l.report.reason "budget exhausted"))
+    t.loops;
+  Alcotest.(check bool) "unknown counter incremented" true
+    ((Dep.Driver.counters_snapshot ()).unknown > before)
+
+(* Non-linear subscripts (I*I+I vs I*I) grind through Symbolic.Compare:
+   the full budget completes the monotonicity proof (the accesses really
+   are disjoint), but a tiny step fuel must exhaust mid-proof and
+   surface as a budget-unknown serial verdict — never an exception and
+   never a wrong "independent" (satellite: ISSUE item 3). *)
+let nonlinear_src = {|
+      PROGRAM NLIN
+      INTEGER I, N
+      REAL A(10000)
+      N = 90
+      DO 10 I = 1, N
+        A(I*I + I) = A(I*I) + 1.0
+ 10   CONTINUE
+      PRINT *, A(2)
+      END
+|}
+
+let test_nonlinear_budget_never_lies () =
+  (* full budget: the proof completes, the loop is genuinely parallel —
+     the budget machinery must not degrade verdicts it can afford *)
+  let roomy = Core.Pipeline.compile (Core.Config.polaris ()) nonlinear_src in
+  Alcotest.(check bool) "full budget: proof completes" true
+    (List.exists
+       (fun (l : Core.Pipeline.loop_result) -> l.report.parallel)
+       roomy.loops);
+  List.iter
+    (fun steps ->
+      let before = (Dep.Driver.counters_snapshot ()).unknown in
+      let cfg = { (Core.Config.polaris ()) with budget_steps = steps } in
+      let t = Core.Pipeline.compile cfg nonlinear_src in
+      Alcotest.(check bool)
+        (Fmt.str "steps=%d: contained" steps)
+        true (Core.Pipeline.clean t);
+      (* starved of fuel, the proof cannot finish: the verdict must land
+         on the safe side (serial, budget-unknown), never on a guessed
+         "independent" and never on an exception *)
+      List.iter
+        (fun (l : Core.Pipeline.loop_result) ->
+          Alcotest.(check bool)
+            (Fmt.str "steps=%d: loop %s serial" steps l.report.loop_index)
+            false l.report.parallel;
+          Alcotest.(check bool)
+            (Fmt.str "steps=%d: reason says budget exhausted" steps)
+            true
+            (contains l.report.reason "budget exhausted"))
+        t.loops;
+      Alcotest.(check bool)
+        (Fmt.str "steps=%d: unknown counter moved" steps)
+        true
+        ((Dep.Driver.counters_snapshot ()).unknown > before))
+    [ 0; 5; 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* The seeded sweep: >= 100 seeds across the suite corpus              *)
+
+let test_sweep () =
+  let sources = Valid.Chaos.default_sources () in
+  let sweep =
+    Valid.Chaos.run_sweep ~procs_list:[ 4 ] ~first_seed:1 ~n:100 sources
+  in
+  if not (Valid.Chaos.sweep_ok sweep) then
+    Alcotest.failf "chaos sweep violated the containment contract:@.%a"
+      Valid.Chaos.pp_sweep sweep;
+  Alcotest.(check int) "100 seeds ran" 100 sweep.sw_seeds;
+  (* injections must actually bite: the overwhelming majority of plans
+     target passes that run, so containment events must be plentiful *)
+  Alcotest.(check bool)
+    (Fmt.str "most seeds contained a fault (%d/100)" sweep.sw_contained)
+    true
+    (sweep.sw_contained >= 60)
+
+let test_plan_determinism () =
+  let p1 = Valid.Chaos.make_plan 42 and p2 = Valid.Chaos.make_plan 42 in
+  Alcotest.(check string) "same seed, same plan"
+    (Fmt.str "%a" Valid.Chaos.pp_plan p1)
+    (Fmt.str "%a" Valid.Chaos.pp_plan p2);
+  let o1 = Valid.Chaos.run_plan p1 small_src
+  and o2 = Valid.Chaos.run_plan p2 small_src in
+  Alcotest.(check string) "same seed, same outcome"
+    (Valid.Chaos.outcome_json o1) (Valid.Chaos.outcome_json o2)
+
+let tests =
+  [ Alcotest.test_case "containment: every pass" `Quick
+      test_containment_per_pass;
+    Alcotest.test_case "containment: IR corruption" `Quick
+      test_corruption_contained;
+    Alcotest.test_case "containment: capability disabled" `Quick
+      test_capability_disabled;
+    Alcotest.test_case "strict mode re-raises" `Quick test_strict_reraises;
+    Alcotest.test_case "clean run has no incidents" `Quick
+      test_clean_run_has_no_incidents;
+    Alcotest.test_case "budget exhaustion degrades to serial" `Quick
+      test_budget_exhaustion_degrades;
+    Alcotest.test_case "non-linear subscript never lies" `Quick
+      test_nonlinear_budget_never_lies;
+    Alcotest.test_case "seeded sweep (100 seeds)" `Slow test_sweep;
+    Alcotest.test_case "plans are deterministic" `Quick
+      test_plan_determinism ]

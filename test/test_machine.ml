@@ -210,10 +210,17 @@ let test_interp_fuel () =
      \      END\n"
   in
   let cfg = { (Machine.Interp.default_config ()) with max_steps = 10_000 } in
-  Alcotest.(check bool) "fuel exhausted" true
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "fuel exhausted, message locates the abort" true
     (match run_src ~cfg src with
     | _ -> false
-    | exception Machine.Interp.Fuel_exhausted -> true)
+    | exception Machine.Interp.Fuel_exhausted m ->
+      (* the message must locate the abort: statement count, unit, loop *)
+      contains m "statements" && contains m "unit")
 
 let test_interp_determinism () =
   let c = Suite.Registry.find "FLO52" in

@@ -16,4 +16,5 @@ let () =
       ("suite", Test_suite.tests);
       ("fuzz", Test_fuzz.tests);
       ("valid", Test_valid.tests);
+      ("chaos", Test_chaos.tests);
       ("props", Test_props.tests) ]
