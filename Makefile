@@ -4,7 +4,7 @@
 # serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
 # faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate chaos check bench clean
+.PHONY: all build test validate chaos check bench perf clean
 
 all: build
 
@@ -27,6 +27,13 @@ check: build
 
 bench: build
 	dune exec bench/main.exe -- all
+
+# Compile-time performance: compiles the 16-code suite N times with the
+# caches off then on, prints per-phase wall time and the speedup, writes
+# BENCH_compile.json, and exits non-zero if cached and uncached
+# compilation outputs or verdicts diverge.
+perf: build
+	dune exec bench/main.exe -- perf 5
 
 clean:
 	dune clean

@@ -460,6 +460,135 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Perf: compile-time speed of the compiler itself, caches on vs. off  *)
+
+type perf_phases = {
+  mutable ph_parse : float;
+  mutable ph_passes : float;
+  mutable ph_dep : float;
+  mutable ph_validate : float;
+}
+
+let perf_total ph = ph.ph_parse +. ph.ph_passes +. ph.ph_dep +. ph.ph_validate
+
+(* one code, one iteration: returns (output source, per-loop verdicts)
+   and accumulates per-phase wall time.  The dep phase is carved out of
+   the pipeline time via Dep.Driver's wall accumulator; "validate" is
+   unparsing the result for the cached-vs-uncached identity check. *)
+let perf_compile_one cfg (ph : perf_phases) (source : string) =
+  let now = Unix.gettimeofday in
+  let t0 = now () in
+  let p =
+    Util.Cachectl.with_enabled cfg.Core.Config.caches (fun () ->
+        Frontend.Parser.parse_string source)
+  in
+  let t1 = now () in
+  let dep0 = Dep.Driver.wall_snapshot () in
+  let t = Core.Pipeline.run cfg p in
+  let t2 = now () in
+  let dep_d = Dep.Driver.wall_snapshot () -. dep0 in
+  let out = Core.Pipeline.output_source t in
+  let verdicts =
+    List.map
+      (fun (l : Core.Pipeline.loop_result) ->
+        ( l.unit_name, l.report.loop_index, l.report.parallel,
+          l.report.speculative, l.report.reason ))
+      t.loops
+  in
+  let t3 = now () in
+  ph.ph_parse <- ph.ph_parse +. (t1 -. t0);
+  ph.ph_passes <- ph.ph_passes +. (t2 -. t1 -. dep_d);
+  ph.ph_dep <- ph.ph_dep +. dep_d;
+  ph.ph_validate <- ph.ph_validate +. (t3 -. t2);
+  (out, verdicts)
+
+(* compile every suite code [n] times under [caches]; returns the phase
+   totals, the per-code results of the first iteration, and the cache
+   counters.  Asserts that iterations within one mode are identical. *)
+let perf_mode ~caches ~n =
+  Util.Cachectl.clear_all ();
+  let cfg = { (Core.Config.polaris ()) with caches } in
+  let ph = { ph_parse = 0.; ph_passes = 0.; ph_dep = 0.; ph_validate = 0. } in
+  let first : (string * (string * (string * string * bool * bool * string) list)) list ref = ref [] in
+  for iter = 1 to n do
+    List.iter
+      (fun (c : Suite.Code.t) ->
+        let result = perf_compile_one cfg ph c.source in
+        if iter = 1 then first := (c.name, result) :: !first
+        else if List.assoc c.name !first <> result then (
+          Printf.eprintf
+            "perf: %s: iteration %d differs from iteration 1 (caches %b)\n"
+            c.name iter caches;
+          exit 1))
+      Suite.Registry.all
+  done;
+  (ph, List.rev !first, Util.Cachectl.snapshot ())
+
+let perf ?(n = 5) () =
+  section
+    (Printf.sprintf
+       "perf: compile the 16-code suite %dx, caches on vs. POLARIS_NO_CACHE \
+        baseline" n);
+  let uncached, base_results, _ = perf_mode ~caches:false ~n in
+  let cached, cached_results, cache_stats = perf_mode ~caches:true ~n in
+  (* the whole point: the caches must be invisible in the output *)
+  let divergent =
+    List.filter
+      (fun (name, result) -> List.assoc name cached_results <> result)
+      base_results
+  in
+  List.iter
+    (fun (name, _) ->
+      Printf.eprintf "perf: DIVERGENCE on %s: cached and uncached compiles \
+                      disagree\n" name)
+    divergent;
+  let identical = divergent = [] in
+  let speedup = perf_total uncached /. perf_total cached in
+  Printf.printf "%-10s | %10s %10s\n" "phase" "uncached" "cached";
+  Printf.printf "%s\n" (String.make 36 '-');
+  let row name f =
+    Printf.printf "%-10s | %9.1fms %9.1fms\n" name (1000. *. f uncached)
+      (1000. *. f cached)
+  in
+  row "parse" (fun p -> p.ph_parse);
+  row "passes" (fun p -> p.ph_passes);
+  row "dep" (fun p -> p.ph_dep);
+  row "validate" (fun p -> p.ph_validate);
+  row "total" perf_total;
+  Printf.printf "\ncache counters (cached mode):\n";
+  List.iter
+    (fun (name, hits, misses) ->
+      Printf.printf "  %-22s %8d hits %8d misses\n" name hits misses)
+    cache_stats;
+  Printf.printf "\noutputs byte-identical, verdicts identical: %b\n" identical;
+  Printf.printf "end-to-end compile speedup: %.2fx\n" speedup;
+  let json =
+    let open Valid.Trace.Json in
+    let phases p =
+      obj
+        [ ("parse_s", float p.ph_parse);
+          ("passes_s", float p.ph_passes);
+          ("dep_s", float p.ph_dep);
+          ("validate_s", float p.ph_validate);
+          ("total_wall_s", float (perf_total p)) ]
+    in
+    obj
+      [ ("iterations", int n);
+        ("codes", int (List.length Suite.Registry.all));
+        ("uncached", phases uncached);
+        ("cached", phases cached);
+        ("caches", Valid.Trace.cache_json cache_stats);
+        ("speedup", float speedup);
+        ("identical_output", bool identical) ]
+  in
+  let oc = open_out "BENCH_compile.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_compile.json\n";
+  if not identical then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: Polaris minus one technique                               *)
 
 let ablation () =
@@ -511,11 +640,17 @@ let experiments =
   [ ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("coverage", coverage); ("validate", validate); ("ablation", ablation);
-    ("chaos", chaos); ("micro", micro) ]
+    ("chaos", chaos); ("micro", micro); ("perf", fun () -> perf ()) ]
 
 let () =
   match Sys.argv with
   | [| _ |] -> List.iter (fun (_, f) -> f ()) experiments
+  | [| _; "perf"; n |] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> perf ~n ()
+    | _ ->
+      Printf.eprintf "usage: %s perf [iterations > 0]\n" Sys.argv.(0);
+      exit 1)
   | [| _; name |] -> (
     match List.assoc_opt name experiments with
     | Some f -> f ()

@@ -19,6 +19,12 @@ type t = {
   budget_deadline_s : float option;
       (** optional CPU-seconds deadline per loop verdict, for bounding
           pathological inputs at the cost of time-dependent verdicts *)
+  caches : bool;
+      (** compile-time caches (hash-consing, symbolic memoization,
+          dependence-verdict cache — see {!Util.Cachectl}).  Defaults to
+          on unless [POLARIS_NO_CACHE=1] is in the environment; purely a
+          performance lever, verdicts and output are identical either
+          way *)
 }
 
 (** The full Polaris configuration (paper §3). *)
@@ -27,7 +33,8 @@ let polaris ?(procs = 8) () =
     generalized_induction = true; mode = Passes.Parallelize.Polaris;
     deadcode = true; procs;
     budget_steps = Dep.Driver.default_budget_steps;
-    budget_deadline_s = None }
+    budget_deadline_s = None;
+    caches = Util.Cachectl.default_enabled }
 
 (** The baseline configuration standing in for SGI's PFA: the
     capability set the paper ascribes to "current compilers". *)
@@ -36,7 +43,8 @@ let baseline ?(procs = 8) () =
     generalized_induction = false; mode = Passes.Parallelize.Baseline;
     deadcode = true; procs;
     budget_steps = Dep.Driver.default_budget_steps;
-    budget_deadline_s = None }
+    budget_deadline_s = None;
+    caches = Util.Cachectl.default_enabled }
 
 (** Ablations: Polaris minus one technique, for the ablation bench. *)
 let without_inline ?(procs = 8) () =

@@ -19,6 +19,12 @@ type t = {
           "unknown → serial" instead of looping or raising *)
   budget_deadline_s : float option;
       (** optional CPU-seconds deadline per loop verdict *)
+  caches : bool;
+      (** compile-time caches (hash-consing, symbolic memoization,
+          dependence-verdict cache — see {!Util.Cachectl}).  Defaults to
+          on unless [POLARIS_NO_CACHE=1] is in the environment; purely a
+          performance lever, verdicts and output are identical either
+          way *)
 }
 
 (** The full Polaris configuration (paper §3). *)

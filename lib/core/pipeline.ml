@@ -8,13 +8,15 @@
 
     {b Fail-safe contract} (paper §2: a restructurer must never
     miscompile).  Every pass runs inside a fault-containment guard: the
-    program is deep-snapshotted first, the pass result is re-checked
-    with {!Fir.Consistency}, and any exception or consistency violation
-    rolls the program back to the snapshot, disables the guilty
-    capability for the rest of the run, and appends an {!incident}
-    record.  [run]/[compile] therefore never raise past parse errors
-    (unless [strict] is set): the worst possible output is the original
-    program compiled serially, plus a non-empty [incidents] list. *)
+    units the pass is about to mutate are snapshotted copy-on-write
+    (deep-copied wholesale under [strict] or a chaos [fault_hook]), the
+    pass result is re-checked with {!Fir.Consistency}, and any exception
+    or consistency violation rolls the program back to the snapshot,
+    disables the guilty capability for the rest of the run, and appends
+    an {!incident} record.  [run]/[compile] therefore never raise past
+    parse errors (unless [strict] is set): the worst possible output is
+    the original program compiled serially, plus a non-empty
+    [incidents] list. *)
 
 type loop_result = {
   unit_name : string;
@@ -67,10 +69,22 @@ let pp_incident ppf (i : incident) =
 let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
     ?(fault_hook : (string -> Fir.Program.t -> unit) option)
     (config : Config.t) (program : Fir.Program.t) : t =
+  Util.Cachectl.with_enabled config.caches @@ fun () ->
   let obs name = match observer with Some f -> f name program | None -> () in
   let incidents = ref [] in
   let disabled = ref [] in
   let enabled cap = not (List.mem cap !disabled) in
+  (* Snapshot strategy.  Under [strict] or an installed [fault_hook]
+     (chaos runs) the guard deep-copies the whole program and re-checks
+     every unit: injected faults corrupt arbitrary units behind the
+     passes' backs, so nothing weaker is sound.  Otherwise the guard is
+     copy-on-write: passes announce each unit they are about to mutate
+     through the {!Fir.Program.touch} seam, and the guard snapshots,
+     re-checks and (on a fault) rolls back only those units.  Unchanged
+     units are shared, not copied — the guard's cost scales with what a
+     pass actually touches (the parallelize pass, which only writes
+     loop-decision fields, touches nothing). *)
+  let full_guard = strict || fault_hook <> None in
   (* run one pass under the containment guard; [disables] is the
      capability to switch off if the pass faults (its later runs are
      skipped — e.g. a crashed first propagation round disables the
@@ -78,14 +92,35 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
   let guard : 'a. pass:string -> ?disables:string -> (unit -> 'a) -> 'a option
       =
    fun ~pass ?disables f ->
-    let snapshot = Fir.Program.copy program in
+    let dirty : (Fir.Punit.t * Fir.Punit.t) list ref = ref [] in
+    let snapshot =
+      if full_guard then Some (Fir.Program.copy program)
+      else begin
+        Fir.Program.set_touch_hook program
+          (Some
+             (fun u ->
+               if not (List.exists (fun (live, _) -> live == u) !dirty) then
+                 dirty := (u, Fir.Punit.copy u) :: !dirty));
+        None
+      end
+    in
+    let release () = Fir.Program.set_touch_hook program None in
     match
-      let v = f () in
-      (match fault_hook with Some h -> h pass program | None -> ());
-      ignore (Fir.Consistency.check program : Fir.Program.t);
-      v
+      Fun.protect ~finally:release (fun () ->
+          let v = f () in
+          (match fault_hook with Some h -> h pass program | None -> ());
+          (match snapshot with
+          | Some _ -> ignore (Fir.Consistency.check program : Fir.Program.t)
+          | None ->
+            List.iter
+              (fun (live, _) -> Fir.Consistency.check_unit live)
+              !dirty);
+          v)
     with
     | v ->
+      (* the pass may have rewritten the program: retire every cache
+         entry keyed on pre-pass program state *)
+      Util.Cachectl.bump_generation ();
       obs pass;
       Some v
     | exception e ->
@@ -96,7 +131,13 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
           "post-pass IR consistency violation: " ^ m
         | e -> Printexc.to_string e
       in
-      Fir.Program.restore ~from:snapshot program;
+      (match snapshot with
+      | Some s -> Fir.Program.restore ~from:s program
+      | None ->
+        List.iter (fun (live, snap) -> Fir.Punit.restore ~from:snap live) !dirty);
+      (* rollback rewrote the program too (fresh statement ids): stale
+         hits after an incident must be impossible *)
+      Util.Cachectl.bump_generation ();
       Option.iter (fun c -> disabled := c :: !disabled) disables;
       incidents :=
         { inc_pass = pass; inc_reason = reason; inc_rolled_back = true;
@@ -148,6 +189,9 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
 (** Parse Fortran source and run the pipeline. *)
 let compile ?strict ?observer ?fault_hook (config : Config.t)
     (source : string) : t =
+  (* scope the cache switch around the parse too, so expression
+     hash-consing follows [config.caches] *)
+  Util.Cachectl.with_enabled config.caches @@ fun () ->
   run ?strict ?observer ?fault_hook config
     (Frontend.Parser.parse_string source)
 

@@ -6,14 +6,23 @@
     reduction/dependence/privatization analysis.
 
     {b Fail-safe contract.}  Every pass runs inside a fault-containment
-    guard: the program is deep-snapshotted before the pass, the result
-    is re-checked with {!Fir.Consistency}, and any exception or
+    guard: the units the pass touches are snapshotted copy-on-write
+    (through the {!Fir.Program.touch} seam; under [strict] or a
+    [fault_hook] the whole program is deep-copied instead), the result
+    is re-checked with {!Fir.Consistency} (dirty units only, or the
+    whole program under the full guard), and any exception or
     consistency violation rolls the program back to the snapshot,
     disables the guilty capability for the rest of the run, and appends
     an {!incident} record.  [run]/[compile] never raise past parse
     errors (unless [strict] is set): the worst possible output is the
     original program compiled serially, plus a non-empty incident
-    list. *)
+    list.
+
+    {b Caches.}  [run]/[compile] scope {!Util.Cachectl.enabled} to
+    [config.caches] and bump the cache invalidation generation after
+    every guarded pass and every rollback, so the compile-time caches
+    can never serve results derived from a rewritten-away program
+    state. *)
 
 type loop_result = {
   unit_name : string;                      (** enclosing program unit *)

@@ -61,6 +61,42 @@ let index_name (l : Loops.loop) =
   match l.index with Atom.Avar v -> v | Atom.Aopaque _ -> "?"
 
 (* ------------------------------------------------------------------ *)
+(* Verdict cache and phase timing                                      *)
+
+(* Wall-clock seconds spent inside [array_deps] since process start;
+   the perf benchmark subtracts snapshots to attribute pipeline time to
+   the dependence phase. *)
+let wall_in_deps = ref 0.0
+let wall_snapshot () = !wall_in_deps
+
+(* A verdict is a pure function of the canonical fingerprint below plus
+   the budget's starvation behaviour, which [Cache.memo_budgeted]
+   replays exactly (each verdict draws a fresh budget, so the recorded
+   step cost is affordable on a hit precisely when the original run did
+   not starve).  Statement ids and bodies are deliberately absent: the
+   env, loop headers, access polynomials and the assigned/written name
+   sets capture everything the tests read, so structurally identical
+   nests hit across passes and even across compilations. *)
+type loop_fingerprint = Atom.t * Poly.t * Poly.t * int option
+
+type verdict_key = {
+  vk_method : method_;
+  vk_enclosing : loop_fingerprint list;
+  vk_target : loop_fingerprint;
+  vk_inner : loop_fingerprint list;
+  vk_accesses : (string * Access.kind * Poly.t list) list;
+  vk_assigned : string list;
+  vk_written : string list;
+  vk_env : Range.env;
+}
+
+let loop_fingerprint (l : Loops.loop) : loop_fingerprint =
+  (l.index, l.lo, l.hi, l.step)
+
+let verdict_cache : (verdict_key, verdict * int) Cache.t =
+  Cache.create ~name:"dep.verdict" ()
+
+(* ------------------------------------------------------------------ *)
 (* Analysis budgets                                                    *)
 
 (** Default step fuel for one {!array_deps} verdict.  Generous: the
@@ -240,6 +276,7 @@ let array_deps ?budget ~(method_ : method_) ~(symtab : Fir.Symtab.t)
     ~(env : Range.env) ~(enclosing : Loops.loop list) ~(target : Loops.loop)
     ~(inner : Loops.loop list) ~(body_writes : string list)
     ~(accesses : Access.t list) () : verdict =
+  let t0 = Unix.gettimeofday () in
   let budget = match budget with Some b -> b | None -> !budget_factory () in
   let body = target.dloop.body in
   let assigned_scalars =
@@ -261,29 +298,42 @@ let array_deps ?budget ~(method_ : method_) ~(symtab : Fir.Symtab.t)
   let index_names =
     List.map index_name (enclosing @ [ target ] @ inner)
   in
-  (* soundness: reject unanalyzable subscripts *)
-  let issue =
-    List.fold_left
-      (fun acc a ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-          subscript_issue ~assigned_scalars ~written_arrays ~index_names a)
-      None accesses
+  let key =
+    { vk_method = method_;
+      vk_enclosing = List.map loop_fingerprint enclosing;
+      vk_target = loop_fingerprint target;
+      vk_inner = List.map loop_fingerprint inner;
+      vk_accesses =
+        List.map (fun (a : Access.t) -> (a.array, a.kind, a.subs)) accesses;
+      vk_assigned = assigned_scalars;
+      vk_written = written_arrays;
+      vk_env = env }
   in
   let verdict =
-    match issue with
-    | Some (Varying_scalar v) ->
-      Dependent (Fmt.str "subscript contains loop-varying scalar %s" v)
-    | Some (Subscripted_subscript arr) ->
-      Dependent (Fmt.str "subscripted subscript through array %s written in loop" arr)
-    | None -> (
-      let pairs = conflict_pairs accesses in
-      if pairs = [] then Parallel "no conflicting accesses"
-      else
-        match method_ with
-        | Range_symbolic -> range_test_verdict ~budget env ~target ~inner pairs
-        | Banerjee_gcd -> banerjee_verdict ~budget ~enclosing ~target ~inner pairs)
+    Cache.memo_budgeted verdict_cache ~budget key (fun () ->
+        (* soundness: reject unanalyzable subscripts *)
+        let issue =
+          List.fold_left
+            (fun acc a ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                subscript_issue ~assigned_scalars ~written_arrays ~index_names a)
+            None accesses
+        in
+        match issue with
+        | Some (Varying_scalar v) ->
+          Dependent (Fmt.str "subscript contains loop-varying scalar %s" v)
+        | Some (Subscripted_subscript arr) ->
+          Dependent
+            (Fmt.str "subscripted subscript through array %s written in loop" arr)
+        | None -> (
+          let pairs = conflict_pairs accesses in
+          if pairs = [] then Parallel "no conflicting accesses"
+          else
+            match method_ with
+            | Range_symbolic -> range_test_verdict ~budget env ~target ~inner pairs
+            | Banerjee_gcd -> banerjee_verdict ~budget ~enclosing ~target ~inner pairs))
   in
   (* a Dependent verdict reached with an exhausted budget is not a
      disproof, it is "analysis did not finish": degrade explicitly so
@@ -299,4 +349,5 @@ let array_deps ?budget ~(method_ : method_) ~(symtab : Fir.Symtab.t)
     | v -> v
   in
   record method_ verdict;
+  wall_in_deps := !wall_in_deps +. (Unix.gettimeofday () -. t0);
   verdict

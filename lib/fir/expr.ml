@@ -38,11 +38,155 @@ let not_ a = Unary (Not, a)
 (* ------------------------------------------------------------------ *)
 (* Equality / ordering                                                 *)
 
-(** Structural equality; [Wildcard] only equals the same wildcard. *)
-let equal (a : expr) (b : expr) = a = b
+(* Hand-written rather than polymorphic compare: (1) physical equality
+   short-circuits, which turns structural walks into O(1) pointer tests
+   on hash-consed subtrees (see [intern] below); (2) [Real_lit] uses
+   [Float.compare], so [equal] and [compare] agree even on NaN, where
+   polymorphic [=] and [Stdlib.compare] contradict each other. *)
 
-(** Total structural order, used to key maps of expressions. *)
-let compare (a : expr) (b : expr) = Stdlib.compare a b
+(** Structural equality; [Wildcard i] only equals [Wildcard i]. *)
+let rec equal (a : expr) (b : expr) =
+  a == b
+  ||
+  match (a, b) with
+  | Int_lit x, Int_lit y -> x = y
+  | Real_lit x, Real_lit y -> Float.compare x y = 0
+  | Logical_lit x, Logical_lit y -> x = y
+  | Char_lit x, Char_lit y -> String.equal x y
+  | Var x, Var y -> String.equal x y
+  | Wildcard i, Wildcard j -> i = j
+  | Ref (v, xs), Ref (w, ys) | Fun_call (v, xs), Fun_call (w, ys) ->
+    String.equal v w && equal_list xs ys
+  | Unary (op, x), Unary (oq, y) -> op = oq && equal x y
+  | Binary (op, x1, x2), Binary (oq, y1, y2) ->
+    op = oq && equal x1 y1 && equal x2 y2
+  | ( ( Int_lit _ | Real_lit _ | Logical_lit _ | Char_lit _ | Var _
+      | Wildcard _ | Ref _ | Fun_call _ | Unary _ | Binary _ ),
+      _ ) ->
+    false
+
+and equal_list xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_list xs ys
+  | _ -> false
+
+let constructor_rank = function
+  | Int_lit _ -> 0
+  | Real_lit _ -> 1
+  | Logical_lit _ -> 2
+  | Char_lit _ -> 3
+  | Var _ -> 4
+  | Ref _ -> 5
+  | Fun_call _ -> 6
+  | Unary _ -> 7
+  | Binary _ -> 8
+  | Wildcard _ -> 9
+
+(** Total structural order, used to key maps of expressions.  Agrees
+    with {!equal} ([compare a b = 0] iff [equal a b]). *)
+let rec compare (a : expr) (b : expr) =
+  if a == b then 0
+  else
+    match (a, b) with
+    | Int_lit x, Int_lit y -> Int.compare x y
+    | Real_lit x, Real_lit y -> Float.compare x y
+    | Logical_lit x, Logical_lit y -> Bool.compare x y
+    | Char_lit x, Char_lit y -> String.compare x y
+    | Var x, Var y -> String.compare x y
+    | Wildcard i, Wildcard j -> Int.compare i j
+    | Ref (v, xs), Ref (w, ys) | Fun_call (v, xs), Fun_call (w, ys) ->
+      let c = String.compare v w in
+      if c <> 0 then c else compare_list xs ys
+    | Unary (op, x), Unary (oq, y) ->
+      let c = Stdlib.compare op oq in
+      if c <> 0 then c else compare x y
+    | Binary (op, x1, x2), Binary (oq, y1, y2) ->
+      let c = Stdlib.compare op oq in
+      if c <> 0 then c
+      else
+        let c = compare x1 y1 in
+        if c <> 0 then c else compare x2 y2
+    | _ -> Int.compare (constructor_rank a) (constructor_rank b)
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs ys
+
+(* ------------------------------------------------------------------ *)
+(* Hashing and hash-consing                                            *)
+
+let hash_combine h k = (h * 0x01000193) lxor k
+
+(** Structural hash consistent with {!equal}, bounded so pathological
+    trees stay cheap: at most [64] nodes contribute. *)
+let hash (e : expr) : int =
+  let budget = ref 64 in
+  let rec go h e =
+    if !budget <= 0 then h
+    else begin
+      decr budget;
+      match e with
+      | Int_lit n -> hash_combine h (n lxor 0x11)
+      | Real_lit x -> hash_combine h (Hashtbl.hash x lxor 0x22)
+      | Logical_lit b -> hash_combine h (if b then 0x33 else 0x44)
+      | Char_lit s -> hash_combine h (Hashtbl.hash s lxor 0x55)
+      | Var v -> hash_combine h (Hashtbl.hash v lxor 0x66)
+      | Wildcard i -> hash_combine h (i lxor 0x77)
+      | Ref (v, args) ->
+        List.fold_left go (hash_combine (go h (Var v)) 0x88) args
+      | Fun_call (v, args) ->
+        List.fold_left go (hash_combine (go h (Var v)) 0x99) args
+      | Unary (op, a) -> go (hash_combine h (Hashtbl.hash op lxor 0xaa)) a
+      | Binary (op, a, b) ->
+        go (go (hash_combine h (Hashtbl.hash op lxor 0xbb)) a) b
+    end
+  in
+  go 0x811c9dc5 e land max_int
+
+module Pool = Hashtbl.Make (struct
+  type t = expr
+
+  let equal = equal
+  let hash = hash
+end)
+
+let pool : expr Pool.t = Pool.create 4096
+
+let pool_stats =
+  Util.Cachectl.register ~name:"fir.intern" ~clear:(fun () -> Pool.reset pool)
+
+(** [intern e] returns the canonical physical representative of [e]'s
+    structural equivalence class, interning every subtree bottom-up.
+    Repeated subtrees then share identity, so {!equal} and {!compare}
+    short-circuit on [==].  Opt-in: a no-op when {!Util.Cachectl.enabled}
+    is false, and always semantically the identity. *)
+let rec intern (e : expr) : expr =
+  if not !Util.Cachectl.enabled then e
+  else
+    let e =
+      match e with
+      | Int_lit _ | Real_lit _ | Logical_lit _ | Char_lit _ | Var _
+      | Wildcard _ ->
+        e
+      | Ref (v, args) -> Ref (v, List.map intern args)
+      | Fun_call (f, args) -> Fun_call (f, List.map intern args)
+      | Unary (op, a) -> Unary (op, intern a)
+      | Binary (op, a, b) -> Binary (op, intern a, intern b)
+    in
+    match Pool.find_opt pool e with
+    | Some canonical ->
+      Util.Cachectl.hit pool_stats;
+      canonical
+    | None ->
+      Util.Cachectl.miss pool_stats;
+      Pool.add pool e e;
+      e
 
 (* ------------------------------------------------------------------ *)
 (* Traversal                                                           *)

@@ -3,11 +3,25 @@
     Mirrors the Polaris [Program] class — a container of [ProgramUnit]s
     with lookup, merge and display operations. *)
 
-type t = { units : Punit.t list }
+type t = {
+  units : Punit.t list;
+  mutable on_touch : (Punit.t -> unit) option;
+      (** copy-on-write seam: called by passes just before they mutate a
+          unit (body or symbol table), so a guard can snapshot only what
+          actually changes.  [None] outside a guarded pass. *)
+}
 
-let create units = { units }
+let create units = { units; on_touch = None }
 
 let units t = t.units
+
+(** Install (or clear) the copy-on-write hook; see {!touch}. *)
+let set_touch_hook t hook = t.on_touch <- hook
+
+(** [touch t u]: every pass must call this before mutating unit [u] of
+    [t] (rewriting [pu_body], defining symbols, ...).  A no-op unless
+    {!set_touch_hook} installed a listener. *)
+let touch t u = match t.on_touch with Some f -> f u | None -> ()
 
 (** The unique main program unit.
     @raise Not_found if the program has no main unit. *)
@@ -29,9 +43,9 @@ let merge a b =
       if find_unit a u.Punit.pu_name <> None then
         invalid_arg ("Program.merge: duplicate unit " ^ u.Punit.pu_name))
     b.units;
-  { units = a.units @ b.units }
+  create (a.units @ b.units)
 
-let copy t = { units = List.map Punit.copy t.units }
+let copy t = create (List.map Punit.copy t.units)
 
 (** In-place rollback: restore every unit of [t] from [from], a {!copy}
     taken earlier.  Unit records keep their identity — outstanding
@@ -45,10 +59,7 @@ let copy t = { units = List.map Punit.copy t.units }
     pass are erased wholesale. *)
 let restore ~(from : t) (t : t) =
   List.iter2
-    (fun (u : Punit.t) (s : Punit.t) ->
-      let fresh = Punit.copy s in
-      u.pu_body <- fresh.pu_body;
-      Symtab.restore ~from:fresh.pu_symtab u.pu_symtab)
+    (fun (u : Punit.t) (s : Punit.t) -> Punit.restore ~from:s u)
     t.units from.units
 
 let pp ppf t = List.iter (fun u -> Fmt.pf ppf "%a@." Punit.pp u) t.units

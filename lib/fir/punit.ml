@@ -21,6 +21,15 @@ let is_function u = match u.pu_kind with Function _ -> true | _ -> false
 let copy u =
   { u with pu_symtab = Symtab.copy u.pu_symtab; pu_body = Stmt.copy_block u.pu_body }
 
+(** In-place rollback of one unit from a {!copy} taken earlier: [u]
+    keeps its identity, body and symbol table are replaced by fresh deep
+    copies of the snapshot (fresh statement ids, so id-uniqueness holds
+    even if the aborted pass leaked statements elsewhere). *)
+let restore ~(from : t) (u : t) =
+  let fresh = copy from in
+  u.pu_body <- fresh.pu_body;
+  Symtab.restore ~from:fresh.pu_symtab u.pu_symtab
+
 (** All loops of the unit, outer listed before inner. *)
 let loops u = Stmt.loops u.pu_body
 

@@ -570,7 +570,11 @@ let parse_unit (c : cursor) : Punit.t =
   | _ -> ());
   let body = parse_block u c ~stop:is_end_unit in
   ignore (next_line c) (* END *);
-  u.pu_body <- body;
+  (* hash-cons the freshly parsed expressions (a no-op when caches are
+     off): repeated subtrees share physical identity from the start, so
+     downstream structural equality short-circuits on [==] and the
+     expression-keyed memo tables hit across statements *)
+  u.pu_body <- Stmt.map_block_exprs Expr.intern body;
   u
 
 (** Parse a whole source file into a program.

@@ -128,4 +128,9 @@ let run_unit (u : Punit.t) =
   u.pu_body <- body';
   Consistency.check_unit u
 
-let run (p : Program.t) = List.iter run_unit (Program.units p)
+let run (p : Program.t) =
+  List.iter
+    (fun u ->
+      Program.touch p u;
+      run_unit u)
+    (Program.units p)

@@ -76,4 +76,8 @@ let run_unit (u : Punit.t) : int =
   !rounds
 
 let run (p : Program.t) : int =
-  Util.Listx.sum_by run_unit (Program.units p)
+  Util.Listx.sum_by
+    (fun u ->
+      Program.touch p u;
+      run_unit u)
+    (Program.units p)

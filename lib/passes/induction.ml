@@ -634,4 +634,8 @@ let run_unit ?(generalized = true) (u : Punit.t) : (string * string) list =
   List.rev report.substituted
 
 let run ?(generalized = true) (p : Program.t) : (string * string) list =
-  List.concat_map (run_unit ~generalized) (Program.units p)
+  List.concat_map
+    (fun u ->
+      Program.touch p u;
+      run_unit ~generalized u)
+    (Program.units p)

@@ -381,6 +381,9 @@ let run (p : Program.t) : stats =
   let total = { sites_expanded = 0; sites_skipped = 0 } in
   List.iter
     (fun u ->
+      (* expansion mutates only [u] (its body, and its symtab for
+         copied-in callee locals/temps): one touch covers the unit *)
+      Program.touch p u;
       let s = expand_unit p u in
       total.sites_expanded <- total.sites_expanded + s.sites_expanded;
       total.sites_skipped <- total.sites_skipped + s.sites_skipped)

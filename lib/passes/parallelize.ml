@@ -293,5 +293,11 @@ let run_unit ~(mode : mode) (u : Punit.t) : loop_report list =
       analyze_loop ~mode u outer_env nest)
     nests
 
+(* Deliberately no [Program.touch]: this pass writes only the [loop_info]
+   decision fields (par/privates/reductions/...), never statement bodies
+   or symbol tables.  Those fields start in the safe serial default, so a
+   fault mid-pass can at worst leave later loops undecided (= serial) —
+   nothing for a copy-on-write guard to roll back, and nothing
+   {!Fir.Consistency} checks. *)
 let run ~mode (p : Program.t) : (string * loop_report list) list =
   List.map (fun u -> (u.Punit.pu_name, run_unit ~mode u)) (Program.units p)

@@ -1,0 +1,116 @@
+(** Memoization tables for the symbolic layer (and the dependence
+    driver, which reuses them through this module).
+
+    Three disciplines, in increasing order of care:
+
+    - {!memo}: plain memoization of a pure function.  Sound whenever the
+      key determines the result and the result is immutable — e.g.
+      [Poly.of_expr], whose input is an immutable expression tree.
+    - {!memo_validated}: memoization with a per-entry validity probe,
+      for facts derived from mutable IR.  The caller stores enough
+      context in the entry to recognize staleness (e.g. [Range_prop]
+      stores the physical block it walked and revalidates with [==]).
+    - {!memo_budgeted}: memoization of a computation that spends from a
+      {!Util.Budget}.  Entries record the step cost of the original
+      computation; a hit is taken only when the recorded cost is
+      affordable ({!Util.Budget.afford}) and then replays the exact
+      spend, so budget exhaustion fires at the same point whether or not
+      the cache is warm.  Computations that ran under (or into)
+      exhaustion are never cached — they recompute honestly, exactly as
+      the uncached compiler would.
+
+    All lookups are gated on {!Util.Cachectl.enabled}; in
+    {!Util.Cachectl.debug} mode every hit is cross-checked against a
+    fresh computation and {!Util.Cachectl.Debug_mismatch} is raised on
+    divergence (the debug recomputation may spend extra budget, so debug
+    runs trade exact budget accounting for the stronger check).
+
+    Keys are hashed with the polymorphic [Hashtbl.hash] (bounded depth)
+    and compared structurally, which is exact for the key shapes used
+    here: strings, ints, polynomials over {!Util.Rat} (normalized
+    records) and range environments. *)
+
+open Util
+
+type ('k, 'v) t = {
+  table : ('k, 'v) Hashtbl.t;
+  stats : Cachectl.stats;
+  equal_result : 'v -> 'v -> bool;
+}
+
+(** [create ~name ()] registers a cache with {!Util.Cachectl} under
+    [name].  [equal_result] (default structural [=]) is only used by the
+    debug cross-check. *)
+let create ~name ?(equal_result = fun a b -> a = b) () =
+  let table = Hashtbl.create 1024 in
+  let stats =
+    Cachectl.register ~name ~clear:(fun () -> Hashtbl.reset table)
+  in
+  { table; stats; equal_result }
+
+let check_debug c v compute =
+  if !Cachectl.debug then begin
+    let fresh = compute () in
+    if not (c.equal_result v fresh) then
+      raise (Cachectl.Debug_mismatch c.stats.Cachectl.cs_name)
+  end
+
+let memo c key compute =
+  if not !Cachectl.enabled then compute ()
+  else
+    match Hashtbl.find_opt c.table key with
+    | Some v ->
+      Cachectl.hit c.stats;
+      check_debug c v compute;
+      v
+    | None ->
+      Cachectl.miss c.stats;
+      let v = compute () in
+      Hashtbl.add c.table key v;
+      v
+
+(** [memo_validated c key ~valid compute]: like {!memo}, but an entry is
+    only served while [valid entry] holds; an invalid entry is replaced
+    by a fresh computation (counted as a miss). *)
+let memo_validated c key ~valid compute =
+  if not !Cachectl.enabled then compute ()
+  else
+    match Hashtbl.find_opt c.table key with
+    | Some v when valid v ->
+      Cachectl.hit c.stats;
+      check_debug c v compute;
+      v
+    | _ ->
+      Cachectl.miss c.stats;
+      let v = compute () in
+      Hashtbl.replace c.table key v;
+      v
+
+(** [memo_budgeted c ~budget key compute]: entries are
+    [(value, steps)].  See the module comment for the replay
+    discipline. *)
+let memo_budgeted c ~(budget : Budget.t) key compute =
+  if not !Cachectl.enabled then compute ()
+  else
+    match Hashtbl.find_opt c.table key with
+    | Some (v, steps) when Budget.afford budget steps ->
+      ignore (Budget.spend budget steps : bool);
+      Cachectl.hit c.stats;
+      if !Cachectl.debug then begin
+        let fresh = compute () in
+        if not (c.equal_result (v, steps) (fresh, steps)) then
+          raise (Cachectl.Debug_mismatch c.stats.Cachectl.cs_name)
+      end;
+      v
+    | Some _ ->
+      (* Recorded cost unaffordable: the uncached compiler would starve
+         mid-computation, so run it and let it starve the same way. *)
+      compute ()
+    | None ->
+      Cachectl.miss c.stats;
+      let used0 = Budget.used budget in
+      let exhausted0 = Budget.exhausted budget in
+      let v = compute () in
+      if (not exhausted0) && not (Budget.exhausted budget) then
+        Hashtbl.add c.table key (v, Budget.used budget - used0);
+      v

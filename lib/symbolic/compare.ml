@@ -19,6 +19,24 @@ let default_fuel = 16
    work across one verdict) *)
 let no_budget = Util.Budget.unlimited ()
 
+(* Memo tables for the two engine entry points every proof funnels
+   through.  [eliminate] and [monotonicity] are deterministic functions
+   of (fuel, env, polynomial, ...) except for budget starvation, which
+   the replay discipline of [Cache.memo_budgeted] reproduces exactly:
+   entries record the step cost of the original computation, hits replay
+   that spend, and computations that starved are never cached.  Keys put
+   the cheap discriminators (fuel, flags) first so structural equality
+   on collisions fails fast. *)
+let elim_cache :
+    ( int * bool * [ `Min | `Max ] * Poly.t * Atom.t list * Range.env,
+      (Poly.t, Poly.t) result * int )
+    Cache.t =
+  Cache.create ~name:"compare.eliminate" ()
+
+let mono_cache :
+    (int * Atom.t * Poly.t * Range.env, monotonicity * int) Cache.t =
+  Cache.create ~name:"compare.monotonicity" ()
+
 (* atoms to try eliminating, in environment order (innermost scope
    first), duplicates removed *)
 let env_atoms_in_order (env : Range.env) (p : Poly.t) =
@@ -64,6 +82,11 @@ and extremum_const ~fuel ~budget env dir p =
 and eliminate ?(fuel = default_fuel) ?(budget = no_budget) ?(grow = false)
     (env : Range.env) dir ~(over : Atom.t list) (p : Poly.t) :
     (Poly.t, Poly.t) result =
+  Cache.memo_budgeted elim_cache ~budget (fuel, grow, dir, p, over, env)
+    (fun () -> eliminate_uncached ~fuel ~budget ~grow env dir ~over p)
+
+and eliminate_uncached ~fuel ~budget ~grow (env : Range.env) dir
+    ~(over : Atom.t list) (p : Poly.t) : (Poly.t, Poly.t) result =
   if fuel <= 0 || not (Util.Budget.spend budget 1) then Error p
   else
     (* substituted bounds may reintroduce over-atoms (cyclic bounds);
@@ -142,6 +165,11 @@ and eliminate_atom ~fuel ~budget env dir a p =
     difference (which is itself bounded recursively). *)
 and monotonicity ?(fuel = default_fuel) ?(budget = no_budget)
     (env : Range.env) (a : Atom.t) (p : Poly.t) : monotonicity =
+  Cache.memo_budgeted mono_cache ~budget (fuel, a, p, env) (fun () ->
+      monotonicity_uncached ~fuel ~budget env a p)
+
+and monotonicity_uncached ~fuel ~budget (env : Range.env) (a : Atom.t)
+    (p : Poly.t) : monotonicity =
   if fuel <= 0 || not (Util.Budget.spend budget 1) then Unknown_mono
   else
     let d = forward_diff a p in

@@ -166,12 +166,21 @@ let eval (lookup : Atom.t -> Rat.t option) (p : t) : Rat.t option =
 
 open Fir
 
+let of_expr_cache : (Ast.expr, t) Cache.t = Cache.create ~name:"poly.of_expr" ()
+
 (** Translate an expression to a polynomial.  Non-polynomial structure
     (array elements, calls, symbolic powers, division by a non-constant)
     becomes an opaque atom.  Integer division by a constant becomes exact
     rational scaling (see module doc).  Logical/relational expressions
-    and non-integral reals yield a fully opaque polynomial. *)
+    and non-integral reals yield a fully opaque polynomial.
+
+    Memoized at every recursion level: expressions are immutable (and,
+    with caches on, hash-consed by the parser), so the translation of a
+    shared subtree is computed once per process. *)
 let rec of_expr (e : Ast.expr) : t =
+  Cache.memo of_expr_cache e (fun () -> of_expr_raw e)
+
+and of_expr_raw (e : Ast.expr) : t =
   match e with
   | Ast.Int_lit n -> of_int n
   | Ast.Real_lit x when Float.is_integer x && Float.abs x < 1e15 ->

@@ -189,11 +189,35 @@ let initial_env (u : Punit.t) : Range.env =
       Range.refine env (Atom.var name) (Range.exact p))
     Range.empty (Punit.parameter_bindings u)
 
+(* Each derivation walks the whole unit body, and the parallelizer asks
+   once per loop nest, so the walk is quadratic in program size.  Cached
+   per (invalidation generation, unit, statement id); since statement
+   ids are globally fresh the sid alone identifies the program point,
+   but entries additionally pin the physical block they walked and are
+   revalidated with [==] — a belt-and-braces guard should a pass swap a
+   unit's body without the pipeline bumping the generation. *)
+let env_cache : (int * string * int, Ast.block * Range.env) Cache.t =
+  Cache.create
+    ~equal_result:(fun (_, a) (_, b) -> a = b)
+    ~name:"range_prop.env_at" ()
+
 (** Range environment holding at statement [target] (by statement id)
     of unit [u]; for a DO statement this is the environment inside its
     body.  Returns the entry environment if the statement is not found. *)
 let env_at (u : Punit.t) ~(target : int) : Range.env =
-  let symtab = u.pu_symtab in
-  match walk ~symtab (initial_env u) u.pu_body ~target with
-  | () -> initial_env u
-  | exception Found env -> env
+  let compute () =
+    let symtab = u.pu_symtab in
+    let env =
+      match walk ~symtab (initial_env u) u.pu_body ~target with
+      | () -> initial_env u
+      | exception Found env -> env
+    in
+    (u.pu_body, env)
+  in
+  let _, env =
+    Cache.memo_validated env_cache
+      (!Util.Cachectl.generation, u.pu_name, target)
+      ~valid:(fun (body, _) -> body == u.pu_body)
+      compute
+  in
+  env

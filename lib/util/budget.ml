@@ -22,6 +22,7 @@ type t = {
   infinite : bool;           (** no step limit *)
   deadline : float option;   (** absolute [Sys.time] bound *)
   mutable exhausted : bool;
+  mutable used : int;        (** steps successfully consumed so far *)
 }
 
 (** [create ?steps ?deadline_s ()]: a budget with [steps] of fuel
@@ -31,7 +32,8 @@ let create ?steps ?deadline_s () =
   { steps = Option.value steps ~default:0;
     infinite = steps = None;
     deadline = Option.map (fun d -> Sys.time () +. d) deadline_s;
-    exhausted = false }
+    exhausted = false;
+    used = 0 }
 
 (** A budget that never exhausts on its own. *)
 let unlimited () = create ()
@@ -54,11 +56,27 @@ let spend t n =
     (match t.deadline with
     | Some d when Sys.time () > d -> t.exhausted <- true
     | _ -> ());
+    if not t.exhausted then t.used <- t.used + n;
     not t.exhausted
   end
 
 (** [check t] = [spend t 0]: deadline-only probe. *)
 let check t = spend t 0
+
+(** Steps successfully consumed so far.  Memoization layers measure the
+    delta of [used] across a computation so a later cache hit can replay
+    exactly the same consumption (see {!Cachectl}). *)
+let used t = t.used
+
+(** [afford t n] is [true] iff [spend t n] would succeed, without
+    mutating the budget (in particular without tripping sticky
+    exhaustion).  Used by replaying caches: a hit is only taken when the
+    recorded cost is affordable, otherwise the computation reruns
+    honestly and degrades exactly as the uncached compiler would. *)
+let afford t n =
+  (not t.exhausted)
+  && (t.infinite || t.steps >= n)
+  && (match t.deadline with Some d -> Sys.time () <= d | None -> true)
 
 let pp ppf t =
   if t.exhausted then Fmt.string ppf "exhausted"

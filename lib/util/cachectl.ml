@@ -1,0 +1,91 @@
+(** Control plane for the compile-time caches.
+
+    PR "compile-time performance" introduces several memoization layers
+    (hash-consed {!Fir.Expr} nodes, memoized [Poly.of_expr] /
+    [Symbolic.Compare] orderings / [Range_prop] environments, and
+    [Dep.Driver] verdict caching).  They all answer to this module:
+
+    - {!enabled} is the master switch.  [POLARIS_NO_CACHE=1] in the
+      environment turns every cache off (the baseline the `perf`
+      benchmark compares against); [Core.Config.caches] scopes the
+      switch per compilation.
+    - {!generation} is the invalidation epoch.  [Core.Pipeline] bumps it
+      whenever a pass may have rewritten the program — after every
+      guarded pass and on every fault rollback — so caches whose keys
+      embed program state (e.g. statement ids) tag entries with the
+      generation and can never serve a stale hit across a rewrite.
+    - {!debug} ([POLARIS_CACHE_DEBUG=1]) makes every cache hit
+      cross-check against a fresh computation and raise
+      {!Debug_mismatch} on divergence; this is the belt-and-braces mode
+      used while developing new caches (note it recomputes, so budget
+      accounting is no longer identical to the uncached compiler).
+    - {!register} gives each cache a hit/miss counter and a clear hook;
+      [Valid.Trace] reports the counters and the benchmarks reset the
+      tables between modes via {!clear_all}.
+
+    Soundness contract: a cache may only consult its table when
+    [!enabled] is true, must treat {!generation} as part of the key when
+    the cached fact depends on mutable IR, and — when the computation
+    spends from a {!Budget} — must record the step cost and replay it on
+    hits ([Budget.afford] + [Budget.spend]) so cached and uncached runs
+    make byte-identical budget decisions. *)
+
+type stats = {
+  cs_name : string;
+  mutable cs_hits : int;
+  mutable cs_misses : int;
+}
+
+exception Debug_mismatch of string
+(** Raised in {!debug} mode when a cache hit disagrees with a fresh
+    computation; the payload names the offending cache. *)
+
+let default_enabled = Sys.getenv_opt "POLARIS_NO_CACHE" <> Some "1"
+let enabled = ref default_enabled
+let debug = ref (Sys.getenv_opt "POLARIS_CACHE_DEBUG" = Some "1")
+
+let generation = ref 0
+let bump_generation () = incr generation
+
+let registry : (stats * (unit -> unit)) list ref = ref []
+
+(** [register ~name ~clear] enrolls a cache: returns its mutable
+    counters and remembers [clear] for {!clear_all}. *)
+let register ~name ~clear =
+  let s = { cs_name = name; cs_hits = 0; cs_misses = 0 } in
+  registry := !registry @ [ (s, clear) ];
+  s
+
+let hit s = s.cs_hits <- s.cs_hits + 1
+let miss s = s.cs_misses <- s.cs_misses + 1
+
+(** Current counters of every registered cache, as
+    [(name, hits, misses)]. *)
+let snapshot () =
+  List.map (fun (s, _) -> (s.cs_name, s.cs_hits, s.cs_misses)) !registry
+
+(** [delta ~base now]: per-cache counter growth since [base] (caches
+    registered after [base] count from zero). *)
+let delta ~base now =
+  List.map
+    (fun (name, h, m) ->
+      match List.find_opt (fun (n, _, _) -> n = name) base with
+      | Some (_, h0, m0) -> (name, h - h0, m - m0)
+      | None -> (name, h, m))
+    now
+
+(** Empty every registered cache and zero its counters. *)
+let clear_all () =
+  List.iter
+    (fun (s, clear) ->
+      clear ();
+      s.cs_hits <- 0;
+      s.cs_misses <- 0)
+    !registry
+
+(** [with_enabled b f] runs [f ()] with the master switch forced to
+    [b], restoring the previous value on exit (including exceptions). *)
+let with_enabled b f =
+  let saved = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

@@ -1,10 +1,11 @@
 (** Compilation flight recorder.
 
-    A structured record of one pipeline run: per-pass wall time and
-    rewrite counts, dependence-test outcome counters (range test vs.
-    GCD/Banerjee proved/failed, from {!Dep.Driver}), and per-loop
-    verdict provenance.  Serialized to JSON so CI can diff recorder
-    output across commits and the bench can trend it. *)
+    A structured record of one pipeline run: per-pass wall-clock and CPU
+    time and rewrite counts, dependence-test outcome counters (range
+    test vs. GCD/Banerjee proved/failed, from {!Dep.Driver}), cache
+    hit/miss counters ({!Util.Cachectl}), and per-loop verdict
+    provenance.  Serialized to JSON so CI can diff recorder output
+    across commits and the bench can trend it. *)
 
 open Fir
 
@@ -13,7 +14,8 @@ open Fir
 
 type pass_record = {
   pass : string;
-  wall_s : float;   (** CPU seconds spent in the pass *)
+  wall_s : float;   (** monotonic wall-clock seconds spent in the pass *)
+  cpu_s : float;    (** CPU seconds spent in the pass ([Sys.time]) *)
   stmts : int;      (** statement count after the pass *)
   rewritten : int;  (** statements added or changed by the pass *)
 }
@@ -28,9 +30,13 @@ type loop_record = {
 
 type t = {
   tr_config : string;
-  tr_total_s : float;
+  tr_total_s : float;      (** wall-clock seconds, whole run *)
+  tr_total_cpu_s : float;  (** CPU seconds, whole run *)
   tr_passes : pass_record list;
   tr_dep : Dep.Driver.counters;  (** counters accumulated by this run *)
+  tr_cache : (string * int * int) list;
+      (** per-cache (name, hits, misses) accumulated by this run — the
+          {!Util.Cachectl} counter deltas *)
   tr_loops : loop_record list;
   tr_incidents : Core.Pipeline.incident list;
       (** contained pass failures (fail-safe rollbacks) during the run *)
@@ -87,31 +93,39 @@ let count_new before after =
 (* Recorder: plugs into Core.Pipeline's observer                       *)
 
 type recorder = {
-  started : float;
+  started : float;      (* wall clock (Unix.gettimeofday) *)
+  started_cpu : float;  (* CPU clock (Sys.time) *)
   base_dep : Dep.Driver.counters;
+  base_cache : (string * int * int) list;
   mutable last_time : float;
+  mutable last_cpu : float;
   mutable prev : string list;         (* fingerprints after previous pass *)
   mutable recs : pass_record list;    (* reversed *)
 }
 
 let create () =
-  let now = Sys.time () in
-  { started = now; base_dep = Dep.Driver.counters_snapshot ();
-    last_time = now; prev = []; recs = [] }
+  let now = Unix.gettimeofday () in
+  let cpu = Sys.time () in
+  { started = now; started_cpu = cpu;
+    base_dep = Dep.Driver.counters_snapshot ();
+    base_cache = Util.Cachectl.snapshot ();
+    last_time = now; last_cpu = cpu; prev = []; recs = [] }
 
 (** The observer to pass to {!Core.Pipeline.run}. *)
 let observe (r : recorder) (pass : string) (p : Program.t) =
-  let now = Sys.time () in
+  let now = Unix.gettimeofday () in
+  let cpu = Sys.time () in
   let fingerprints = shallow_renderings p in
   let rewritten =
     match pass with "parse" -> 0 | _ -> count_new r.prev fingerprints
   in
   r.recs <-
-    { pass; wall_s = now -. r.last_time; stmts = List.length fingerprints;
-      rewritten }
+    { pass; wall_s = now -. r.last_time; cpu_s = cpu -. r.last_cpu;
+      stmts = List.length fingerprints; rewritten }
     :: r.recs;
   r.prev <- fingerprints;
-  r.last_time <- now
+  r.last_time <- now;
+  r.last_cpu <- cpu
 
 let dep_delta (base : Dep.Driver.counters) (now : Dep.Driver.counters) :
     Dep.Driver.counters =
@@ -132,9 +146,11 @@ let finish (r : recorder) (t : Core.Pipeline.t) : t =
       t.loops
   in
   { tr_config = t.config.name;
-    tr_total_s = Sys.time () -. r.started;
+    tr_total_s = Unix.gettimeofday () -. r.started;
+    tr_total_cpu_s = Sys.time () -. r.started_cpu;
     tr_passes = List.rev r.recs;
     tr_dep = dep_delta r.base_dep (Dep.Driver.counters_snapshot ());
+    tr_cache = Util.Cachectl.delta ~base:r.base_cache (Util.Cachectl.snapshot ());
     tr_loops = loops;
     tr_incidents = t.incidents }
 
@@ -195,10 +211,21 @@ let incident_json (i : Core.Pipeline.incident) =
       ( "disabled",
         match i.inc_disabled with Some c -> Json.str c | None -> Json.null ) ]
 
+let cache_json (stats : (string * int * int) list) =
+  Json.arr
+    (List.map
+       (fun (name, hits, misses) ->
+         Json.obj
+           [ ("cache", Json.str name);
+             ("hits", Json.int hits);
+             ("misses", Json.int misses) ])
+       stats)
+
 let to_json (t : t) : string =
   Json.obj
     [ ("config", Json.str t.tr_config);
-      ("total_s", Json.float t.tr_total_s);
+      ("total_wall_s", Json.float t.tr_total_s);
+      ("total_cpu_s", Json.float t.tr_total_cpu_s);
       ( "passes",
         Json.arr
           (List.map
@@ -206,10 +233,12 @@ let to_json (t : t) : string =
                Json.obj
                  [ ("pass", Json.str p.pass);
                    ("wall_s", Json.float p.wall_s);
+                   ("cpu_s", Json.float p.cpu_s);
                    ("stmts", Json.int p.stmts);
                    ("rewritten", Json.int p.rewritten) ])
              t.tr_passes) );
       ("dep_tests", dep_json t.tr_dep);
+      ("caches", cache_json t.tr_cache);
       ( "loops",
         Json.arr
           (List.map
@@ -224,17 +253,23 @@ let to_json (t : t) : string =
       ("incidents", Json.arr (List.map incident_json t.tr_incidents)) ]
 
 let pp ppf (t : t) =
-  Fmt.pf ppf "flight record [%s] %.3fs@," t.tr_config t.tr_total_s;
+  Fmt.pf ppf "flight record [%s] %.3fs wall (%.3fs cpu)@," t.tr_config
+    t.tr_total_s t.tr_total_cpu_s;
   List.iter
     (fun (p : pass_record) ->
-      Fmt.pf ppf "  %-12s %8.4fs  %4d stmts  %3d rewritten@," p.pass p.wall_s
-        p.stmts p.rewritten)
+      Fmt.pf ppf "  %-12s %8.4fs wall %8.4fs cpu  %4d stmts  %3d rewritten@,"
+        p.pass p.wall_s p.cpu_s p.stmts p.rewritten)
     t.tr_passes;
   Fmt.pf ppf "  dep tests: range %d/%d proved, gcd/banerjee %d/%d proved@,"
     t.tr_dep.range_proved
     (t.tr_dep.range_proved + t.tr_dep.range_failed)
     t.tr_dep.linear_proved
     (t.tr_dep.linear_proved + t.tr_dep.linear_failed);
+  List.iter
+    (fun (name, hits, misses) ->
+      if hits + misses > 0 then
+        Fmt.pf ppf "  cache %-22s %7d hits %7d misses@," name hits misses)
+    t.tr_cache;
   List.iter
     (fun i -> Fmt.pf ppf "  %a@," Core.Pipeline.pp_incident i)
     t.tr_incidents

@@ -1,0 +1,159 @@
+(* Cache soundness.  The compile-time caches (expression hash-consing,
+   symbolic memo tables, dependence-verdict cache, COW pass guards) are
+   pure performance levers: compiling with them enabled must be
+   observationally identical to compiling with POLARIS_NO_CACHE=1 —
+   same unparsed output, same per-loop verdicts, same oracle results.
+   We pin that with a seeded property over random fuzz programs, and
+   pin the invalidation protocol (every rollback bumps the cache
+   generation, so stale hits after an incident are impossible). *)
+
+let cfg ~caches = { (Core.Config.polaris ()) with caches }
+
+let verdicts (t : Core.Pipeline.t) =
+  List.map
+    (fun (l : Core.Pipeline.loop_result) ->
+      ( l.unit_name,
+        l.report.loop_index,
+        l.report.parallel,
+        l.report.speculative,
+        l.report.reason ))
+    t.loops
+
+(* compile one fuzz program twice — caches on and caches off — and
+   check every observable agrees *)
+let check_seed ?(oracle = false) seed =
+  let src = Test_fuzz.gen_program (Util.Prng.create seed) in
+  let cached = Core.Pipeline.compile (cfg ~caches:true) src in
+  let uncached = Core.Pipeline.compile (cfg ~caches:false) src in
+  let same_output =
+    String.equal
+      (Core.Pipeline.output_source cached)
+      (Core.Pipeline.output_source uncached)
+  in
+  let same_verdicts = verdicts cached = verdicts uncached in
+  let same_oracle =
+    (not oracle)
+    ||
+    let run (t : Core.Pipeline.t) =
+      Valid.Oracle.differential ~procs_list:[ 2 ] ~seeds:[ seed land 0xff ]
+        ~original:(Frontend.Parser.parse_string src)
+        ~transformed:t.program ()
+    in
+    let rc = run cached and ru = run uncached in
+    Valid.Oracle.equivalent rc = Valid.Oracle.equivalent ru
+    && rc.checks = ru.checks
+    && List.length rc.failures = List.length ru.failures
+  in
+  if not same_output then
+    Printf.eprintf "seed %d: cached/uncached outputs diverge\n%!" seed;
+  if not same_verdicts then
+    Printf.eprintf "seed %d: cached/uncached verdicts diverge\n%!" seed;
+  if not same_oracle then
+    Printf.eprintf "seed %d: cached/uncached oracle reports diverge\n%!" seed;
+  same_output && same_verdicts && same_oracle
+
+(* 100 seeded random programs: byte-identical output and identical
+   verdicts; every 10th seed additionally cross-checked under the
+   differential execution oracle (it interprets the program, so we
+   sample to keep the suite fast) *)
+let test_property_100_seeds () =
+  for seed = 1 to 100 do
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d" seed)
+      true
+      (check_seed ~oracle:(seed mod 10 = 0) seed)
+  done
+
+(* the registry codes are the programs the bench measures; pin them too *)
+let test_suite_codes () =
+  List.iter
+    (fun (c : Suite.Code.t) ->
+      let cached = Core.Pipeline.compile (cfg ~caches:true) c.source in
+      let uncached = Core.Pipeline.compile (cfg ~caches:false) c.source in
+      Alcotest.(check string)
+        (c.name ^ " output")
+        (Core.Pipeline.output_source uncached)
+        (Core.Pipeline.output_source cached);
+      Alcotest.(check bool)
+        (c.name ^ " verdicts")
+        true
+        (verdicts cached = verdicts uncached))
+    Suite.Registry.all
+
+(* a successful guarded pass retires pre-pass cache entries *)
+let test_success_bumps_generation () =
+  let src = Test_fuzz.gen_program (Util.Prng.create 42) in
+  let p = Frontend.Parser.parse_string src in
+  let gen0 = !Util.Cachectl.generation in
+  let t = Core.Pipeline.run (cfg ~caches:true) p in
+  Alcotest.(check bool) "clean run" true (Core.Pipeline.clean t);
+  Alcotest.(check bool)
+    "generation advanced" true
+    (!Util.Cachectl.generation > gen0)
+
+(* chaos: an injected fault must roll the pass back AND bump the cache
+   generation, so no cache entry computed from the corrupted / discarded
+   program state can ever be served afterwards *)
+let test_rollback_bumps_generation () =
+  let src = Test_fuzz.gen_program (Util.Prng.create 1996) in
+  let p = Frontend.Parser.parse_string src in
+  let gen0 = !Util.Cachectl.generation in
+  let fault_hook pass _ =
+    if String.equal pass "constprop" then failwith "chaos: injected fault"
+  in
+  let t = Core.Pipeline.run ~fault_hook (cfg ~caches:true) p in
+  Alcotest.(check bool) "incident recorded" true (t.incidents <> []);
+  Alcotest.(check bool)
+    "rolled back" true
+    (List.for_all
+       (fun (i : Core.Pipeline.incident) -> i.inc_rolled_back)
+       t.incidents);
+  Alcotest.(check bool)
+    "generation advanced past rollback" true
+    (!Util.Cachectl.generation > gen0)
+
+(* full chaos harness run with the caches on: containment, attribution
+   and the oracle must all still hold, and the generation must advance *)
+let test_chaos_plan_with_caches () =
+  Util.Cachectl.with_enabled true @@ fun () ->
+  let _, source = List.hd (Valid.Chaos.default_sources ()) in
+  let plan =
+    { Valid.Chaos.pl_seed = 7;
+      pl_injections = [ ("constprop", Valid.Chaos.Raise_exn) ];
+      pl_zero_budget = false }
+  in
+  let gen0 = !Util.Cachectl.generation in
+  let outcome = Valid.Chaos.run_plan ~config:(cfg ~caches:true) plan source in
+  Alcotest.(check bool) "outcome ok" true (Valid.Chaos.outcome_ok outcome);
+  Alcotest.(check bool)
+    "incident contained" true
+    (outcome.oc_incidents <> []);
+  Alcotest.(check bool)
+    "generation advanced" true
+    (!Util.Cachectl.generation > gen0)
+
+(* budget replay plumbing: [afford] must not mutate, [used] must track
+   spend — the cache hit path depends on both *)
+let test_budget_afford_used () =
+  let b = Util.Budget.create ~steps:10 () in
+  Alcotest.(check int) "nothing used yet" 0 (Util.Budget.used b);
+  Alcotest.(check bool) "can afford 5" true (Util.Budget.afford b 5);
+  Alcotest.(check bool) "cannot afford 11" false (Util.Budget.afford b 11);
+  Alcotest.(check bool) "afford did not spend" true (Util.Budget.used b = 0);
+  Alcotest.(check bool) "afford did not exhaust" false (Util.Budget.exhausted b);
+  ignore (Util.Budget.spend b 4 : bool);
+  Alcotest.(check int) "used tracks spend" 4 (Util.Budget.used b);
+  Alcotest.(check bool) "can afford remaining 6" true (Util.Budget.afford b 6);
+  Alcotest.(check bool) "cannot afford 7" false (Util.Budget.afford b 7);
+  ignore (Util.Budget.spend b 7 : bool);
+  Alcotest.(check bool) "overspend is sticky" true (Util.Budget.exhausted b);
+  Alcotest.(check bool) "exhausted affords nothing" false
+    (Util.Budget.afford b 0)
+
+let tests =
+  [ ("cached vs uncached, 100 fuzz seeds", `Slow, test_property_100_seeds);
+    ("cached vs uncached, suite codes", `Quick, test_suite_codes);
+    ("success bumps cache generation", `Quick, test_success_bumps_generation);
+    ("rollback bumps cache generation", `Quick, test_rollback_bumps_generation);
+    ("chaos plan with caches on", `Quick, test_chaos_plan_with_caches);
+    ("budget afford/used", `Quick, test_budget_afford_used) ]

@@ -222,6 +222,61 @@ let test_consistency_dims () =
     | () -> false
     | exception Consistency.Violation _ -> true)
 
+(* hand-written structural equal/compare: Wildcard identity is pinned
+   (Wildcard i equals only Wildcard i — the pattern matcher's
+   non-linearity depends on it), equal and compare must agree, and
+   equal expressions must hash alike *)
+let test_equal_compare_hash () =
+  Alcotest.(check bool) "wildcard reflexive" true
+    (Expr.equal (Wildcard 1) (Wildcard 1));
+  Alcotest.(check bool) "wildcard 1 <> wildcard 2" false
+    (Expr.equal (Wildcard 1) (Wildcard 2));
+  Alcotest.(check bool) "wildcard <> var" false
+    (Expr.equal (Wildcard 1) (Var "W1"));
+  let samples =
+    [ Expr.int 0; Expr.int 7; Expr.var "I"; Expr.var "J";
+      Real_lit 1.5; Real_lit nan; Logical_lit true; Char_lit "X";
+      Wildcard 1; Wildcard 2;
+      Expr.add (Expr.var "I") (Expr.int 1);
+      Expr.add (Expr.var "I") (Expr.int 2);
+      Expr.mul (Expr.var "I") (Expr.int 1);
+      Expr.call "MOD" [ Expr.var "I"; Expr.int 2 ];
+      Ref ("A", [ Expr.var "I" ]);
+      Ref ("A", [ Expr.var "J" ]);
+      Unary (Neg, Expr.var "I") ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "compare=0 iff equal" (Expr.equal a b)
+            (Expr.compare a b = 0);
+          if Expr.equal a b then
+            Alcotest.(check int) "equal implies same hash" (Expr.hash a)
+              (Expr.hash b))
+        samples;
+      (* NaN consistency: equal must agree with compare, unlike (=) *)
+      Alcotest.(check bool) "self-equal (incl. nan)" true (Expr.equal a a))
+    samples;
+  Alcotest.(check bool) "compare antisymmetric" true
+    (Expr.compare (Expr.var "I") (Expr.var "J")
+     = -Expr.compare (Expr.var "J") (Expr.var "I"))
+
+(* hash-consing: interning structurally equal trees (built separately)
+   yields physically identical nodes, so equality short-circuits on == *)
+let test_intern_sharing () =
+  Util.Cachectl.with_enabled true @@ fun () ->
+  let build () =
+    Expr.add (Expr.mul (Expr.var "I") (Expr.int 4)) (Expr.var "J")
+  in
+  let a = Expr.intern (build ()) and b = Expr.intern (build ()) in
+  Alcotest.(check bool) "physically shared" true (a == b);
+  Alcotest.(check bool) "still equal" true (Expr.equal a b);
+  (* disabled interning is the identity *)
+  Util.Cachectl.with_enabled false @@ fun () ->
+  let c = build () in
+  Alcotest.(check bool) "identity when disabled" true (Expr.intern c == c)
+
 let test_program_merge () =
   let a = Program.create [ Punit.create "MAIN" ] in
   let b = Program.create [ Punit.create ~kind:Subroutine "SUB" ] in
@@ -250,5 +305,7 @@ let tests =
     ("consistency: wildcard", `Quick, test_consistency_wildcard);
     ("consistency: goto", `Quick, test_consistency_goto);
     ("consistency: dims", `Quick, test_consistency_dims);
-    ("program merge", `Quick, test_program_merge) ]
+    ("program merge", `Quick, test_program_merge);
+    ("expr equal/compare/hash", `Quick, test_equal_compare_hash);
+    ("expr intern sharing", `Quick, test_intern_sharing) ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_simplify_preserves; prop_subst_var ]

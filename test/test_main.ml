@@ -17,4 +17,5 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("valid", Test_valid.tests);
       ("chaos", Test_chaos.tests);
+      ("cache", Test_cache.tests);
       ("props", Test_props.tests) ]
