@@ -4,7 +4,7 @@
 # serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
 # faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate chaos check bench perf clean
+.PHONY: all build test validate chaos check bench perf scale clean
 
 all: build
 
@@ -34,6 +34,13 @@ bench: build
 # compilation outputs or verdicts diverge.
 perf: build
 	dune exec bench/main.exe -- perf 5
+
+# Multicore compilation: compiles the 16-code suite N times at
+# -j 1/2/4/8, asserts that output, verdicts and incidents are
+# byte-identical at every job count, prints the wall-clock scaling
+# table, and writes BENCH_scale.json.
+scale: build
+	dune exec bench/main.exe -- scale 3
 
 clean:
 	dune clean

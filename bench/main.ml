@@ -560,6 +560,16 @@ let perf ?(n = 5) () =
     (fun (name, hits, misses) ->
       Printf.printf "  %-22s %8d hits %8d misses\n" name hits misses)
     cache_stats;
+  (* a cache that never hits is dead weight — a key-design bug (as the
+     original generation+sid env_at key was), not a tuning matter *)
+  let dead =
+    List.filter (fun (_, hits, misses) -> hits = 0 && misses > 0) cache_stats
+  in
+  List.iter
+    (fun (name, _, misses) ->
+      Printf.eprintf "perf: DEAD CACHE %s: 0 hits in %d lookups\n" name misses)
+    dead;
+  if dead <> [] then exit 1;
   Printf.printf "\noutputs byte-identical, verdicts identical: %b\n" identical;
   Printf.printf "end-to-end compile speedup: %.2fx\n" speedup;
   let json =
@@ -586,6 +596,105 @@ let perf ?(n = 5) () =
   output_string oc "\n";
   close_out oc;
   Printf.printf "wrote BENCH_compile.json\n";
+  if not identical then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Scale: multicore compilation — byte-identity and wall clock vs -j   *)
+
+(* one full compile of one source; returns everything observable:
+   the annotated output source, the per-loop verdicts (loop_sid
+   excluded: statement ids depend on allocation order across domains
+   and carry no meaning beyond uniqueness) and the incident list *)
+let scale_compile cfg (source : string) =
+  let t = Core.Pipeline.compile cfg source in
+  ( Core.Pipeline.output_source t,
+    List.map
+      (fun (l : Core.Pipeline.loop_result) ->
+        ( l.unit_name, l.report.loop_index, l.report.parallel,
+          l.report.speculative, l.report.reason ))
+      t.loops,
+    List.map
+      (fun (i : Core.Pipeline.incident) ->
+        (i.inc_pass, i.inc_reason, i.inc_rolled_back, i.inc_disabled))
+      t.incidents )
+
+let scale ?(n = 3) () =
+  section
+    (Printf.sprintf
+       "scale: compile the 16-code suite %dx at -j 1/2/4/8 — byte-identity \
+        and wall clock" n);
+  let cfg = Core.Config.polaris () in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let results =
+    List.map
+      (fun jobs ->
+        Util.Pool.with_jobs jobs (fun () ->
+            Util.Cachectl.clear_all ();
+            let t0 = Unix.gettimeofday () in
+            let sigs = ref [] in
+            for iter = 1 to n do
+              List.iter
+                (fun (c : Suite.Code.t) ->
+                  let s = scale_compile cfg c.source in
+                  if iter = 1 then sigs := (c.name, s) :: !sigs)
+                Suite.Registry.all
+            done;
+            let wall = Unix.gettimeofday () -. t0 in
+            (jobs, wall, List.rev !sigs)))
+      job_counts
+  in
+  let _, wall1, sigs1 =
+    List.find (fun (jobs, _, _) -> jobs = 1) results
+  in
+  let divergences = ref [] in
+  List.iter
+    (fun (jobs, _, sigs) ->
+      if jobs <> 1 then
+        List.iter
+          (fun (name, s) ->
+            if List.assoc name sigs1 <> s then
+              divergences := (jobs, name) :: !divergences)
+          sigs)
+    results;
+  List.iter
+    (fun (jobs, name) ->
+      Printf.eprintf
+        "scale: DIVERGENCE on %s at -j %d: output/verdicts/incidents differ \
+         from -j 1\n"
+        name jobs)
+    !divergences;
+  let identical = !divergences = [] in
+  Printf.printf "%5s | %10s %8s\n" "jobs" "wall" "speedup";
+  Printf.printf "%s\n" (String.make 28 '-');
+  List.iter
+    (fun (jobs, wall, _) ->
+      Printf.printf "%5d | %9.2fs %7.2fx\n" jobs wall (wall1 /. wall))
+    results;
+  Printf.printf "\nhost cores (recommended domain count): %d\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "outputs/verdicts/incidents identical across -j: %b\n" identical;
+  let json =
+    let open Valid.Trace.Json in
+    obj
+      [ ("iterations", int n);
+        ("codes", int (List.length Suite.Registry.all));
+        ("host_cores", int (Domain.recommended_domain_count ()));
+        ( "runs",
+          arr
+            (List.map
+               (fun (jobs, wall, _) ->
+                 obj
+                   [ ("jobs", int jobs);
+                     ("wall_s", float wall);
+                     ("speedup", float (wall1 /. wall)) ])
+               results) );
+        ("identical_output", bool identical) ]
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_scale.json\n";
   if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -640,7 +749,8 @@ let experiments =
   [ ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("coverage", coverage); ("validate", validate); ("ablation", ablation);
-    ("chaos", chaos); ("micro", micro); ("perf", fun () -> perf ()) ]
+    ("chaos", chaos); ("micro", micro); ("perf", fun () -> perf ());
+    ("scale", fun () -> scale ()) ]
 
 let () =
   match Sys.argv with
@@ -650,6 +760,12 @@ let () =
     | Some n when n > 0 -> perf ~n ()
     | _ ->
       Printf.eprintf "usage: %s perf [iterations > 0]\n" Sys.argv.(0);
+      exit 1)
+  | [| _; "scale"; n |] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> scale ~n ()
+    | _ ->
+      Printf.eprintf "usage: %s scale [iterations > 0]\n" Sys.argv.(0);
       exit 1)
   | [| _; name |] -> (
     match List.assoc_opt name experiments with

@@ -62,6 +62,19 @@ let strict_flag =
           "Disable fault containment: re-raise the first pass fault instead \
            of rolling the pass back (debugging)")
 
+(* -j/--jobs on every command; the default comes from POLARIS_JOBS (or 1).
+   Output is byte-identical at any job count, so this is purely a
+   wall-clock knob. *)
+let jobs_flag =
+  Arg.(
+    value
+    & opt int (Util.Pool.jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Compiler worker domains for dependence analysis and validation \
+           (default \\$(b,POLARIS_JOBS) or 1).  Output is byte-identical at \
+           every N.")
+
 (* fail-safe contract: a compilation that contained pass faults still
    produced a correct (possibly less optimized) program, but the caller
    must be able to tell — exit 2, distinct from hard failures (exit 1) *)
@@ -94,8 +107,9 @@ let compile_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the transformed source")
   in
-  let run file baseline quiet strict =
+  let run file baseline quiet strict jobs =
     with_errors (fun () ->
+        Util.Pool.set_jobs jobs;
         let file = required_file file in
         let t =
           Core.Pipeline.compile ~strict (config_of ~baseline ~procs:8)
@@ -107,7 +121,7 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Restructure a Fortran program and print it")
-    Term.(const run $ file_pos $ baseline $ quiet $ strict_flag)
+    Term.(const run $ file_pos $ baseline $ quiet $ strict_flag $ jobs_flag)
 
 (* ----- run ----- *)
 
@@ -118,8 +132,9 @@ let run_cmd =
   let procs =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
-  let go file baseline procs strict =
+  let go file baseline procs strict jobs =
     with_errors (fun () ->
+        Util.Pool.set_jobs jobs;
         let file = required_file file in
         let cfg = config_of ~baseline ~procs in
         let t, r = Core.Simulate.compile_and_run ~strict cfg (read_file file) in
@@ -132,7 +147,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated multiprocessor")
-    Term.(const go $ file_pos $ baseline $ procs $ strict_flag)
+    Term.(const go $ file_pos $ baseline $ procs $ strict_flag $ jobs_flag)
 
 (* ----- suite ----- *)
 
@@ -143,8 +158,9 @@ let suite_cmd =
   let procs =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
-  let go code_name procs =
+  let go code_name procs jobs =
     with_errors (fun () ->
+        Util.Pool.set_jobs jobs;
         match code_name with
         | None ->
           Fmt.pr "%-8s %-8s %s@." "name" "origin" "description";
@@ -175,7 +191,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"List or run the evaluation-suite codes")
-    Term.(const go $ code_name $ procs)
+    Term.(const go $ code_name $ procs $ jobs_flag)
 
 (* ----- validate ----- *)
 
@@ -246,8 +262,9 @@ let validate_cmd =
          & info [ "trace" ] ~docv:"OUT.json"
              ~doc:"Write the flight-recorder + validation report as JSON")
   in
-  let go file suite baseline_only polaris_only ulp seeds procs trace_out =
+  let go file suite baseline_only polaris_only ulp seeds procs trace_out jobs =
     with_errors (fun () ->
+        Util.Pool.set_jobs jobs;
         let cmp = { Valid.Oracle.ulp_tol = ulp } in
         let seeds = parse_int_list ~what:"seed" seeds in
         let procs_list = parse_int_list ~what:"processor" procs in
@@ -309,7 +326,7 @@ let validate_cmd =
        ~doc:"Translation-validate the pipeline by differential execution")
     Term.(
       const go $ file_pos $ suite $ baseline_only $ polaris_only $ ulp $ seeds
-      $ procs $ trace_out)
+      $ procs $ trace_out $ jobs_flag)
 
 (* ----- chaos ----- *)
 
@@ -328,8 +345,9 @@ let chaos_cmd =
       & info [ "out" ] ~docv:"OUT.json"
           ~doc:"Write the sweep report (failures, incidents) as JSON")
   in
-  let go seeds first_seed out =
+  let go seeds first_seed out jobs =
     with_errors (fun () ->
+        Util.Pool.set_jobs jobs;
         let sources = Valid.Chaos.default_sources () in
         let sweep =
           Valid.Chaos.run_sweep ~procs_list:[ 4 ] ~first_seed ~n:seeds sources
@@ -351,7 +369,7 @@ let chaos_cmd =
          "Fault-injection sweep: seeded exceptions, IR corruptions and \
           budget exhaustion must all be contained, attributed and \
           oracle-equivalent")
-    Term.(const go $ seeds $ first_seed $ out)
+    Term.(const go $ seeds $ first_seed $ out $ jobs_flag)
 
 let () =
   let doc = "Polaris-style automatic parallelizer (ICPP'96 reproduction)" in

@@ -112,9 +112,16 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
           (match snapshot with
           | Some _ -> ignore (Fir.Consistency.check program : Fir.Program.t)
           | None ->
-            List.iter
-              (fun (live, _) -> Fir.Consistency.check_unit live)
-              !dirty);
+            (* unit-local re-checks of the touched units; at -j > 1
+               the checks fan out across domains (each reads one unit,
+               writes nothing) and Pool.map's earliest-failure merge
+               re-raises the same violation the serial left-to-right
+               iteration would *)
+            ignore
+              (Util.Pool.map
+                 (fun (live, _) -> Fir.Consistency.check_unit live)
+                 !dirty
+                : unit list));
           v)
     with
     | v ->

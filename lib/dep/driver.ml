@@ -50,13 +50,6 @@ let reset_counters () =
 (** A copy of the live counters (safe to keep across {!reset_counters}). *)
 let counters_snapshot () = { counters with range_proved = counters.range_proved }
 
-let record method_ verdict =
-  match (method_, verdict) with
-  | Range_symbolic, Parallel _ -> counters.range_proved <- counters.range_proved + 1
-  | Range_symbolic, Dependent _ -> counters.range_failed <- counters.range_failed + 1
-  | Banerjee_gcd, Parallel _ -> counters.linear_proved <- counters.linear_proved + 1
-  | Banerjee_gcd, Dependent _ -> counters.linear_failed <- counters.linear_failed + 1
-
 let index_name (l : Loops.loop) =
   match l.index with Atom.Avar v -> v | Atom.Aopaque _ -> "?"
 
@@ -68,6 +61,83 @@ let index_name (l : Loops.loop) =
    the dependence phase. *)
 let wall_in_deps = ref 0.0
 let wall_snapshot () = !wall_in_deps
+
+(* --- Domain-safe counter collection (the deterministic-merge story) --
+
+   During the parallel dependence phase, verdicts run inside
+   {!Util.Pool} worker tasks.  Bare atomics would make the *final*
+   counter values correct but their intermediate evolution (and, after
+   a contained fault, the final values too) dependent on scheduling.
+   Instead, every task runs under {!collecting}, which parks a private
+   tally in domain-local storage; the merge step applies the tallies in
+   program order ({!apply_tally}), so the global counters are only ever
+   written by the submitting domain, and a run at [-j 8] leaves them
+   byte-identical to [-j 1] — including runs where a verdict faulted
+   (the tally survives the exception, exactly like the serial
+   accumulate-then-raise path under [Fun.protect]). *)
+
+type tally = { t_counters : counters; mutable t_wall : float }
+
+let tally_key : tally option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* the counters record to charge from the current context *)
+let live_counters () =
+  match !(Domain.DLS.get tally_key) with
+  | Some t -> t.t_counters
+  | None -> counters
+
+let add_wall dt =
+  match !(Domain.DLS.get tally_key) with
+  | Some t -> t.t_wall <- t.t_wall +. dt
+  | None -> wall_in_deps := !wall_in_deps +. dt
+
+(** Run [f] with counter and wall updates diverted into a fresh private
+    tally; returns [f]'s outcome (exceptions are captured, not raised —
+    the caller decides where in the merged order they surface) together
+    with the tally. *)
+let collecting (f : unit -> 'a) :
+    ('a, exn * Printexc.raw_backtrace) result * tally =
+  let t =
+    { t_counters =
+        { range_proved = 0; range_failed = 0; linear_proved = 0;
+          linear_failed = 0; unknown = 0 };
+      t_wall = 0.0 }
+  in
+  let cell = Domain.DLS.get tally_key in
+  cell := Some t;
+  let outcome =
+    match f () with
+    | v -> Ok v
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  cell := None;
+  (outcome, t)
+
+(** Fold a {!collecting} tally into the global counters and wall clock
+    (submitting domain only, in program order). *)
+let apply_tally (t : tally) =
+  counters.range_proved <- counters.range_proved + t.t_counters.range_proved;
+  counters.range_failed <- counters.range_failed + t.t_counters.range_failed;
+  counters.linear_proved <- counters.linear_proved + t.t_counters.linear_proved;
+  counters.linear_failed <- counters.linear_failed + t.t_counters.linear_failed;
+  counters.unknown <- counters.unknown + t.t_counters.unknown;
+  wall_in_deps := !wall_in_deps +. t.t_wall
+
+let record method_ verdict =
+  let c = live_counters () in
+  match (method_, verdict) with
+  | Range_symbolic, Parallel _ -> c.range_proved <- c.range_proved + 1
+  | Range_symbolic, Dependent _ -> c.range_failed <- c.range_failed + 1
+  | Banerjee_gcd, Parallel _ -> c.linear_proved <- c.linear_proved + 1
+  | Banerjee_gcd, Dependent _ -> c.linear_failed <- c.linear_failed + 1
+
+(** Test seam: called with the target loop's index name at the start of
+    every {!array_deps} verdict (before any symbolic work).  The chaos
+    suite uses it to fault a specific verdict {e inside} a worker
+    domain and check that containment is identical to the serial run.
+    Restore the previous value after use ([Fun.protect]). *)
+let verdict_hook : (string -> unit) ref = ref (fun _ -> ())
 
 (* A verdict is a pure function of the canonical fingerprint below plus
    the budget's starvation behaviour, which [Cache.memo_budgeted]
@@ -277,6 +347,14 @@ let array_deps ?budget ~(method_ : method_) ~(symtab : Fir.Symtab.t)
     ~(inner : Loops.loop list) ~(body_writes : string list)
     ~(accesses : Access.t list) () : verdict =
   let t0 = Unix.gettimeofday () in
+  (* [Fun.protect]: a fault mid-verdict (contained later by the
+     pipeline guard) must not lose the elapsed-time accounting, and the
+     counter updates below all happen before any point that can raise
+     after them — accumulate-then-raise, deterministically. *)
+  Fun.protect
+    ~finally:(fun () -> add_wall (Unix.gettimeofday () -. t0))
+  @@ fun () ->
+  !verdict_hook (index_name target);
   let budget = match budget with Some b -> b | None -> !budget_factory () in
   let body = target.dloop.body in
   let assigned_scalars =
@@ -342,12 +420,12 @@ let array_deps ?budget ~(method_ : method_) ~(symtab : Fir.Symtab.t)
   let verdict =
     match verdict with
     | Dependent why when Util.Budget.exhausted budget ->
-      counters.unknown <- counters.unknown + 1;
+      let c = live_counters () in
+      c.unknown <- c.unknown + 1;
       Dependent
         (Fmt.str "analysis budget exhausted: dependence unknown, loop stays serial (last test: %s)"
            why)
     | v -> v
   in
   record method_ verdict;
-  wall_in_deps := !wall_in_deps +. (Unix.gettimeofday () -. t0);
   verdict

@@ -158,8 +158,15 @@ end)
 
 let pool : expr Pool.t = Pool.create 4096
 
+(* The intern pool is deliberately single-writer: [intern] is called
+   only at parse/finalize time (see {!Frontend.Parser}), always on the
+   submitting domain, never inside a {!Util.Pool} task — so it needs no
+   per-slot sharding and registers no merge hook.  Worker domains only
+   ever {e read} interned expressions (immutable). *)
 let pool_stats =
-  Util.Cachectl.register ~name:"fir.intern" ~clear:(fun () -> Pool.reset pool)
+  Util.Cachectl.register ~name:"fir.intern"
+    ~clear:(fun () -> Pool.reset pool)
+    ()
 
 (** [intern e] returns the canonical physical representative of [e]'s
     structural equivalence class, interning every subtree bottom-up.

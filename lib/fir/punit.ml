@@ -53,6 +53,163 @@ let parameter_bindings u =
       | None -> acc)
     u.pu_symtab []
 
+(* ------------------------------------------------------------------ *)
+(* Content fingerprint                                                 *)
+
+(* Canonical serialization of everything a unit-level analysis may read
+   — symbol table (sorted), arguments, kind, and the full body — while
+   deliberately excluding statement ids and loop_info annotations.  Two
+   units with equal fingerprints are indistinguishable to any analysis
+   that ignores ids and decisions, so caches may key on the fingerprint
+   and get hits across passes, pipeline generations, and even separate
+   compilations of the same source.  Strings are length-prefixed and
+   every node carries a distinct tag, so the encoding is injective. *)
+
+let fp_string buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let fp_unop = function Neg -> '~' | Not -> '!'
+
+let fp_binop = function
+  | Add -> '+' | Sub -> '-' | Mul -> '*' | Div -> '/' | Pow -> '^'
+  | And -> '&' | Or -> '|'
+  | Eq -> 'e' | Ne -> 'n' | Lt -> 'l' | Le -> 'm' | Gt -> 'g' | Ge -> 'h'
+
+let rec fp_expr buf (e : expr) =
+  match e with
+  | Int_lit n ->
+    Buffer.add_char buf 'i';
+    Buffer.add_string buf (string_of_int n)
+  | Real_lit x ->
+    Buffer.add_char buf 'r';
+    Buffer.add_string buf (Int64.to_string (Int64.bits_of_float x))
+  | Logical_lit b -> Buffer.add_char buf (if b then 'T' else 'F')
+  | Char_lit s ->
+    Buffer.add_char buf 'c';
+    fp_string buf s
+  | Var v ->
+    Buffer.add_char buf 'v';
+    fp_string buf v
+  | Ref (a, subs) ->
+    Buffer.add_char buf 'R';
+    fp_string buf a;
+    fp_exprs buf subs
+  | Fun_call (f, args) ->
+    Buffer.add_char buf 'C';
+    fp_string buf f;
+    fp_exprs buf args
+  | Unary (op, a) ->
+    Buffer.add_char buf 'u';
+    Buffer.add_char buf (fp_unop op);
+    fp_expr buf a
+  | Binary (op, a, b) ->
+    Buffer.add_char buf 'b';
+    Buffer.add_char buf (fp_binop op);
+    fp_expr buf a;
+    fp_expr buf b
+  | Wildcard i ->
+    Buffer.add_char buf 'w';
+    Buffer.add_string buf (string_of_int i)
+
+and fp_exprs buf es =
+  Buffer.add_char buf '(';
+  List.iter (fp_expr buf) es;
+  Buffer.add_char buf ')'
+
+let rec fp_stmt buf (s : stmt) =
+  (match s.label with
+  | Some l ->
+    Buffer.add_char buf 'L';
+    Buffer.add_string buf (string_of_int l)
+  | None -> ());
+  match s.kind with
+  | Assign (l, r) ->
+    Buffer.add_char buf '=';
+    fp_expr buf l;
+    fp_expr buf r
+  | If (c, t, e) ->
+    Buffer.add_char buf '?';
+    fp_expr buf c;
+    fp_block buf t;
+    fp_block buf e
+  | Do d ->
+    Buffer.add_char buf 'D';
+    fp_string buf d.index;
+    fp_expr buf d.init;
+    fp_expr buf d.limit;
+    (match d.step with
+    | Some e ->
+      Buffer.add_char buf 's';
+      fp_expr buf e
+    | None -> Buffer.add_char buf '1');
+    fp_block buf d.body
+  | While (c, b) ->
+    Buffer.add_char buf 'W';
+    fp_expr buf c;
+    fp_block buf b
+  | Call (n, args) ->
+    Buffer.add_char buf '!';
+    fp_string buf n;
+    fp_exprs buf args
+  | Goto l ->
+    Buffer.add_char buf 'G';
+    Buffer.add_string buf (string_of_int l)
+  | Continue -> Buffer.add_char buf '.'
+  | Return -> Buffer.add_char buf '<'
+  | Stop -> Buffer.add_char buf 'S'
+  | Print args ->
+    Buffer.add_char buf 'P';
+    fp_exprs buf args
+
+and fp_block buf (b : block) =
+  Buffer.add_char buf '[';
+  List.iter (fp_stmt buf) b;
+  Buffer.add_char buf ']'
+
+let fp_symbol buf (s : symbol) =
+  fp_string buf s.sym_name;
+  Buffer.add_string buf (base_type_to_string s.sym_type);
+  List.iter
+    (fun (lo, hi) ->
+      Buffer.add_char buf 'd';
+      fp_expr buf lo;
+      fp_expr buf hi)
+    s.sym_dims;
+  (match s.sym_param with
+  | Some e ->
+    Buffer.add_char buf 'p';
+    fp_expr buf e
+  | None -> ());
+  (match s.sym_common with
+  | Some c ->
+    Buffer.add_char buf 'k';
+    fp_string buf c
+  | None -> ());
+  match s.sym_arg_pos with
+  | Some i ->
+    Buffer.add_char buf 'a';
+    Buffer.add_string buf (string_of_int i)
+  | None -> ()
+
+(** Canonical content fingerprint of the unit: name, kind, arguments,
+    sorted symbol table and body — statement ids and loop decisions
+    excluded (see above).  O(unit size); callers cache it per pass
+    generation. *)
+let fingerprint (u : t) : string =
+  let buf = Buffer.create 1024 in
+  fp_string buf u.pu_name;
+  Buffer.add_string buf
+    (match u.pu_kind with
+    | Main -> "M"
+    | Subroutine -> "S"
+    | Function ty -> "F" ^ base_type_to_string ty);
+  List.iter (fp_string buf) u.pu_args;
+  List.iter (fp_symbol buf) (Symtab.symbols u.pu_symtab);
+  fp_block buf u.pu_body;
+  Buffer.contents buf
+
 let pp ppf u =
   let kw =
     match u.pu_kind with

@@ -10,12 +10,15 @@ open Ast
 (* ------------------------------------------------------------------ *)
 (* Identity                                                            *)
 
-let counter = ref 0
+(* atomic: the validation oracle deep-copies programs inside worker
+   domains, so id allocation must be race-free.  Note id *values* then
+   depend on allocation order across domains — nothing downstream may
+   key behaviour on them beyond uniqueness (comparisons in the bench
+   and tests deliberately exclude sids). *)
+let counter = Atomic.make 0
 
 (** Globally fresh statement id. *)
-let fresh_id () =
-  incr counter;
-  !counter
+let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
 let mk ?label kind = { sid = fresh_id (); label; kind }
 

@@ -38,7 +38,9 @@ exception Fault of string
 
 let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
 
-let alloc_counter = ref 0
+(* atomic: the validation oracle interprets program copies on several
+   domains at once; aids only need uniqueness, never a specific order *)
+let alloc_counter = Atomic.make 0
 
 let size_of_data = function
   | Farr a -> Array.length a
@@ -46,7 +48,7 @@ let size_of_data = function
   | Barr a -> Array.length a
 
 let allocate (typ : Ast.base_type) n : alloc =
-  incr alloc_counter;
+  let aid = Atomic.fetch_and_add alloc_counter 1 + 1 in
   let data =
     match typ with
     | Ast.Integer -> Iarr (Array.make n 0)
@@ -54,7 +56,7 @@ let allocate (typ : Ast.base_type) n : alloc =
     | Ast.Logical -> Barr (Array.make n false)
     | Ast.Character -> Farr (Array.make n 0.0)
   in
-  { aid = !alloc_counter; data }
+  { aid; data }
 
 let scalar_binding typ : binding =
   { view = { alloc = allocate typ 1; off = 0 }; dims = []; elem = typ }

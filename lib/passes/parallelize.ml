@@ -41,19 +41,35 @@ let live_after (u : Punit.t) (d : do_loop) v =
          && List.exists (fun (_, e) -> Expr.mentions v e) (Stmt.exprs_of s))
     false u.pu_body
 
-let analyze_loop ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
-    (nest : Loops.nest) : loop_report =
+(** Analysis of one nest, {e side-effect-free}: returns the report and
+    a deferred [apply] thunk that writes the [loop_info] decision
+    fields.  The serial driver applies immediately; the parallel driver
+    ({!run} at jobs > 1) evaluates many nests concurrently and applies
+    the thunks on the submitting domain in program order, so the IR
+    and the outcome counters evolve exactly as in the serial run —
+    including after a fault, where the merge re-raises at the first
+    failed nest and every later (already computed) decision is
+    discarded, just as the serial compiler would never have reached
+    them. *)
+let analyze_nest ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
+    (nest : Loops.nest) : loop_report * (unit -> unit) =
   let target = Loops.innermost nest in
   let enclosing = List.filter (fun l -> l != target) nest.loops in
   let d = target.dloop in
   let body = d.body in
   let info = d.info in
-  let decide ~parallel ~speculative reason =
-    info.par <- parallel;
-    info.speculative <- speculative;
-    info.par_reason <- reason;
-    { loop_index = d.index; loop_sid = target.stmt.sid; parallel; speculative;
-      reason }
+  let decide ?(commit = fun () -> ()) ~parallel ~speculative reason =
+    let report =
+      { loop_index = d.index; loop_sid = target.stmt.sid; parallel;
+        speculative; reason }
+    in
+    let apply () =
+      commit ();
+      info.par <- parallel;
+      info.speculative <- speculative;
+      info.par_reason <- reason
+    in
+    (report, apply)
   in
   (* 0. structural disqualifiers *)
   if Loops.has_disqualifying_control body then
@@ -269,11 +285,17 @@ let analyze_loop ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
         let lp_scalars =
           List.filter (fun v -> live_after u d v) private_scalars
         in
-        info.privates <- List.sort_uniq String.compare !privates;
-        info.lastprivates <-
-          List.sort_uniq String.compare (lp_scalars @ !lastprivates);
-        info.reductions <- List.map (fun (f : Reduction.found) -> f.red) reductions;
-        decide ~parallel:true ~speculative:false
+        let privates = List.sort_uniq String.compare !privates in
+        let lastprivates =
+          List.sort_uniq String.compare (lp_scalars @ !lastprivates)
+        in
+        let commit () =
+          info.privates <- privates;
+          info.lastprivates <- lastprivates;
+          info.reductions <-
+            List.map (fun (f : Reduction.found) -> f.red) reductions
+        in
+        decide ~commit ~parallel:true ~speculative:false
           (String.concat "; "
              (List.rev
                 ((if reductions = [] then [] else [ "reductions solved" ])
@@ -281,6 +303,14 @@ let analyze_loop ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
                 @ [ "scalars private" ])))
     end
   end
+
+(** Analyze one nest and mark its loop_info immediately (the serial
+    entry point). *)
+let analyze_loop ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
+    (nest : Loops.nest) : loop_report =
+  let report, apply = analyze_nest ~mode u outer_env nest in
+  apply ();
+  report
 
 (** Analyze every loop of a unit (outermost first), marking loop_info in
     place; returns the per-loop reports. *)
@@ -300,4 +330,50 @@ let run_unit ~(mode : mode) (u : Punit.t) : loop_report list =
    nothing for a copy-on-write guard to roll back, and nothing
    {!Fir.Consistency} checks. *)
 let run ~mode (p : Program.t) : (string * loop_report list) list =
-  List.map (fun u -> (u.Punit.pu_name, run_unit ~mode u)) (Program.units p)
+  if not (Util.Pool.parallel ()) then
+    List.map (fun u -> (u.Punit.pu_name, run_unit ~mode u)) (Program.units p)
+  else begin
+    (* Parallel driver.  Each nest is analyzed on a worker domain with
+       all side effects deferred: analysis reads the (frozen) IR and
+       shared caches, writes only its per-task cache shards and its
+       per-task counter tally ({!Dep.Driver.collecting}).  The merge on
+       the submitting domain then replays the serial order exactly:
+       tallies fold into the global counters nest-by-nest in program
+       order, each Ok report's [apply] commits the loop_info decision,
+       and the first Error re-raises — after its tally is applied — so
+       counters, decisions and the fault point are byte-identical to
+       the serial run. *)
+    let units = Program.units p in
+    let tasks =
+      List.concat_map
+        (fun u -> List.map (fun n -> (u, n)) (Loops.nests_of_unit u))
+        units
+    in
+    let outcomes =
+      Util.Pool.map
+        (fun ((u : Punit.t), nest) ->
+          Dep.Driver.collecting (fun () ->
+              let target = Loops.innermost nest in
+              let outer_env = Range_prop.env_at u ~target:target.stmt.sid in
+              analyze_nest ~mode u outer_env nest))
+        tasks
+    in
+    let reports =
+      List.map2
+        (fun ((u : Punit.t), _) (outcome, tally) ->
+          Dep.Driver.apply_tally tally;
+          match outcome with
+          | Ok (report, apply) ->
+            apply ();
+            (u, report)
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        tasks outcomes
+    in
+    List.map
+      (fun u ->
+        ( u.Punit.pu_name,
+          List.filter_map
+            (fun (u', r) -> if u' == u then Some r else None)
+            reports ))
+      units
+  end

@@ -9,7 +9,7 @@
     - {!memo_validated}: memoization with a per-entry validity probe,
       for facts derived from mutable IR.  The caller stores enough
       context in the entry to recognize staleness (e.g. [Range_prop]
-      stores the physical block it walked and revalidates with [==]).
+      pins the physical block it walked and revalidates with [==]).
     - {!memo_budgeted}: memoization of a computation that spends from a
       {!Util.Budget}.  Entries record the step cost of the original
       computation; a hit is taken only when the recorded cost is
@@ -18,6 +18,17 @@
       the cache is warm.  Computations that ran under (or into)
       exhaustion are never cached — they recompute honestly, exactly as
       the uncached compiler would.
+
+    {b Domain safety.}  During a parallel phase ({!Util.Pool.map}) the
+    shared table is treated as {e read-only}: a task (identified by its
+    {!Util.Pool.slot}) records misses in a private per-slot shard table
+    and looks keys up shared-then-shard.  When the batch ends the pool
+    calls {!Util.Cachectl.merge_shards} at a sequential point and the
+    shards drain into the shared store (first slot wins on duplicate
+    keys; values for equal keys are equal by the purity discipline, so
+    the choice is invisible).  The only cross-domain nondeterminism is
+    {e which} lookups hit — and hits and misses yield identical values
+    and identical budget decisions, so only wall time can differ.
 
     All lookups are gated on {!Util.Cachectl.enabled}; in
     {!Util.Cachectl.debug} mode every hit is cross-checked against a
@@ -34,6 +45,10 @@ open Util
 
 type ('k, 'v) t = {
   table : ('k, 'v) Hashtbl.t;
+      (** shared store; read-only while a parallel phase is running *)
+  shards : ('k, 'v) Hashtbl.t option array;
+      (** per-{!Util.Pool.slot} miss tables, created on demand during a
+          phase and drained by the registered merge hook *)
   stats : Cachectl.stats;
   equal_result : 'v -> 'v -> bool;
 }
@@ -43,10 +58,57 @@ type ('k, 'v) t = {
     debug cross-check. *)
 let create ~name ?(equal_result = fun a b -> a = b) () =
   let table = Hashtbl.create 1024 in
-  let stats =
-    Cachectl.register ~name ~clear:(fun () -> Hashtbl.reset table)
+  let shards = Array.make Pool.max_jobs None in
+  let clear_shards () = Array.fill shards 0 (Array.length shards) None in
+  let merge () =
+    Array.iter
+      (function
+        | None -> ()
+        | Some sh ->
+          Hashtbl.iter
+            (fun k v -> if not (Hashtbl.mem table k) then Hashtbl.add table k v)
+            sh)
+      shards;
+    clear_shards ()
   in
-  { table; stats; equal_result }
+  let stats =
+    Cachectl.register ~name ~merge
+      ~clear:(fun () ->
+        Hashtbl.reset table;
+        clear_shards ())
+      ()
+  in
+  { table; shards; stats; equal_result }
+
+(* shard table of the current task's slot, created on first write.
+   Only ever touched from that slot's domain while the phase runs, and
+   from the submitting domain at the merge point — never concurrently. *)
+let shard c i =
+  match c.shards.(i) with
+  | Some t -> t
+  | None ->
+    let t = Hashtbl.create 64 in
+    c.shards.(i) <- Some t;
+    t
+
+let find_opt c key =
+  match Hashtbl.find_opt c.table key with
+  | Some _ as r -> r
+  | None -> (
+    match Pool.slot () with
+    | None -> None
+    | Some i -> (
+      match c.shards.(i) with
+      | Some t -> Hashtbl.find_opt t key
+      | None -> None))
+
+let store add_or_replace c key v =
+  match Pool.slot () with
+  | None -> add_or_replace c.table key v
+  | Some i -> add_or_replace (shard c i) key v
+
+let add c key v = store Hashtbl.add c key v
+let replace c key v = store Hashtbl.replace c key v
 
 let check_debug c v compute =
   if !Cachectl.debug then begin
@@ -58,7 +120,7 @@ let check_debug c v compute =
 let memo c key compute =
   if not !Cachectl.enabled then compute ()
   else
-    match Hashtbl.find_opt c.table key with
+    match find_opt c key with
     | Some v ->
       Cachectl.hit c.stats;
       check_debug c v compute;
@@ -66,7 +128,7 @@ let memo c key compute =
     | None ->
       Cachectl.miss c.stats;
       let v = compute () in
-      Hashtbl.add c.table key v;
+      add c key v;
       v
 
 (** [memo_validated c key ~valid compute]: like {!memo}, but an entry is
@@ -75,7 +137,7 @@ let memo c key compute =
 let memo_validated c key ~valid compute =
   if not !Cachectl.enabled then compute ()
   else
-    match Hashtbl.find_opt c.table key with
+    match find_opt c key with
     | Some v when valid v ->
       Cachectl.hit c.stats;
       check_debug c v compute;
@@ -83,7 +145,7 @@ let memo_validated c key ~valid compute =
     | _ ->
       Cachectl.miss c.stats;
       let v = compute () in
-      Hashtbl.replace c.table key v;
+      replace c key v;
       v
 
 (** [memo_budgeted c ~budget key compute]: entries are
@@ -92,7 +154,7 @@ let memo_validated c key ~valid compute =
 let memo_budgeted c ~(budget : Budget.t) key compute =
   if not !Cachectl.enabled then compute ()
   else
-    match Hashtbl.find_opt c.table key with
+    match find_opt c key with
     | Some (v, steps) when Budget.afford budget steps ->
       ignore (Budget.spend budget steps : bool);
       Cachectl.hit c.stats;
@@ -112,5 +174,5 @@ let memo_budgeted c ~(budget : Budget.t) key compute =
       let exhausted0 = Budget.exhausted budget in
       let v = compute () in
       if (not exhausted0) && not (Budget.exhausted budget) then
-        Hashtbl.add c.table key (v, Budget.used budget - used0);
+        add c key (v, Budget.used budget - used0);
       v

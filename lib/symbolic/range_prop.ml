@@ -190,16 +190,51 @@ let initial_env (u : Punit.t) : Range.env =
     Range.empty (Punit.parameter_bindings u)
 
 (* Each derivation walks the whole unit body, and the parallelizer asks
-   once per loop nest, so the walk is quadratic in program size.  Cached
-   per (invalidation generation, unit, statement id); since statement
-   ids are globally fresh the sid alone identifies the program point,
-   but entries additionally pin the physical block they walked and are
-   revalidated with [==] — a belt-and-braces guard should a pass swap a
-   unit's body without the pipeline bumping the generation. *)
-let env_cache : (int * string * int, Ast.block * Range.env) Cache.t =
+   once per loop nest, so the walk is quadratic in program size.
+
+   The cache is content-addressed: the key is the unit's canonical
+   {!Fir.Punit.fingerprint} (symbol table + body, statement ids and
+   loop decisions excluded) plus the {e preorder ordinal} of the target
+   statement.  The fingerprint determines the walk and the ordinal
+   determines the stopping point, so the entry is valid by construction
+   — no generation tag, no staleness probe — and, crucially, the key
+   {e recurs}: recompiling the same source (or re-analyzing an
+   untouched unit in a later pass) reuses the entry even though every
+   statement id is fresh.  The previous key — (generation, unit, sid) —
+   could never be re-hit precisely because ids are globally fresh and
+   the generation bumps after every pass: 0 hits in 710 lookups on the
+   benchmark suite.
+
+   The fingerprint itself is O(unit) to build, so it has its own small
+   cache, keyed per (generation, unit) and revalidated against the
+   physical body (the fingerprint must track in-place mutation). *)
+let fp_cache : (int * string, Ast.block * string) Cache.t =
   Cache.create
-    ~equal_result:(fun (_, a) (_, b) -> a = b)
-    ~name:"range_prop.env_at" ()
+    ~equal_result:(fun (_, a) (_, b) -> String.equal a b)
+    ~name:"range_prop.fingerprint" ()
+
+let unit_fingerprint (u : Punit.t) : string =
+  let _, fp =
+    Cache.memo_validated fp_cache
+      (!Util.Cachectl.generation, u.pu_name)
+      ~valid:(fun (body, _) -> body == u.pu_body)
+      (fun () -> (u.pu_body, Punit.fingerprint u))
+  in
+  fp
+
+(* preorder position of the statement with id [target] (-1 if absent):
+   the sid-free coordinate of a program point within a fingerprint *)
+let ordinal_of (u : Punit.t) ~(target : int) : int =
+  let i = ref 0 and found = ref (-1) in
+  Stmt.iter
+    (fun s ->
+      if !found < 0 && s.sid = target then found := !i;
+      incr i)
+    u.pu_body;
+  !found
+
+let env_cache : (string * int, Range.env) Cache.t =
+  Cache.create ~name:"range_prop.env_at" ()
 
 (** Range environment holding at statement [target] (by statement id)
     of unit [u]; for a DO statement this is the environment inside its
@@ -207,17 +242,12 @@ let env_cache : (int * string * int, Ast.block * Range.env) Cache.t =
 let env_at (u : Punit.t) ~(target : int) : Range.env =
   let compute () =
     let symtab = u.pu_symtab in
-    let env =
-      match walk ~symtab (initial_env u) u.pu_body ~target with
-      | () -> initial_env u
-      | exception Found env -> env
-    in
-    (u.pu_body, env)
+    match walk ~symtab (initial_env u) u.pu_body ~target with
+    | () -> initial_env u
+    | exception Found env -> env
   in
-  let _, env =
-    Cache.memo_validated env_cache
-      (!Util.Cachectl.generation, u.pu_name, target)
-      ~valid:(fun (body, _) -> body == u.pu_body)
+  if not !Util.Cachectl.enabled then compute ()
+  else
+    Cache.memo env_cache
+      (unit_fingerprint u, ordinal_of u ~target)
       compute
-  in
-  env

@@ -25,10 +25,14 @@ let binomial n k =
 let n_atom = Atom.var "__SUM_N__"
 let n_poly = Poly.of_atom n_atom
 
-(* memoized S_k as a polynomial in n_atom *)
+(* memoized S_k as a polynomial in n_atom.  This table outlives (and is
+   shared by) the parallel dependence phase, so it is mutex-guarded:
+   the recursive worker assumes the lock is held (a recursive call must
+   not re-lock), the public entry point takes it. *)
 let power_sums : (int, Poly.t) Hashtbl.t = Hashtbl.create 16
+let power_sums_mutex = Mutex.create ()
 
-let rec power_sum k : Poly.t =
+let rec power_sum_locked k : Poly.t =
   match Hashtbl.find_opt power_sums k with
   | Some p -> p
   | None ->
@@ -40,7 +44,9 @@ let rec power_sum k : Poly.t =
           List.fold_left
             (fun acc j ->
               Poly.add acc
-                (Poly.scale (Rat.of_int (binomial (k + 1) j)) (power_sum j)))
+                (Poly.scale
+                   (Rat.of_int (binomial (k + 1) j))
+                   (power_sum_locked j)))
             Poly.zero
             (List.init k (fun j -> j))
         in
@@ -51,6 +57,9 @@ let rec power_sum k : Poly.t =
     in
     Hashtbl.replace power_sums k p;
     p
+
+let power_sum k : Poly.t =
+  Mutex.protect power_sums_mutex (fun () -> power_sum_locked k)
 
 (** [sum_powers k hi] = closed form of [sum_{x=0}^{hi} x^k] with [hi] a
     polynomial. *)

@@ -30,10 +30,14 @@
     hits ([Budget.afford] + [Budget.spend]) so cached and uncached runs
     make byte-identical budget decisions. *)
 
+(* hit/miss counters are atomics: during a parallel phase ({!Pool})
+   every worker domain bumps them concurrently.  They are telemetry,
+   not semantics — the cached values themselves are never shared
+   mid-phase (per-slot shards, see {!merge_shards}). *)
 type stats = {
   cs_name : string;
-  mutable cs_hits : int;
-  mutable cs_misses : int;
+  cs_hits : int Atomic.t;
+  cs_misses : int Atomic.t;
 }
 
 exception Debug_mismatch of string
@@ -47,22 +51,37 @@ let debug = ref (Sys.getenv_opt "POLARIS_CACHE_DEBUG" = Some "1")
 let generation = ref 0
 let bump_generation () = incr generation
 
-let registry : (stats * (unit -> unit)) list ref = ref []
+let registry : (stats * (unit -> unit) * (unit -> unit) option) list ref =
+  ref []
 
-(** [register ~name ~clear] enrolls a cache: returns its mutable
-    counters and remembers [clear] for {!clear_all}. *)
-let register ~name ~clear =
-  let s = { cs_name = name; cs_hits = 0; cs_misses = 0 } in
-  registry := !registry @ [ (s, clear) ];
+(** [register ~name ~clear] enrolls a cache: returns its counters and
+    remembers [clear] for {!clear_all}.  [merge], if given, folds the
+    cache's per-slot shard tables into its shared store; the domain
+    pool calls {!merge_shards} at the end of every parallel phase
+    (caches with no sharding — e.g. the single-writer expression
+    intern pool — pass none). *)
+let register ~name ?merge ~clear () =
+  let s =
+    { cs_name = name; cs_hits = Atomic.make 0; cs_misses = Atomic.make 0 }
+  in
+  registry := !registry @ [ (s, clear, merge) ];
   s
 
-let hit s = s.cs_hits <- s.cs_hits + 1
-let miss s = s.cs_misses <- s.cs_misses + 1
+let hit s = Atomic.incr s.cs_hits
+let miss s = Atomic.incr s.cs_misses
+
+(** Fold every cache's per-slot shards into its shared store.  Only
+    sound at a sequential point (no task running); {!Util.Pool.map}
+    calls it after each batch, on the submitting domain. *)
+let merge_shards () =
+  List.iter (fun (_, _, merge) -> Option.iter (fun f -> f ()) merge) !registry
 
 (** Current counters of every registered cache, as
     [(name, hits, misses)]. *)
 let snapshot () =
-  List.map (fun (s, _) -> (s.cs_name, s.cs_hits, s.cs_misses)) !registry
+  List.map
+    (fun (s, _, _) -> (s.cs_name, Atomic.get s.cs_hits, Atomic.get s.cs_misses))
+    !registry
 
 (** [delta ~base now]: per-cache counter growth since [base] (caches
     registered after [base] count from zero). *)
@@ -77,10 +96,10 @@ let delta ~base now =
 (** Empty every registered cache and zero its counters. *)
 let clear_all () =
   List.iter
-    (fun (s, clear) ->
+    (fun (s, clear, _) ->
       clear ();
-      s.cs_hits <- 0;
-      s.cs_misses <- 0)
+      Atomic.set s.cs_hits 0;
+      Atomic.set s.cs_misses 0)
     !registry
 
 (** [with_enabled b f] runs [f ()] with the master switch forced to

@@ -1,0 +1,232 @@
+(** A stdlib-only domain pool for multicore compilation (OCaml 5
+    domains, [Mutex]/[Condition] work queue — no Domainslib).
+
+    Design constraints, in priority order:
+
+    1. {b Determinism.}  [map f xs] must be observably identical to
+       [List.map f xs]: results are merged back in list (= program)
+       order, and when tasks raise, the exception of the {e earliest}
+       item re-raises after every task has finished — callers see the
+       exact serial prefix semantics (everything before the faulting
+       item completed, nothing after it is observed).
+    2. {b Default off.}  The job count defaults to 1 ([POLARIS_JOBS] or
+       [polaris -j N] raise it); at 1 job [map] {e is} [List.map] — no
+       domains, no queue, byte-identical to the serial compiler.
+    3. {b Cache safety.}  Each task runs with a {!slot} id in
+       domain-local storage; the memo tables ({!Symbolic.Cache}) use it
+       to route in-phase misses to per-slot shard tables while treating
+       the shared store as read-only.  After every [map] the pool calls
+       {!Cachectl.merge_shards} (on the submitting domain, with all
+       workers idle), so shards drain into the shared generation-tagged
+       store at a sequential point.
+
+    The submitting domain participates in the batch (it drains the
+    queue as slot 0), so [-j N] means N domains doing work, not N+1.
+    Nested submission ([map] from inside a task) is a programming
+    error and raises {!Nested_submit}: worker domains must never block
+    on work only they could execute. *)
+
+(* ------------------------------------------------------------------ *)
+(* Job count                                                           *)
+
+(** Hard ceiling on the job count (and the size of per-slot cache shard
+    arrays: slot 0 is the submitting domain, 1..max_jobs-1 the
+    workers). *)
+let max_jobs = 64
+
+let clamp n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
+
+let env_jobs =
+  match Sys.getenv_opt "POLARIS_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> clamp n
+    | None -> 1)
+  | None -> 1
+
+let jobs_ref = ref env_jobs
+
+(** Current job count (>= 1). *)
+let jobs () = !jobs_ref
+
+(** Set the job count (clamped to [1 .. max_jobs]); [polaris -j N]. *)
+let set_jobs n = jobs_ref := clamp n
+
+(** True when [map] will actually fan out (jobs > 1). *)
+let parallel () = !jobs_ref > 1
+
+(** [with_jobs n f]: run [f ()] with the job count forced to [n],
+    restoring the previous value on exit (including exceptions). *)
+let with_jobs n f =
+  let saved = !jobs_ref in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> jobs_ref := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Task identity (domain-local)                                        *)
+
+(* [Some i] while executing a task of a batch: i = 0 on the submitting
+   domain, i >= 1 on worker domains.  The cache layer keys its per-slot
+   shard tables on this. *)
+let slot_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(** Shard slot of the currently executing task ([None] outside tasks). *)
+let slot () = !(Domain.DLS.get slot_key)
+
+(** True while executing inside a pool task. *)
+let in_task () = slot () <> None
+
+exception Nested_submit
+(** Raised by {!map} when called from inside a pool task. *)
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+
+type pool = {
+  m : Mutex.t;
+  work_cv : Condition.t;   (* workers: the queue may have work (or stop) *)
+  done_cv : Condition.t;   (* submitter: a batch may have completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  size : int;              (* worker domains (excluding the submitter) *)
+}
+
+let the_pool : pool option ref = ref None
+
+let worker_body pool i () =
+  (* workers exist only to run tasks: pin the slot once *)
+  Domain.DLS.set slot_key (ref (Some i));
+  Mutex.lock pool.m;
+  let rec loop () =
+    if pool.stop then Mutex.unlock pool.m
+    else
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.m;
+        task ();
+        Mutex.lock pool.m;
+        loop ()
+      | None ->
+        Condition.wait pool.work_cv pool.m;
+        loop ()
+  in
+  loop ()
+
+let create size =
+  let pool =
+    { m = Mutex.create (); work_cv = Condition.create ();
+      done_cv = Condition.create (); queue = Queue.create (); stop = false;
+      domains = []; size }
+  in
+  pool.domains <-
+    List.init size (fun i -> Domain.spawn (worker_body pool (i + 1)));
+  the_pool := Some pool;
+  pool
+
+(** Stop and join the worker domains (idempotent).  The next parallel
+    {!map} transparently respawns them; registered with [at_exit] so a
+    process never hangs on sleeping workers. *)
+let shutdown () =
+  match !the_pool with
+  | None -> ()
+  | Some pool ->
+    Mutex.lock pool.m;
+    pool.stop <- true;
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.m;
+    List.iter Domain.join pool.domains;
+    the_pool := None
+
+let () = at_exit shutdown
+
+let get_pool size =
+  match !the_pool with
+  | Some p when p.size = size && not p.stop -> p
+  | Some _ ->
+    shutdown ();
+    create size
+  | None -> create size
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic parallel map                                          *)
+
+type 'a task_result =
+  | Ok_ of 'a
+  | Err of exn * Printexc.raw_backtrace
+
+(** [map f xs]: apply [f] to every element of [xs], results in input
+    order.  With jobs = 1 this {e is} [List.map f xs].  With jobs = N
+    the elements are evaluated on N domains (the caller's included);
+    once every task has finished, cache shards are merged back into the
+    shared stores and either the ordered results are returned or, if
+    any task raised, the exception of the {e earliest} failed element
+    re-raises (with its backtrace) — the serial prefix semantics. *)
+let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  if in_task () then raise Nested_submit;
+  let n = jobs () in
+  if n <= 1 then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | xs ->
+      let pool = get_pool (n - 1) in
+      let items = Array.of_list xs in
+      let k = Array.length items in
+      let results : 'b task_result option array = Array.make k None in
+      let remaining = ref k in
+      let run_one idx () =
+        let r =
+          match f items.(idx) with
+          | v -> Ok_ v
+          | exception e -> Err (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock pool.m;
+        results.(idx) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.m
+      in
+      Mutex.lock pool.m;
+      for idx = 0 to k - 1 do
+        Queue.add (run_one idx) pool.queue
+      done;
+      Condition.broadcast pool.work_cv;
+      (* participate as slot 0, then wait for the workers *)
+      let my_slot = Domain.DLS.get slot_key in
+      let rec drain () =
+        match Queue.take_opt pool.queue with
+        | Some task ->
+          Mutex.unlock pool.m;
+          my_slot := Some 0;
+          Fun.protect ~finally:(fun () -> my_slot := None) task;
+          Mutex.lock pool.m;
+          drain ()
+        | None ->
+          while !remaining > 0 do
+            Condition.wait pool.done_cv pool.m
+          done
+      in
+      drain ();
+      Mutex.unlock pool.m;
+      (* all tasks finished and all workers are idle: a sequential
+         point — drain the per-slot cache shards into the shared
+         stores before anyone consumes the results *)
+      Cachectl.merge_shards ();
+      (* earliest failure wins: the serial compiler would have raised
+         at the first failing element and never evaluated the rest *)
+      let first_err = ref None in
+      Array.iter
+        (fun r ->
+          match (r, !first_err) with
+          | Some (Err (e, bt)), None -> first_err := Some (e, bt)
+          | _ -> ())
+        results;
+      (match !first_err with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some (Ok_ v) -> v | _ -> assert false)
+           results)

@@ -208,24 +208,58 @@ let differential ?(cmp = default_cmp) ?(procs_list = [ 1; 2; 4; 8 ])
   let checks = ref 0 in
   let failures = ref [] in
   let stores = None :: List.map Option.some seeds in
+  (* Interpretation mutates IR-adjacent state: {!Fir.Symtab.lookup}
+     materializes implicitly-declared symbols on first touch.  The
+     serial oracle runs every execution on the one shared program pair;
+     the parallel oracle therefore gives each concurrent run of the
+     {e transformed} program its own deep copy (annotations travel with
+     the copy) and keeps the original's reference run as the sole task
+     touching [original].  Results are compared in the serial order, so
+     reports — including the order of [failures] — are identical. *)
   List.iter
     (fun seed ->
       let seed_ctx =
         match seed with None -> "zero-init" | Some s -> Fmt.str "seed=%d" s
       in
-      let reference = execute ?seed original in
-      let check context run =
+      let check reference context run =
         incr checks;
         let divergences = compare_outcomes cmp reference run in
         if divergences <> [] then
           failures := { context; divergences } :: !failures
       in
-      check (seed_ctx ^ " serial") (execute ?seed transformed);
-      List.iter
-        (fun procs ->
-          check
-            (Fmt.str "%s parallel p=%d" seed_ctx procs)
-            (execute ?seed ~parallel:true ~procs transformed))
-        procs_list)
+      if not (Util.Pool.parallel ()) then begin
+        let reference = execute ?seed original in
+        check reference (seed_ctx ^ " serial") (execute ?seed transformed);
+        List.iter
+          (fun procs ->
+            check reference
+              (Fmt.str "%s parallel p=%d" seed_ctx procs)
+              (execute ?seed ~parallel:true ~procs transformed))
+          procs_list
+      end
+      else begin
+        let specs =
+          `Ref :: `Serial :: List.map (fun p -> `Par p) procs_list
+        in
+        let outcomes =
+          Util.Pool.map
+            (fun spec ->
+              match spec with
+              | `Ref -> execute ?seed original
+              | `Serial -> execute ?seed (Fir.Program.copy transformed)
+              | `Par procs ->
+                execute ?seed ~parallel:true ~procs
+                  (Fir.Program.copy transformed))
+            specs
+        in
+        match outcomes with
+        | reference :: serial :: pars ->
+          check reference (seed_ctx ^ " serial") serial;
+          List.iter2
+            (fun procs run ->
+              check reference (Fmt.str "%s parallel p=%d" seed_ctx procs) run)
+            procs_list pars
+        | _ -> assert false
+      end)
     stores;
   { checks = !checks; failures = List.rev !failures }

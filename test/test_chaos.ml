@@ -217,6 +217,112 @@ let test_sweep () =
     true
     (sweep.sw_contained >= 60)
 
+(* ------------------------------------------------------------------ *)
+(* Fault containment with worker domains (satellite: multicore chaos)  *)
+
+(* Injected faults and zero-budget plans must be contained, attributed
+   and rolled back identically whether the dependence analysis runs
+   serially or fans out across 4 domains: the outcome JSON (which
+   carries the incidents, the attribution and the budget-unknown
+   counter delta) must match field for field. *)
+(* Statement ids are fresh on every compile (a global counter), so an
+   incident message like "duplicate statement id 27481" differs between
+   any two compiles of the same source — serial vs serial included.
+   Mask only the digit run after "id " before comparing; every other
+   number (seed, counters, deltas) must still match exactly. *)
+let mask_sids s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 3 <= n && String.sub s !i 3 = "id " then begin
+      Buffer.add_string buf "id #";
+      i := !i + 3;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let test_parallel_sweep_matches_serial () =
+  let sources = Valid.Chaos.default_sources () in
+  for seed = 1 to 12 do
+    let _, source = List.nth sources ((seed - 1) mod List.length sources) in
+    let plan = Valid.Chaos.make_plan seed in
+    let serial = Valid.Chaos.run_plan plan source in
+    let pooled =
+      Util.Pool.with_jobs 4 (fun () -> Valid.Chaos.run_plan plan source)
+    in
+    Alcotest.(check string)
+      (Fmt.str "seed %d: -j4 outcome = serial outcome" seed)
+      (mask_sids (Valid.Chaos.outcome_json serial))
+      (mask_sids (Valid.Chaos.outcome_json pooled))
+  done
+
+(* A fault raised {e inside} a worker domain mid-analysis: the verdict
+   hook fires on the second sibling loop's index.  At -j4 both loops'
+   analyses may already be in flight when K's task dies, but the
+   deterministic merge must surface the same incident, the same
+   rollback and the same counter deltas as the serial run, where loop
+   I's analysis completed and loop K's raised. *)
+let wfault_src = {|
+      PROGRAM WFAULT
+      INTEGER I, K
+      REAL A(80), B(80)
+      DO 10 I = 1, 60
+        A(I) = I * 2.0
+ 10   CONTINUE
+      DO 20 K = 1, 60
+        B(K) = K * 3.0
+ 20   CONTINUE
+      PRINT *, A(5), B(5)
+      END
+|}
+
+let test_worker_fault_containment () =
+  let with_hook f =
+    let saved = !Dep.Driver.verdict_hook in
+    Dep.Driver.verdict_hook :=
+      (fun index -> if index = "K" then failwith "worker boom on K");
+    Fun.protect ~finally:(fun () -> Dep.Driver.verdict_hook := saved) f
+  in
+  let signature () =
+    let c0 = Dep.Driver.counters_snapshot () in
+    let t = Core.Pipeline.compile (Core.Config.polaris ()) wfault_src in
+    let c1 = Dep.Driver.counters_snapshot () in
+    ( Core.Pipeline.output_source t,
+      List.map
+        (fun (l : Core.Pipeline.loop_result) ->
+          (l.unit_name, l.report.loop_index, l.report.parallel, l.report.reason))
+        t.loops,
+      List.map
+        (fun (i : Core.Pipeline.incident) ->
+          (i.inc_pass, i.inc_reason, i.inc_rolled_back, i.inc_disabled))
+        t.incidents,
+      ( c1.range_proved - c0.range_proved,
+        c1.linear_proved - c0.linear_proved,
+        c1.unknown - c0.unknown ) )
+  in
+  let serial = with_hook signature in
+  let (_, _, serial_incidents, _) = serial in
+  (* the fault must actually fire and be contained+attributed *)
+  Alcotest.(check int) "serial: one incident" 1 (List.length serial_incidents);
+  let (pass, reason, rolled_back, _) = List.hd serial_incidents in
+  Alcotest.(check string) "attributed to parallelize" "parallelize" pass;
+  Alcotest.(check bool) "reason names the worker fault" true
+    (contains reason "worker boom on K");
+  Alcotest.(check bool) "rolled back" true rolled_back;
+  let pooled =
+    Util.Pool.with_jobs 4 (fun () -> with_hook signature)
+  in
+  Alcotest.(check bool) "-j4 containment identical to serial" true
+    (serial = pooled)
+
 let test_plan_determinism () =
   let p1 = Valid.Chaos.make_plan 42 and p2 = Valid.Chaos.make_plan 42 in
   Alcotest.(check string) "same seed, same plan"
@@ -242,5 +348,9 @@ let tests =
     Alcotest.test_case "non-linear subscript never lies" `Quick
       test_nonlinear_budget_never_lies;
     Alcotest.test_case "seeded sweep (100 seeds)" `Slow test_sweep;
+    Alcotest.test_case "parallel sweep matches serial" `Slow
+      test_parallel_sweep_matches_serial;
+    Alcotest.test_case "worker fault containment" `Quick
+      test_worker_fault_containment;
     Alcotest.test_case "plans are deterministic" `Quick
       test_plan_determinism ]

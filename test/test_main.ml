@@ -18,4 +18,5 @@ let () =
       ("valid", Test_valid.tests);
       ("chaos", Test_chaos.tests);
       ("cache", Test_cache.tests);
+      ("pool", Test_pool.tests);
       ("props", Test_props.tests) ]
