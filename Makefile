@@ -4,7 +4,7 @@
 # serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
 # faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate chaos check bench perf scale clean
+.PHONY: all build test validate chaos check bench perf scale incremental clean
 
 all: build
 
@@ -41,6 +41,14 @@ perf: build
 # table, and writes BENCH_scale.json.
 scale: build
 	dune exec bench/main.exe -- scale 3
+
+# Incremental recompilation: one serve-style session — cold-compile the
+# 16-code suite, then one single-unit edit per code with a full-suite
+# incremental recompile each.  Writes BENCH_incremental.json and exits
+# non-zero if any recompile diverges from a from-scratch compile or the
+# analysis-reuse rate falls below the 70% floor.
+incremental: build
+	dune exec bench/main.exe -- incremental
 
 clean:
 	dune clean

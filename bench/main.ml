@@ -698,6 +698,171 @@ let scale ?(n = 3) () =
   if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Incremental: serve-style session — cold suite, then one-unit edits  *)
+
+(* the canonical single-unit edit: a CONTINUE spliced in just before the
+   final END line, so exactly one program unit reparses to different IR
+   while every other unit (and every other code) is textually unchanged *)
+let inject_continue (source : string) : string =
+  let lines = String.split_on_char '\n' source in
+  let last_end =
+    List.fold_left
+      (fun (i, best) line ->
+        (i + 1, if String.trim line = "END" then Some i else best))
+      (0, None) lines
+    |> snd
+  in
+  match last_end with
+  | None -> failwith "inject_continue: no END line"
+  | Some at ->
+    List.mapi (fun i l -> if i = at then "      CONTINUE\n" ^ l else l) lines
+    |> String.concat "\n"
+
+let incremental ?(min_reuse = 0.70) () =
+  section
+    "incremental: one serve session — cold 16-code suite, then one \
+     single-unit edit per code, full-suite recompiles";
+  let cfg = Core.Config.polaris () in
+  let now = Unix.gettimeofday in
+  let aggregate results =
+    let hits =
+      List.fold_left
+        (fun a (_, _, (r : Core.Incremental.result)) -> a + r.stats.st_hits)
+        0 results
+    in
+    let lookups =
+      List.fold_left
+        (fun a (_, _, (r : Core.Incremental.result)) -> a + r.stats.st_lookups)
+        0 results
+    in
+    (hits, lookups,
+     if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups)
+  in
+  (* cold: the session's first compile of every code *)
+  Util.Cachectl.clear_all ();
+  let t0 = now () in
+  let cold =
+    List.map
+      (fun (c : Suite.Code.t) ->
+        (c.name, c.source, Core.Incremental.compile cfg c.source))
+      Suite.Registry.all
+  in
+  let cold_wall = now () -. t0 in
+  let _, _, cold_rate = aggregate cold in
+  Printf.printf "cold suite compile: %.2fs, %.1f%% analysis reuse (intra-compile)\n\n"
+    cold_wall (100.0 *. cold_rate);
+  (* edit steps: edit one code, recompile the whole suite incrementally *)
+  Printf.printf "%-8s | %9s %18s | %s\n" "edited" "wall" "suite reuse"
+    "edited-code reuse";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let steps =
+    List.map
+      (fun (c : Suite.Code.t) ->
+        let edited = inject_continue c.source in
+        let t0 = now () in
+        let results =
+          List.map
+            (fun (d : Suite.Code.t) ->
+              let src = if d.name = c.name then edited else d.source in
+              (d.name, src, Core.Incremental.compile cfg src))
+            Suite.Registry.all
+        in
+        let wall = now () -. t0 in
+        let hits, lookups, rate = aggregate results in
+        let _, _, (edited_r : Core.Incremental.result) =
+          List.find (fun (n, _, _) -> n = c.name) results
+        in
+        Printf.printf "%-8s | %8.3fs %6.1f%% (%d/%d) | %5.1f%%\n" c.name wall
+          (100.0 *. rate) hits lookups
+          (100.0 *. edited_r.stats.st_reuse_rate);
+        (c.name, edited, results, wall, rate, lookups))
+      Suite.Registry.all
+  in
+  (* byte-identity, two ways.  (a) every unchanged code's warm outcome
+     must equal its cold outcome; (b) every edited code's incremental
+     outcome must equal a from-scratch compile of the edited source.
+     The scratch compiles clear the session caches, so they run after
+     all reuse measurements. *)
+  let divergences = ref [] in
+  List.iter
+    (fun (edited_name, _, results, _, _, _) ->
+      List.iter
+        (fun (name, _, (r : Core.Incremental.result)) ->
+          if name <> edited_name then
+            let _, _, (c : Core.Incremental.result) =
+              List.find (fun (n, _, _) -> n = name) cold
+            in
+            List.iter
+              (fun d ->
+                divergences :=
+                  Printf.sprintf "%s (unchanged, %s edited): %s" name
+                    edited_name d
+                  :: !divergences)
+              (Core.Incremental.diverges ~incremental:r.outcome
+                 ~scratch:c.outcome))
+        results)
+    steps;
+  List.iter
+    (fun (name, edited, results, _, _, _) ->
+      let _, _, (r : Core.Incremental.result) =
+        List.find (fun (n, _, _) -> n = name) results
+      in
+      let s = Core.Incremental.scratch cfg edited in
+      List.iter
+        (fun d ->
+          divergences :=
+            Printf.sprintf "%s (edited, vs scratch): %s" name d :: !divergences)
+        (Core.Incremental.diverges ~incremental:r.outcome ~scratch:s.outcome))
+    steps;
+  let divergences = List.rev !divergences in
+  List.iter (fun d -> Printf.eprintf "incremental: DIVERGENCE %s\n" d)
+    divergences;
+  let walls = List.map (fun (_, _, _, w, _, _) -> w) steps in
+  let rates = List.map (fun (_, _, _, _, r, _) -> r) steps in
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let min_rate = List.fold_left min 1.0 rates in
+  let zero_lookups =
+    List.exists (fun (_, _, _, _, _, l) -> l = 0) steps
+  in
+  let ok = divergences = [] && min_rate >= min_reuse && not zero_lookups in
+  Printf.printf
+    "\nedit recompile: mean %.3fs (cold suite %.3fs, %.1fx), reuse min \
+     %.1f%% / mean %.1f%% (floor %.0f%%)\n"
+    (mean walls) cold_wall (cold_wall /. mean walls)
+    (100.0 *. min_rate) (100.0 *. mean rates) (100.0 *. min_reuse);
+  Printf.printf "byte-identical to from-scratch compiles: %b\n"
+    (divergences = []);
+  let json =
+    let open Valid.Trace.Json in
+    obj
+      [ ("codes", int (List.length Suite.Registry.all));
+        ("cold_wall_s", float cold_wall);
+        ("cold_reuse_rate", float cold_rate);
+        ("min_reuse_floor", float min_reuse);
+        ( "edits",
+          arr
+            (List.map
+               (fun (name, _, _, wall, rate, lookups) ->
+                 obj
+                   [ ("edited", str name);
+                     ("wall_s", float wall);
+                     ("suite_reuse_rate", float rate);
+                     ("analysis_lookups", int lookups) ])
+               steps) );
+        ("mean_edit_wall_s", float (mean walls));
+        ("min_suite_reuse_rate", float min_rate);
+        ("mean_suite_reuse_rate", float (mean rates));
+        ("divergences", arr (List.map str divergences));
+        ("identical_output", bool (divergences = [])) ]
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_incremental.json\n";
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: Polaris minus one technique                               *)
 
 let ablation () =
@@ -750,7 +915,8 @@ let experiments =
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("coverage", coverage); ("validate", validate); ("ablation", ablation);
     ("chaos", chaos); ("micro", micro); ("perf", fun () -> perf ());
-    ("scale", fun () -> scale ()) ]
+    ("scale", fun () -> scale ());
+    ("incremental", fun () -> incremental ()) ]
 
 let () =
   match Sys.argv with

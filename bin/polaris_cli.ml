@@ -10,7 +10,11 @@
     - [polaris validate FILE | --suite]: translation validation — run
       the pass pipeline with the per-pass snapshot oracle attached and
       differentially execute every intermediate program against the
-      original; non-zero exit on any divergence. *)
+      original; non-zero exit on any divergence.
+    - [polaris serve FILE...]: incremental recompilation — compile a
+      sequence of sources (edit deltas) in one process, reusing every
+      analysis whose program unit is unchanged; [--check] compares each
+      compile against a from-scratch one. *)
 
 open Cmdliner
 
@@ -88,6 +92,14 @@ let exit_on_incidents (t : Core.Pipeline.t) =
     exit 2
   end
 
+let explain_reuse_flag =
+  Arg.(
+    value & flag
+    & info [ "explain-reuse" ]
+        ~doc:
+          "After compiling, print the per-pass table of analyses consumed, \
+           cache entries reused/computed and entries invalidated")
+
 let file_pos =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Fortran source file")
 
@@ -107,7 +119,7 @@ let compile_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the transformed source")
   in
-  let run file baseline quiet strict jobs =
+  let run file baseline quiet strict jobs explain_reuse =
     with_errors (fun () ->
         Util.Pool.set_jobs jobs;
         let file = required_file file in
@@ -116,12 +128,15 @@ let compile_cmd =
             (read_file file)
         in
         if not quiet then Fmt.pr "%a@." Core.Pipeline.pp_summary t;
+        if explain_reuse then Fmt.pr "%a" Valid.Trace.pp_reuse_table t.reuse;
         print_string (Core.Pipeline.output_source t);
         exit_on_incidents t)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Restructure a Fortran program and print it")
-    Term.(const run $ file_pos $ baseline $ quiet $ strict_flag $ jobs_flag)
+    Term.(
+      const run $ file_pos $ baseline $ quiet $ strict_flag $ jobs_flag
+      $ explain_reuse_flag)
 
 (* ----- run ----- *)
 
@@ -328,6 +343,105 @@ let validate_cmd =
       const go $ file_pos $ suite $ baseline_only $ polaris_only $ ulp $ seeds
       $ procs $ trace_out $ jobs_flag)
 
+(* ----- serve ----- *)
+
+let serve_cmd =
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Fortran source files to compile in sequence (typically edit \
+             deltas of one program).  With no FILE arguments, paths are \
+             read from stdin, one per line — an editor or build daemon can \
+             stream recompile requests.")
+  in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Use the baseline (PFA-like) pipeline")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "After every incremental compile, recompile the same source \
+             from scratch (caches cleared) and compare annotated output, \
+             per-loop verdicts, incidents and dependence counters; exit \
+             non-zero on any divergence")
+  in
+  let emit =
+    Arg.(
+      value & flag
+      & info [ "emit" ] ~doc:"Print each compile's transformed source")
+  in
+  let go files baseline check emit strict jobs explain_reuse =
+    with_errors (fun () ->
+        Util.Pool.set_jobs jobs;
+        let paths =
+          if files <> [] then files
+          else
+            let rec loop acc =
+              match input_line stdin with
+              | line ->
+                let line = String.trim line in
+                loop (if line = "" then acc else line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            loop []
+        in
+        if paths = [] then begin
+          Fmt.epr "polaris: serve: no input files@.";
+          exit 1
+        end;
+        let config = config_of ~baseline ~procs:8 in
+        let divergent = ref 0 in
+        let incidents = ref 0 in
+        List.iteri
+          (fun i path ->
+            let source = read_file path in
+            let r = Core.Incremental.compile ~strict config source in
+            let s = r.stats in
+            Fmt.pr "[%d/%d] %-20s %d/%d loops parallel   reuse %5.1f%% (%d/%d analysis lookups)@."
+              (i + 1) (List.length paths) path
+              (List.length (Core.Pipeline.parallel_loops r.pipeline))
+              (List.length r.pipeline.loops)
+              (100.0 *. s.st_reuse_rate) s.st_hits s.st_lookups;
+            incidents := !incidents + List.length r.pipeline.incidents;
+            List.iter
+              (fun inc -> Fmt.pr "    %a@." Core.Pipeline.pp_incident inc)
+              r.pipeline.incidents;
+            if explain_reuse then
+              Fmt.pr "%a" Valid.Trace.pp_reuse_table r.pipeline.reuse;
+            if emit then print_string (Core.Pipeline.output_source r.pipeline);
+            if check then begin
+              let fresh = Core.Incremental.scratch ~strict config source in
+              match
+                Core.Incremental.diverges ~incremental:r.outcome
+                  ~scratch:fresh.outcome
+              with
+              | [] -> Fmt.pr "    check: identical to from-scratch compile@."
+              | ds ->
+                incr divergent;
+                Fmt.epr "    check: DIVERGED from from-scratch compile:@.";
+                List.iter (fun d -> Fmt.epr "      %s@." d) ds
+            end)
+          paths;
+        if !divergent > 0 then begin
+          Fmt.epr "polaris: serve: %d of %d compiles diverged@." !divergent
+            (List.length paths);
+          exit 1
+        end;
+        if !incidents > 0 then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Incremental recompilation: compile a sequence of sources in one \
+          process, reusing every analysis whose program unit is unchanged")
+    Term.(
+      const go $ files $ baseline $ check $ emit $ strict_flag $ jobs_flag
+      $ explain_reuse_flag)
+
 (* ----- chaos ----- *)
 
 let chaos_cmd =
@@ -377,4 +491,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "polaris" ~doc)
-          [ compile_cmd; run_cmd; suite_cmd; validate_cmd; chaos_cmd ]))
+          [ compile_cmd; run_cmd; suite_cmd; validate_cmd; serve_cmd; chaos_cmd ]))

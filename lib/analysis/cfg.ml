@@ -32,8 +32,7 @@ let add_edge t a b =
   push t.succ a b;
   push t.pred b a
 
-(** Build the flow graph of a unit body. *)
-let build (u : Punit.t) : t =
+let compute (u : Punit.t) : t =
   let t =
     { entry = (match u.pu_body with [] -> -1 | s :: _ -> s.sid);
       succ = Hashtbl.create 64;
@@ -93,6 +92,10 @@ let build (u : Punit.t) : t =
   in
   flow u.pu_body ~after:exit_node;
   t
+
+(** Flow graph of a unit body — a demand-driven {!Manager} analysis:
+    memoized per unit, invalidated when the unit is touched. *)
+let build : Punit.t -> t = Manager.unit_analysis ~name:"analysis.cfg" compute
 
 let successors t sid = Option.value ~default:[] (Hashtbl.find_opt t.succ sid)
 let predecessors t sid = Option.value ~default:[] (Hashtbl.find_opt t.pred sid)

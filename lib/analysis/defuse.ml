@@ -31,7 +31,7 @@ type stats = {
 
 module S = Set.Make (String)
 
-let classify (body : block) : (string * scalar_class) list =
+let compute_classify (body : block) : (string * scalar_class) list =
   let tbl : (string, stats) Hashtbl.t = Hashtbl.create 16 in
   let stat v =
     match Hashtbl.find_opt tbl v with
@@ -115,6 +115,11 @@ let classify (body : block) : (string * scalar_class) list =
       (v, cls) :: acc)
     tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Scalar classification of a loop body — a demand-driven {!Manager}
+    analysis: memoized per physical block. *)
+let classify : block -> (string * scalar_class) list =
+  Manager.block_analysis ~name:"analysis.defuse" compute_classify
 
 (** Scalars of a given class. *)
 let of_class cls classified =

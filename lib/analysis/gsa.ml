@@ -134,12 +134,17 @@ let rec walk (symtab : Symtab.t) (points : point_table) (env : env) (b : block)
       | Continue | Return | Stop | Print _ -> env)
     env b
 
-(** Build the GSA point table for a unit: for each statement id, the
-    gated terms of every scalar live at that point. *)
-let build (u : Punit.t) : point_table =
+let compute (u : Punit.t) : point_table =
   let points = Hashtbl.create 64 in
   ignore (walk u.pu_symtab points [] u.pu_body);
   points
+
+(** Build the GSA point table for a unit: for each statement id, the
+    gated terms of every scalar live at that point.  A demand-driven
+    {!Manager} analysis: memoized per unit until the unit is touched.
+    Callers must treat the table as read-only. *)
+let build : Punit.t -> point_table =
+  Manager.unit_analysis ~name:"analysis.gsa" compute
 
 (** The gated term of [var] just before statement [sid]. *)
 let value_at (points : point_table) ~(sid : int) ~(var : string) : term =

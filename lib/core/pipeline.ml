@@ -32,6 +32,21 @@ type incident = {
       (** capability disabled for the remainder of the run, if any *)
 }
 
+(** Per-pass analysis-reuse ledger entry: what the pass declared it
+    consumes, and how the tracked analysis caches behaved while it ran
+    (hit/miss/invalidation deltas from {!Util.Cachectl} and
+    {!Analysis.Manager}).  The raw material of [polaris
+    --explain-reuse]. *)
+type pass_reuse = {
+  pr_pass : string;               (** guarded pass name *)
+  pr_consumes : string list;      (** analyses the pass declares it reads *)
+  pr_cache : (string * int * int) list;
+      (** (analysis, hits, misses) growth during the pass — tracked
+          analyses with at least one lookup *)
+  pr_invalidated : (string * int) list;
+      (** (analysis, stale entries found) growth during the pass *)
+}
+
 type t = {
   config : Config.t;
   program : Fir.Program.t;        (** transformed, annotated program *)
@@ -39,6 +54,7 @@ type t = {
   inductions : (string * string) list;  (** substituted induction vars *)
   inline_stats : Passes.Inline.stats option;
   incidents : incident list;      (** contained pass failures, in order *)
+  reuse : pass_reuse list;        (** per-pass analysis reuse, in pass order *)
 }
 
 let pp_incident ppf (i : incident) =
@@ -72,6 +88,7 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
   Util.Cachectl.with_enabled config.caches @@ fun () ->
   let obs name = match observer with Some f -> f name program | None -> () in
   let incidents = ref [] in
+  let reuse = ref [] in
   let disabled = ref [] in
   let enabled cap = not (List.mem cap !disabled) in
   (* Snapshot strategy.  Under [strict] or an installed [fault_hook]
@@ -88,10 +105,20 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
   (* run one pass under the containment guard; [disables] is the
      capability to switch off if the pass faults (its later runs are
      skipped — e.g. a crashed first propagation round disables the
-     second) *)
-  let guard : 'a. pass:string -> ?disables:string -> (unit -> 'a) -> 'a option
-      =
-   fun ~pass ?disables f ->
+     second).  [consumes] is the pass's declared analysis inputs: the
+     guard brackets the pass with tracked-cache counter snapshots and
+     appends a {!pass_reuse} ledger entry on success. *)
+  let guard :
+      'a.
+      pass:string ->
+      ?disables:string ->
+      ?consumes:string list ->
+      (unit -> 'a) ->
+      'a option =
+   fun ~pass ?disables ?(consumes = []) f ->
+    let tracked = Analysis.Manager.tracked () in
+    let cache_base = Util.Cachectl.snapshot () in
+    let inval_base = Analysis.Manager.invalidation_snapshot () in
     let dirty : (Fir.Punit.t * Fir.Punit.t) list ref = ref [] in
     let snapshot =
       if full_guard then Some (Fir.Program.copy program)
@@ -128,6 +155,18 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
       (* the pass may have rewritten the program: retire every cache
          entry keyed on pre-pass program state *)
       Util.Cachectl.bump_generation ();
+      reuse :=
+        { pr_pass = pass;
+          pr_consumes = consumes;
+          pr_cache =
+            Util.Cachectl.delta ~base:cache_base (Util.Cachectl.snapshot ())
+            |> List.filter (fun (name, h, m) ->
+                   List.mem name tracked && h + m > 0);
+          pr_invalidated =
+            Analysis.Manager.invalidation_delta ~base:inval_base
+              (Analysis.Manager.invalidation_snapshot ())
+            |> List.filter (fun (_, n) -> n > 0) }
+        :: !reuse;
       obs pass;
       Some v
     | exception e ->
@@ -155,31 +194,36 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
   obs "parse";
   let inline_stats =
     if config.inline then
-      guard ~pass:"inline" ~disables:"inline" (fun () ->
-          Passes.Inline.run program)
+      guard ~pass:"inline" ~disables:"inline" ~consumes:Passes.Inline.consumes
+        (fun () -> Passes.Inline.run program)
     else None
   in
   if config.constprop then
     ignore
-      (guard ~pass:"constprop" ~disables:"constprop" (fun () ->
+      (guard ~pass:"constprop" ~disables:"constprop"
+         ~consumes:Passes.Constprop.consumes (fun () ->
            Passes.Constprop.run program));
   let inductions =
     Option.value ~default:[]
-      (guard ~pass:"induction" ~disables:"induction" (fun () ->
+      (guard ~pass:"induction" ~disables:"induction"
+         ~consumes:Passes.Induction.consumes (fun () ->
            Passes.Induction.run ~generalized:config.generalized_induction
              program))
   in
   if config.constprop && enabled "constprop" then
     ignore
-      (guard ~pass:"constprop2" ~disables:"constprop" (fun () ->
+      (guard ~pass:"constprop2" ~disables:"constprop"
+         ~consumes:Passes.Constprop.consumes (fun () ->
            Passes.Constprop.run program));
   if config.deadcode then
     ignore
-      (guard ~pass:"deadcode" ~disables:"deadcode" (fun () ->
+      (guard ~pass:"deadcode" ~disables:"deadcode"
+         ~consumes:Passes.Deadcode.consumes (fun () ->
            ignore (Passes.Deadcode.run program)));
   let reports =
     Option.value ~default:[]
-      (guard ~pass:"parallelize" ~disables:"parallelize" (fun () ->
+      (guard ~pass:"parallelize" ~disables:"parallelize"
+         ~consumes:Passes.Parallelize.consumes (fun () ->
            Dep.Driver.with_budget ~steps:config.budget_steps
              ?deadline_s:config.budget_deadline_s (fun () ->
                Passes.Parallelize.run ~mode:config.mode program)))
@@ -191,7 +235,7 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
       reports
   in
   { config; program; loops; inductions; inline_stats;
-    incidents = List.rev !incidents }
+    incidents = List.rev !incidents; reuse = List.rev !reuse }
 
 (** Parse Fortran source and run the pipeline. *)
 let compile ?strict ?observer ?fault_hook (config : Config.t)

@@ -38,6 +38,18 @@ type incident = {
       (** capability disabled for the remainder of the run, if any *)
 }
 
+(** Per-pass analysis-reuse ledger entry: what the pass declared it
+    consumes and how the tracked analysis caches behaved while it ran.
+    The raw material of [polaris --explain-reuse]. *)
+type pass_reuse = {
+  pr_pass : string;               (** guarded pass name *)
+  pr_consumes : string list;      (** analyses the pass declares it reads *)
+  pr_cache : (string * int * int) list;
+      (** (analysis, hits, misses) growth during the pass *)
+  pr_invalidated : (string * int) list;
+      (** (analysis, stale entries found) growth during the pass *)
+}
+
 type t = {
   config : Config.t;
   program : Fir.Program.t;   (** transformed, annotated program *)
@@ -46,6 +58,7 @@ type t = {
       (** substituted induction variables with their region loop *)
   inline_stats : Passes.Inline.stats option;
   incidents : incident list; (** contained pass failures, in order *)
+  reuse : pass_reuse list;   (** per-pass analysis reuse, in pass order *)
 }
 
 val pp_incident : Format.formatter -> incident -> unit

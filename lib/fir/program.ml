@@ -19,9 +19,14 @@ let units t = t.units
 let set_touch_hook t hook = t.on_touch <- hook
 
 (** [touch t u]: every pass must call this before mutating unit [u] of
-    [t] (rewriting [pu_body], defining symbols, ...).  A no-op unless
-    {!set_touch_hook} installed a listener. *)
-let touch t u = match t.on_touch with Some f -> f u | None -> ()
+    [t] (rewriting [pu_body], defining symbols, ...).  Always bumps the
+    unit's invalidation version (dropping its memoized fingerprint and
+    every unit-keyed analysis), then notifies the guard hook if one is
+    installed — so fine-grained invalidation works even outside a
+    guarded pass. *)
+let touch t u =
+  Punit.invalidate u;
+  match t.on_touch with Some f -> f u | None -> ()
 
 (** The unique main program unit.
     @raise Not_found if the program has no main unit. *)

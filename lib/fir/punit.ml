@@ -8,27 +8,51 @@ type t = {
   pu_args : string list;
   pu_symtab : Symtab.t;
   mutable pu_body : block;
+  mutable pu_version : int;
+      (** per-unit invalidation counter: bumped by {!invalidate}
+          (i.e. by [Program.touch] and {!restore}) every time a pass
+          announces it is about to mutate this unit.  Analyses cached
+          against a unit pin the version they were computed at. *)
+  mutable pu_fp : (int * string) option;
+      (** memoized {!fingerprint} and the version it was computed at *)
 }
 
 let create ?(kind = Main) ?(args = []) name =
   { pu_name = Symtab.norm name; pu_kind = kind;
     pu_args = List.map Symtab.norm args;
-    pu_symtab = Symtab.create (); pu_body = [] }
+    pu_symtab = Symtab.create (); pu_body = [];
+    pu_version = 0; pu_fp = None }
 
 let is_function u = match u.pu_kind with Function _ -> true | _ -> false
 
-(** Deep copy (fresh statement ids, fresh symbol table). *)
+(** Invalidation epoch of the unit (see {!t.pu_version}). *)
+let version u = u.pu_version
+
+(** Announce that the unit is about to be mutated: bump the version and
+    drop the memoized fingerprint.  Called by [Program.touch] — passes
+    never call this directly. *)
+let invalidate u =
+  u.pu_version <- u.pu_version + 1;
+  u.pu_fp <- None
+
+(** Deep copy (fresh statement ids, fresh symbol table).  The copy
+    inherits the version and memoized fingerprint — both remain valid
+    because the content is equal; the copies' versions advance
+    independently from here on. *)
 let copy u =
   { u with pu_symtab = Symtab.copy u.pu_symtab; pu_body = Stmt.copy_block u.pu_body }
 
 (** In-place rollback of one unit from a {!copy} taken earlier: [u]
     keeps its identity, body and symbol table are replaced by fresh deep
     copies of the snapshot (fresh statement ids, so id-uniqueness holds
-    even if the aborted pass leaked statements elsewhere). *)
+    even if the aborted pass leaked statements elsewhere).  Counts as a
+    mutation: the version is bumped so unit-keyed analyses of the
+    pre-rollback body can never be served again. *)
 let restore ~(from : t) (u : t) =
   let fresh = copy from in
   u.pu_body <- fresh.pu_body;
-  Symtab.restore ~from:fresh.pu_symtab u.pu_symtab
+  Symtab.restore ~from:fresh.pu_symtab u.pu_symtab;
+  invalidate u
 
 (** All loops of the unit, outer listed before inner. *)
 let loops u = Stmt.loops u.pu_body
@@ -193,11 +217,17 @@ let fp_symbol buf (s : symbol) =
     Buffer.add_string buf (string_of_int i)
   | None -> ()
 
-(** Canonical content fingerprint of the unit: name, kind, arguments,
-    sorted symbol table and body — statement ids and loop decisions
-    excluded (see above).  O(unit size); callers cache it per pass
-    generation. *)
-let fingerprint (u : t) : string =
+(** Canonical content fingerprint of a single block (same encoding as
+    {!fingerprint}, ids and loop decisions excluded).  Passes use it to
+    detect that a rewritten body is content-identical to the original —
+    in which case they skip the mutation (and the [Program.touch]) and
+    every analysis of the unit survives. *)
+let block_fingerprint (b : block) : string =
+  let buf = Buffer.create 512 in
+  fp_block buf b;
+  Buffer.contents buf
+
+let compute_fingerprint (u : t) : string =
   let buf = Buffer.create 1024 in
   fp_string buf u.pu_name;
   Buffer.add_string buf
@@ -209,6 +239,36 @@ let fingerprint (u : t) : string =
   List.iter (fp_symbol buf) (Symtab.symbols u.pu_symtab);
   fp_block buf u.pu_body;
   Buffer.contents buf
+
+(* The memo lives in the unit record itself (not a table), so there is
+   nothing for clear_all to flush — the entry dies with the version
+   bump.  Counters are registered so `perf`/`--explain-reuse` report
+   it like every other cache. *)
+let fp_stats =
+  Util.Cachectl.register ~name:"punit.fingerprint" ~clear:(fun () -> ()) ()
+
+(** Canonical content fingerprint of the unit: name, kind, arguments,
+    sorted symbol table and body — statement ids and loop decisions
+    excluded (see above).  Memoized per unit at the current
+    {!version}; [Program.touch] invalidates.  The O(unit-size)
+    serialization reruns only after a touch (or with caches disabled).
+
+    Domain safety: during a parallel phase concurrent tasks may race to
+    fill [pu_fp].  Both compute the same content-determined pair and
+    publish a fresh immutable tuple with a single field store, so any
+    reader observes either [None] or a fully valid entry. *)
+let fingerprint (u : t) : string =
+  if not !Util.Cachectl.enabled then compute_fingerprint u
+  else
+    match u.pu_fp with
+    | Some (v, fp) when v = u.pu_version ->
+      Util.Cachectl.hit fp_stats;
+      fp
+    | _ ->
+      Util.Cachectl.miss fp_stats;
+      let fp = compute_fingerprint u in
+      u.pu_fp <- Some (u.pu_version, fp);
+      fp
 
 let pp ppf u =
   let kw =

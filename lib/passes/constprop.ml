@@ -119,18 +119,29 @@ let rec prop_block (symtab : Symtab.t) (env : envmap) (b : block) :
     ([], env) b
   |> fun (out, env) -> (List.rev out, env)
 
-(** Run constant/copy propagation on a unit (in place). *)
-let run_unit (u : Punit.t) =
+(** Run constant/copy propagation on a unit (in place).  The propagated
+    body is built first, purely; the unit is only touched — and its
+    cached analyses only invalidated — when the result differs in
+    content from the original (compared by sid-free block
+    fingerprints). *)
+let run_unit (p : Program.t) (u : Punit.t) =
   let params =
     List.map (fun (v, e) -> (v, e)) (Punit.parameter_bindings u)
   in
   let body', _ = prop_block u.pu_symtab params u.pu_body in
-  u.pu_body <- body';
-  Consistency.check_unit u
+  if
+    not
+      (String.equal
+         (Punit.block_fingerprint body')
+         (Punit.block_fingerprint u.pu_body))
+  then begin
+    Program.touch p u;
+    u.pu_body <- body';
+    Consistency.check_unit u
+  end
+
+(** Analyses this pass consumes (for the pipeline's reuse ledger). *)
+let consumes = [ "fir.intern" ]
 
 let run (p : Program.t) =
-  List.iter
-    (fun u ->
-      Program.touch p u;
-      run_unit u)
-    (Program.units p)
+  List.iter (fun u -> run_unit p u) (Program.units p)

@@ -44,8 +44,8 @@ let escapes (u : Punit.t) v =
 
 let has_call e = Expr.exists (function Fun_call _ -> true | _ -> false) e
 
-(* one sweep: remove assignments to never-read, non-escaping scalars *)
-let sweep (u : Punit.t) : bool =
+(* one sweep, pure: the swept body and whether anything was removed *)
+let sweep (u : Punit.t) : block * bool =
   let reads = read_scalars u in
   let changed = ref false in
   let body' =
@@ -63,21 +63,36 @@ let sweep (u : Punit.t) : bool =
         | _ -> [ s ])
       u.pu_body
   in
-  u.pu_body <- body';
-  !changed
+  (body', !changed)
 
-(** Remove dead scalar assignments from a unit, to fixpoint. *)
-let run_unit (u : Punit.t) : int =
-  let rounds = ref 0 in
-  while sweep u && !rounds < 16 do
-    incr rounds
-  done;
-  Consistency.check_unit u;
-  !rounds
+(** Remove dead scalar assignments from a unit, to fixpoint.  The first
+    sweep is computed {e before} announcing any mutation: a unit with
+    no dead assignment is never touched, so its invalidation version —
+    and every analysis cached against it — survives the pass. *)
+let run_unit (p : Program.t) (u : Punit.t) : int =
+  let body1, changed1 = sweep u in
+  if not changed1 then 0
+  else begin
+    Program.touch p u;
+    u.pu_body <- body1;
+    let rounds = ref 1 in
+    let continue_ = ref true in
+    while !continue_ && !rounds < 16 do
+      let body', changed = sweep u in
+      if changed then begin
+        u.pu_body <- body';
+        incr rounds
+      end
+      else continue_ := false
+    done;
+    Consistency.check_unit u;
+    !rounds
+  end
+
+(** Analyses this pass consumes (for the pipeline's reuse ledger): it
+    reads raw statements only, so it disturbs nothing it does not
+    rewrite — in particular it must never flush dependence verdicts. *)
+let consumes = [ "fir.intern" ]
 
 let run (p : Program.t) : int =
-  Util.Listx.sum_by
-    (fun u ->
-      Program.touch p u;
-      run_unit u)
-    (Program.units p)
+  Util.Listx.sum_by (fun u -> run_unit p u) (Program.units p)

@@ -626,16 +626,24 @@ let rec process_block ~generalized (symtab : Symtab.t) (report : report)
     b
 
 (** Run induction substitution on a program unit (in place).  Returns
-    the list of (variable, loop index) pairs that were substituted. *)
-let run_unit ?(generalized = true) (u : Punit.t) : (string * string) list =
+    the list of (variable, loop index) pairs that were substituted.
+    [process_block] is pure — the rewritten body is built first, and
+    the unit is only touched (invalidating its cached analyses) when a
+    substitution actually happened. *)
+let run_unit ?(generalized = true) (p : Program.t) (u : Punit.t) :
+    (string * string) list =
   let report = { substituted = [] } in
-  u.pu_body <- process_block ~generalized u.pu_symtab report u.pu_body;
-  Consistency.check_unit u;
+  let body' = process_block ~generalized u.pu_symtab report u.pu_body in
+  if report.substituted <> [] then begin
+    Program.touch p u;
+    u.pu_body <- body';
+    Consistency.check_unit u
+  end;
   List.rev report.substituted
 
+(** Analyses this pass consumes (for the pipeline's reuse ledger):
+    candidate recognition leans on the symbolic layer's memo tables. *)
+let consumes = [ "fir.intern"; "poly.of_expr"; "compare.eliminate" ]
+
 let run ?(generalized = true) (p : Program.t) : (string * string) list =
-  List.concat_map
-    (fun u ->
-      Program.touch p u;
-      run_unit ~generalized u)
-    (Program.units p)
+  List.concat_map (fun u -> run_unit ~generalized p u) (Program.units p)

@@ -375,17 +375,42 @@ let expand_unit ?(max_rounds = 12) (p : Program.t) (u : Punit.t) : stats =
   Consistency.check_unit u;
   stats
 
+(* cheap pure precheck: does [u] contain a CALL that [expand_unit]'s
+   [template_for] could possibly expand?  Mirrors its conditions minus
+   the template construction. *)
+let has_expandable_call (p : Program.t) (u : Punit.t) =
+  Stmt.exists
+    (fun s ->
+      match s.kind with
+      | Call (name, _) -> (
+        match Program.find_unit p name with
+        | Some callee ->
+          callee.pu_kind = Subroutine
+          && (not (String.equal callee.pu_name u.pu_name))
+          && not (has_function_calls p callee)
+        | None -> false)
+      | _ -> false)
+    u.pu_body
+
+(** Analyses this pass consumes (for the pipeline's reuse ledger). *)
+let consumes = [ "fir.intern" ]
+
 (** Expand subroutine calls in every unit of the program (each unit is
     its own "top-level routine" in the paper's sense). *)
 let run (p : Program.t) : stats =
   let total = { sites_expanded = 0; sites_skipped = 0 } in
   List.iter
     (fun u ->
-      (* expansion mutates only [u] (its body, and its symtab for
-         copied-in callee locals/temps): one touch covers the unit *)
-      Program.touch p u;
-      let s = expand_unit p u in
-      total.sites_expanded <- total.sites_expanded + s.sites_expanded;
-      total.sites_skipped <- total.sites_skipped + s.sites_skipped)
+      (* units with no expandable call site are left untouched — their
+         invalidation version, fingerprint and cached analyses all
+         survive the pass *)
+      if has_expandable_call p u then begin
+        (* expansion mutates only [u] (its body, and its symtab for
+           copied-in callee locals/temps): one touch covers the unit *)
+        Program.touch p u;
+        let s = expand_unit p u in
+        total.sites_expanded <- total.sites_expanded + s.sites_expanded;
+        total.sites_skipped <- total.sites_skipped + s.sites_skipped
+      end)
     (Program.units p);
   total

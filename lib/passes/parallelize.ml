@@ -22,6 +22,13 @@ module Defuse = Analysis.Defuse
 
 type mode = Polaris | Baseline
 
+(** Analyses this pass consumes (by {!Util.Cachectl} cache name); the
+    pipeline records them against the manager's counters for
+    [--explain-reuse]. *)
+let consumes =
+  [ "analysis.loops"; "analysis.access"; "analysis.defuse";
+    "range_prop.env_at"; "dep.verdict"; "passes.demand" ]
+
 type loop_report = {
   loop_index : string;
   loop_sid : int;
@@ -158,26 +165,19 @@ let analyze_nest ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
         Defuse.of_class Defuse.Private classes
         |> List.filter (fun v -> not (List.mem v reduction_vars))
       in
-      (* 3. arrays: per-array dependence test, privatization fallback *)
-      let env = Loops.nest_env ~outer_env nest in
-      let inner =
-        Loops.nests_of_block body |> List.map (fun n -> Loops.innermost n)
-      in
-      let env =
-        (* add inner loop bounds facts *)
-        List.fold_left
-          (fun env n -> Loops.nest_env ~outer_env:env n)
-          env
-          (Loops.nests_of_block body)
-      in
-      let accesses = Access.of_block body in
+      (* 3. arrays: per-array dependence test, privatization fallback.
+         The environment, inner-loop list, accesses, written set and
+         method are exactly the ones already derived in step 1 — reuse
+         them instead of re-deriving. *)
+      let env = env0 in
+      let inner = inner0 in
       let accesses =
         List.filter
           (fun (a : Access.t) ->
             not
               (List.mem a.sid reduction_sids
               && List.mem a.array reduction_vars))
-          accesses
+          all_accesses
       in
       let arrays =
         Access.by_array accesses
@@ -188,18 +188,8 @@ let analyze_nest ~(mode : mode) (u : Punit.t) (outer_env : Range.env)
       (* arrays written anywhere in the body, including by reduction
          statements: a subscript routed through any of them is
          unanalyzable *)
-      let body_writes =
-        List.filter_map
-          (fun (a : Access.t) ->
-            if a.kind = Access.Write then Some a.array else None)
-          (Access.of_block body)
-        |> List.sort_uniq String.compare
-      in
-      let method_ =
-        match mode with
-        | Polaris -> Dep.Driver.Range_symbolic
-        | Baseline -> Dep.Driver.Banerjee_gcd
-      in
+      let body_writes = body_writes0 in
+      let method_ = method0 in
       let privates = ref private_scalars in
       let lastprivates = ref [] in
       let failed = ref None in

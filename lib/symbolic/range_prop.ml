@@ -205,22 +205,10 @@ let initial_env (u : Punit.t) : Range.env =
    the generation bumps after every pass: 0 hits in 710 lookups on the
    benchmark suite.
 
-   The fingerprint itself is O(unit) to build, so it has its own small
-   cache, keyed per (generation, unit) and revalidated against the
-   physical body (the fingerprint must track in-place mutation). *)
-let fp_cache : (int * string, Ast.block * string) Cache.t =
-  Cache.create
-    ~equal_result:(fun (_, a) (_, b) -> String.equal a b)
-    ~name:"range_prop.fingerprint" ()
-
-let unit_fingerprint (u : Punit.t) : string =
-  let _, fp =
-    Cache.memo_validated fp_cache
-      (!Util.Cachectl.generation, u.pu_name)
-      ~valid:(fun (body, _) -> body == u.pu_body)
-      (fun () -> (u.pu_body, Punit.fingerprint u))
-  in
-  fp
+   The fingerprint itself is O(unit) to build but now memoized inside
+   the unit record, invalidated by [Program.touch] — see
+   {!Fir.Punit.fingerprint} — so the per-module fingerprint cache this
+   file used to carry is gone. *)
 
 (* preorder position of the statement with id [target] (-1 if absent):
    the sid-free coordinate of a program point within a fingerprint *)
@@ -249,5 +237,5 @@ let env_at (u : Punit.t) ~(target : int) : Range.env =
   if not !Util.Cachectl.enabled then compute ()
   else
     Cache.memo env_cache
-      (unit_fingerprint u, ordinal_of u ~target)
+      (Punit.fingerprint u, ordinal_of u ~target)
       compute

@@ -9,11 +9,14 @@
       environment turns every cache off (the baseline the `perf`
       benchmark compares against); [Core.Config.caches] scopes the
       switch per compilation.
-    - {!generation} is the invalidation epoch.  [Core.Pipeline] bumps it
-      whenever a pass may have rewritten the program — after every
-      guarded pass and on every fault rollback — so caches whose keys
-      embed program state (e.g. statement ids) tag entries with the
-      generation and can never serve a stale hit across a rewrite.
+    - {!generation} is the coarse invalidation epoch.  [Core.Pipeline]
+      still bumps it after every guarded pass and on every fault
+      rollback, but since the analysis-manager PR no cache keys on it:
+      physically-keyed analyses revalidate per entry
+      ({!Analysis.Manager}'s unit-version and block-identity probes)
+      and the semantic caches are content-addressed.  The epoch remains
+      as telemetry and as the seam a future coarse-grained cache could
+      hook into.
     - {!debug} ([POLARIS_CACHE_DEBUG=1]) makes every cache hit
       cross-check against a fresh computation and raise
       {!Debug_mismatch} on divergence; this is the belt-and-braces mode
@@ -24,8 +27,10 @@
       tables between modes via {!clear_all}.
 
     Soundness contract: a cache may only consult its table when
-    [!enabled] is true, must treat {!generation} as part of the key when
-    the cached fact depends on mutable IR, and — when the computation
+    [!enabled] is true, must guarantee a stale entry can never hit when
+    the cached fact depends on mutable IR (a per-entry validity probe
+    as in {!Analysis.Manager}, or a content-addressed key), and — when
+    the computation
     spends from a {!Budget} — must record the step cost and replay it on
     hits ([Budget.afford] + [Budget.spend]) so cached and uncached runs
     make byte-identical budget decisions. *)
@@ -44,9 +49,11 @@ exception Debug_mismatch of string
 (** Raised in {!debug} mode when a cache hit disagrees with a fresh
     computation; the payload names the offending cache. *)
 
-let default_enabled = Sys.getenv_opt "POLARIS_NO_CACHE" <> Some "1"
+(* environment knobs are parsed and validated in {!Env}, the single
+   parse site for POLARIS_* variables *)
+let default_enabled = not Env.no_cache
 let enabled = ref default_enabled
-let debug = ref (Sys.getenv_opt "POLARIS_CACHE_DEBUG" = Some "1")
+let debug = ref Env.cache_debug
 
 let generation = ref 0
 let bump_generation () = incr generation

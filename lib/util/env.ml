@@ -1,0 +1,58 @@
+(** The single parse site for every [POLARIS_*] environment variable.
+
+    Historically each subsystem read its own variable ad hoc —
+    [Pool] parsed [POLARIS_JOBS] (silently defaulting on garbage),
+    [Cachectl] string-compared [POLARIS_NO_CACHE] and
+    [POLARIS_CACHE_DEBUG] against ["1"].  Every knob is now parsed,
+    validated and defaulted here, once, at module initialization;
+    malformed values print a warning on stderr and fall back to the
+    default instead of being silently swallowed.  [Core.Config]
+    documents the knobs and re-exports the parsed values; nothing else
+    in the tree may call [Sys.getenv] for a [POLARIS_*] name.
+
+    The [parse_*] functions are pure and exposed so the unit tests can
+    pin the validation behaviour without touching the process
+    environment. *)
+
+(** Hard ceiling on the job count; {!Pool} sizes its per-slot cache
+    shard arrays with it. *)
+let max_jobs = 64
+
+(** [parse_jobs raw]: a job count in [1 .. max_jobs].  Values above the
+    ceiling clamp (a big [-j] is a wish, not an error); zero, negative
+    and non-numeric values are rejected. *)
+let parse_jobs raw : (int, string) result =
+  match int_of_string_opt (String.trim raw) with
+  | None -> Error (Printf.sprintf "expected an integer, got %S" raw)
+  | Some n when n < 1 -> Error (Printf.sprintf "expected a job count >= 1, got %d" n)
+  | Some n -> Ok (if n > max_jobs then max_jobs else n)
+
+(** [parse_flag raw]: a boolean knob.  Accepts 1/0, true/false, yes/no,
+    on/off (case-insensitive); anything else is rejected. *)
+let parse_flag raw : (bool, string) result =
+  match String.lowercase_ascii (String.trim raw) with
+  | "1" | "true" | "yes" | "on" -> Ok true
+  | "0" | "false" | "no" | "off" -> Ok false
+  | _ ->
+    Error
+      (Printf.sprintf "expected a boolean (1/0/true/false/yes/no/on/off), got %S"
+         raw)
+
+let read var ~default parse =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some raw -> (
+    match parse raw with
+    | Ok v -> v
+    | Error msg ->
+      Printf.eprintf "polaris: warning: ignoring %s=%s: %s\n%!" var raw msg;
+      default)
+
+(** Parsed [POLARIS_JOBS] (default 1: parallelism is opt-in). *)
+let jobs : int = read "POLARIS_JOBS" ~default:1 parse_jobs
+
+(** Parsed [POLARIS_NO_CACHE] (default false: caches on). *)
+let no_cache : bool = read "POLARIS_NO_CACHE" ~default:false parse_flag
+
+(** Parsed [POLARIS_CACHE_DEBUG] (default false). *)
+let cache_debug : bool = read "POLARIS_CACHE_DEBUG" ~default:false parse_flag

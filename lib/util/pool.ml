@@ -32,19 +32,13 @@
 (** Hard ceiling on the job count (and the size of per-slot cache shard
     arrays: slot 0 is the submitting domain, 1..max_jobs-1 the
     workers). *)
-let max_jobs = 64
+let max_jobs = Env.max_jobs
 
 let clamp n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
 
-let env_jobs =
-  match Sys.getenv_opt "POLARIS_JOBS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n -> clamp n
-    | None -> 1)
-  | None -> 1
-
-let jobs_ref = ref env_jobs
+(* POLARIS_JOBS is parsed (with validation) in {!Env}, the single parse
+   site for environment knobs. *)
+let jobs_ref = ref Env.jobs
 
 (** Current job count (>= 1). *)
 let jobs () = !jobs_ref

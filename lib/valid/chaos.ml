@@ -89,6 +89,11 @@ let corrupt prng (prog : Program.t) : string =
   | [] -> "no corruptible unit"  (* cannot arise for parsed programs *)
   | _ ->
     let u = Util.Prng.pick prng units in
+    (* announce the mutation like any pass would: bumps the unit's
+       invalidation version so no fingerprint-keyed analysis of the
+       pre-corruption body can survive, and lets the COW guard snapshot
+       the unit for rollback *)
+    Program.touch prog u;
     let duplicate () =
       u.pu_body <- List.hd u.pu_body :: u.pu_body;
       Fmt.str "duplicated statement in %s" u.pu_name

@@ -40,6 +40,9 @@ type t = {
   tr_loops : loop_record list;
   tr_incidents : Core.Pipeline.incident list;
       (** contained pass failures (fail-safe rollbacks) during the run *)
+  tr_reuse : Core.Pipeline.pass_reuse list;
+      (** per-pass analysis consumption/reuse/invalidation, from the
+          analysis manager's counters via the pipeline ledger *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -152,7 +155,8 @@ let finish (r : recorder) (t : Core.Pipeline.t) : t =
     tr_dep = dep_delta r.base_dep (Dep.Driver.counters_snapshot ());
     tr_cache = Util.Cachectl.delta ~base:r.base_cache (Util.Cachectl.snapshot ());
     tr_loops = loops;
-    tr_incidents = t.incidents }
+    tr_incidents = t.incidents;
+    tr_reuse = t.reuse }
 
 (** Compile [source] under [config] with the recorder attached. *)
 let record_compile (config : Core.Config.t) (source : string) :
@@ -250,7 +254,54 @@ let to_json (t : t) : string =
                    ("speculative", Json.bool l.lr_speculative);
                    ("reason", Json.str l.lr_reason) ])
              t.tr_loops) );
-      ("incidents", Json.arr (List.map incident_json t.tr_incidents)) ]
+      ("incidents", Json.arr (List.map incident_json t.tr_incidents));
+      ( "reuse",
+        Json.arr
+          (List.map
+             (fun (r : Core.Pipeline.pass_reuse) ->
+               Json.obj
+                 [ ("pass", Json.str r.pr_pass);
+                   ("consumes", Json.arr (List.map Json.str r.pr_consumes));
+                   ("analyses", cache_json r.pr_cache);
+                   ( "invalidated",
+                     Json.arr
+                       (List.map
+                          (fun (name, n) ->
+                            Json.obj
+                              [ ("analysis", Json.str name);
+                                ("entries", Json.int n) ])
+                          r.pr_invalidated) ) ])
+             t.tr_reuse) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* The --explain-reuse table                                           *)
+
+(** Per-pass table of analyses consumed / reused / invalidated, from
+    the pipeline's reuse ledger ([polaris --explain-reuse]). *)
+let pp_reuse_table ppf (reuse : Core.Pipeline.pass_reuse list) =
+  Fmt.pf ppf "analysis reuse by pass:@.";
+  List.iter
+    (fun (r : Core.Pipeline.pass_reuse) ->
+      Fmt.pf ppf "  %-12s consumes: %s@." r.pr_pass
+        (if r.pr_consumes = [] then "-" else String.concat ", " r.pr_consumes);
+      List.iter
+        (fun (name, hits, misses) ->
+          let invalidated =
+            Option.value ~default:0 (List.assoc_opt name r.pr_invalidated)
+          in
+          Fmt.pf ppf "    %-22s %7d reused %7d computed%s@." name hits misses
+            (if invalidated > 0 then
+               Fmt.str " %7d invalidated" invalidated
+             else ""))
+        r.pr_cache;
+      (* invalidations in analyses that had no lookup still matter *)
+      List.iter
+        (fun (name, n) ->
+          if not (List.exists (fun (c, _, _) -> c = name) r.pr_cache) then
+            Fmt.pf ppf "    %-22s %7s        %7s          %7d invalidated@."
+              name "-" "-" n)
+        r.pr_invalidated)
+    reuse
 
 let pp ppf (t : t) =
   Fmt.pf ppf "flight record [%s] %.3fs wall (%.3fs cpu)@," t.tr_config

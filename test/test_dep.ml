@@ -291,9 +291,9 @@ let build_nest (depth, bounds, accs) : Punit.t =
 (* exhaustively: does loop [k] (1-based) carry a conflict that the
    marked parallelization (with [privates] privatized) cannot have?
    For privatized arrays output dependences are removed and reads are
-   served by the iteration's own earlier write, so the check becomes:
-   every read of a privatized array must be preceded (in statement
-   order) by a same-iteration write of the same element. *)
+   served by the loop-[k] iteration's own earlier write, so the check
+   becomes: every read of a privatized array must be preceded — within
+   the same iteration of loop [k] — by a write of the same element. *)
 let brute_force_carries ?(privates = []) (depth, bounds, accs) k =
   let rec iterate idx env acc =
     if idx > depth then List.rev env :: acc
@@ -332,7 +332,39 @@ let brute_force_carries ?(privates = []) (depth, bounds, accs) k =
               accs)
         tuples)
     tuples;
-  (* privatized arrays: reads must be covered within each iteration *)
+  (* privatized arrays: reads must be covered within the same iteration
+     of loop [k] — the private copy's scope.  A covering write may come
+     from an earlier statement of the same innermost tuple, or from any
+     strictly earlier inner-loop tuple with the same I1..Ik (inner loops
+     run serially within one iteration of the parallelized loop). *)
+  let indices = List.init depth (fun i -> Printf.sprintf "I%d" (i + 1)) in
+  let prefix_eq t1 t2 =
+    List.for_all
+      (fun j ->
+        let n = Printf.sprintf "I%d" j in
+        List.assoc n t1 = List.assoc n t2)
+      (List.init k (fun i -> i + 1))
+  in
+  let inner_lt t1 t2 =
+    (* lexicographic < on the indices inside loop k *)
+    let rec go = function
+      | [] -> false
+      | n :: rest ->
+        let a = List.assoc n t1 and b = List.assoc n t2 in
+        if a < b then true else if a > b then false else go rest
+    in
+    go (Util.Listx.drop k indices)
+  in
+  let covered_earlier t arr e =
+    List.exists
+      (fun t' ->
+        prefix_eq t' t && inner_lt t' t
+        && List.exists
+             (fun a ->
+               a.gwrite && String.equal a.garr arr && eval_expr t' a.gsub = e)
+             accs)
+      tuples
+  in
   List.iter
     (fun t ->
       let written = Hashtbl.create 8 in
@@ -341,14 +373,30 @@ let brute_force_carries ?(privates = []) (depth, bounds, accs) k =
           if List.mem a.garr privates then
             let e = eval_expr t a.gsub in
             if a.gwrite then Hashtbl.replace written (a.garr, e) ()
-            else if not (Hashtbl.mem written (a.garr, e)) then conflicts := true)
+            else if
+              (not (Hashtbl.mem written (a.garr, e)))
+              && not (covered_earlier t a.garr e)
+            then conflicts := true)
         accs)
     tuples;
   !conflicts
 
+(* render a generated nest so qcheck failures are reproducible by eye *)
+let print_nest (depth, bounds, accs) =
+  Fmt.str "depth=%d bounds=[%s] accs=[%s]" depth
+    (String.concat ";" (List.map string_of_int bounds))
+    (String.concat "; "
+       (List.map
+          (fun a ->
+            Fmt.str "%s %s(%s)"
+              (if a.gwrite then "W" else "R")
+              a.garr
+              (Fir.Expr.to_string a.gsub))
+          accs))
+
 let prop_driver_sound =
   QCheck2.Test.make ~name:"parallel verdicts are sound (brute force)" ~count:150
-    nest_gen (fun spec ->
+    ~print:print_nest nest_gen (fun spec ->
       let depth, _, _ = spec in
       let u = build_nest spec in
       let p = Program.create [ u ] in
@@ -370,7 +418,7 @@ let prop_driver_sound =
 
 let prop_baseline_sound =
   QCheck2.Test.make ~name:"baseline verdicts are sound (brute force)" ~count:150
-    nest_gen (fun spec ->
+    ~print:print_nest nest_gen (fun spec ->
       let depth, _, _ = spec in
       let u = build_nest spec in
       let p = Program.create [ u ] in

@@ -277,6 +277,45 @@ let test_intern_sharing () =
   let c = build () in
   Alcotest.(check bool) "identity when disabled" true (Expr.intern c == c)
 
+(* the per-unit fingerprint memo: repeat calls hit, Program.touch bumps
+   the unit version and drops the memo, identical content refingerprints
+   identically, edited content differently *)
+let test_fingerprint_memo () =
+  Util.Cachectl.with_enabled true @@ fun () ->
+  let p =
+    Frontend.Parser.parse_string
+      "      PROGRAM M\n      INTEGER I\n      I = 1\n      I = I + 1\n\
+      \      PRINT *, I\n      END\n"
+  in
+  let u = Program.main p in
+  let counters base =
+    match
+      List.find_opt
+        (fun (n, _, _) -> n = "punit.fingerprint")
+        (Util.Cachectl.delta ~base (Util.Cachectl.snapshot ()))
+    with
+    | Some (_, h, m) -> (h, m)
+    | None -> (0, 0)
+  in
+  let v0 = Punit.version u in
+  let fp1 = Punit.fingerprint u in
+  let base = Util.Cachectl.snapshot () in
+  Alcotest.(check string) "repeat call returns the memo" fp1
+    (Punit.fingerprint u);
+  Alcotest.(check (pair int int)) "repeat call hit, no recompute" (1, 0)
+    (counters base);
+  Program.touch p u;
+  Alcotest.(check bool) "touch bumps the version" true (Punit.version u > v0);
+  let base = Util.Cachectl.snapshot () in
+  Alcotest.(check string) "unchanged content refingerprints identically" fp1
+    (Punit.fingerprint u);
+  Alcotest.(check (pair int int)) "post-touch call recomputes" (0, 1)
+    (counters base);
+  Program.touch p u;
+  u.pu_body <- List.rev u.pu_body;
+  Alcotest.(check bool) "edited content changes the fingerprint" true
+    (not (String.equal (Punit.fingerprint u) fp1))
+
 let test_program_merge () =
   let a = Program.create [ Punit.create "MAIN" ] in
   let b = Program.create [ Punit.create ~kind:Subroutine "SUB" ] in
@@ -306,6 +345,7 @@ let tests =
     ("consistency: goto", `Quick, test_consistency_goto);
     ("consistency: dims", `Quick, test_consistency_dims);
     ("program merge", `Quick, test_program_merge);
+    ("punit fingerprint memo", `Quick, test_fingerprint_memo);
     ("expr equal/compare/hash", `Quick, test_equal_compare_hash);
     ("expr intern sharing", `Quick, test_intern_sharing) ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_simplify_preserves; prop_subst_var ]

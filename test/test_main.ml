@@ -15,6 +15,7 @@ let () =
       ("core", Test_core.tests);
       ("suite", Test_suite.tests);
       ("fuzz", Test_fuzz.tests);
+      ("incremental", Test_incremental.tests);
       ("valid", Test_valid.tests);
       ("chaos", Test_chaos.tests);
       ("cache", Test_cache.tests);

@@ -104,8 +104,41 @@ let test_listx () =
   Alcotest.(check int) "last" 3 (Listx.last [ 1; 2; 3 ]);
   Alcotest.(check int) "pairs incl diagonal" 9 (List.length (Listx.pairs [ 1; 2; 3 ]))
 
+(* Env.parse_* are the single validation site for POLARIS_* variables;
+   pin accepted forms, clamping and rejection of malformed values *)
+let test_env_parse_jobs () =
+  let rejected s =
+    match Env.parse_jobs s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "plain" true (Env.parse_jobs "4" = Ok 4);
+  Alcotest.(check bool) "whitespace trimmed" true (Env.parse_jobs " 8 " = Ok 8);
+  Alcotest.(check bool) "huge count clamps to the ceiling" true
+    (Env.parse_jobs "9999" = Ok Env.max_jobs);
+  Alcotest.(check bool) "zero rejected" true (rejected "0");
+  Alcotest.(check bool) "negative rejected" true (rejected "-3");
+  Alcotest.(check bool) "non-numeric rejected" true (rejected "four");
+  Alcotest.(check bool) "empty rejected" true (rejected "")
+
+let test_env_parse_flag () =
+  let rejected s =
+    match Env.parse_flag s with Error _ -> true | Ok _ -> false
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " is true") true (Env.parse_flag s = Ok true))
+    [ "1"; "true"; "YES"; "On"; " true " ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " is false") true (Env.parse_flag s = Ok false))
+    [ "0"; "false"; "No"; "OFF" ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " rejected") true (rejected s))
+    [ ""; "2"; "enable"; "oui" ]
+
 let tests =
   [ ("rat normalization", `Quick, test_make_normalizes);
+    ("env jobs parsing", `Quick, test_env_parse_jobs);
+    ("env flag parsing", `Quick, test_env_parse_flag);
     ("rat zero denominator", `Quick, test_make_zero_den);
     ("rat arithmetic", `Quick, test_arith);
     ("rat division by zero", `Quick, test_div_by_zero);
