@@ -4,7 +4,7 @@
 # serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
 # faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate chaos check bench perf scale incremental clean
+.PHONY: all build test validate chaos check bench perf scale incremental daemon clean
 
 all: build
 
@@ -49,6 +49,14 @@ scale: build
 # analysis-reuse rate falls below the 70% floor.
 incremental: build
 	dune exec bench/main.exe -- incremental
+
+# Compile daemon: replays 4 concurrent client sessions over the 16-code
+# suite against a real daemon + unix socket, twice — cold (empty store)
+# and warm (daemon restarted on the persisted store).  Writes
+# BENCH_daemon.json and exits non-zero if any response differs from a
+# from-scratch compile or the warm shared-cache hit rate is below 50%.
+daemon: build
+	dune exec bench/main.exe -- daemon 4
 
 clean:
 	dune clean

@@ -863,6 +863,222 @@ let incremental ?(min_reuse = 0.70) () =
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Daemon: multi-client sessions sharing one persistent store          *)
+
+(* Replay a multi-client trace against a real daemon over a real unix
+   socket: [sessions] concurrent client connections each compile the
+   16-code suite (rotated so the sessions collide on different codes at
+   different times), twice — once against an empty store (cold) and
+   once against a freshly restarted daemon whose in-memory caches were
+   dropped, so every warm fact must come through the persistent store.
+   Every response of both phases must be byte-identical to a
+   from-scratch compile, and the warm phase must serve at least half
+   its shared-cache lookups from the store-backed caches. *)
+
+let rotate k xs =
+  let n = List.length xs in
+  List.init n (fun i -> List.nth xs ((i + k) mod n))
+
+(* one client session: connect, compile every code in [order], return
+   the labelled replies in request order *)
+let daemon_session ~socket order =
+  match Serve.Client.connect socket with
+  | Error m -> Error m
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (code : Suite.Code.t) :: rest -> (
+        match
+          Serve.Client.compile_source c ~label:code.name code.source
+        with
+        | Ok reply -> go ((code.name, reply) :: acc) rest
+        | Error m -> Error (code.name ^ ": " ^ m))
+    in
+    go [] order
+
+(* one daemon lifetime serving one full trace; returns the replies of
+   every session plus the phase wall time *)
+let daemon_phase ~sessions ~socket ~store_dir () =
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let cfg =
+    { (Serve.Daemon.default_cfg ()) with
+      d_socket = socket;
+      d_store_dir = Some store_dir;
+      d_poll_s = 0.02 }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run ~stop ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.init sessions (fun s ->
+        let order = rotate (s * 4) Suite.Registry.all in
+        Domain.spawn (fun () -> daemon_session ~socket order))
+  in
+  let results = List.map Domain.join clients in
+  let wall = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  let report = Domain.join daemon in
+  let replies =
+    List.concat_map
+      (function
+        | Ok rs -> rs
+        | Error m ->
+          Printf.eprintf "daemon bench: session failed: %s\n" m;
+          exit 1)
+      results
+  in
+  (replies, wall, report)
+
+let phase_metrics replies wall =
+  let lat = Serve.Metrics.recorder () in
+  List.iter
+    (fun (_, (r : Serve.Protocol.compile_reply)) ->
+      Serve.Metrics.add lat (r.co_wall_ms /. 1000.0))
+    replies;
+  let hits =
+    List.fold_left (fun a (_, (r : Serve.Protocol.compile_reply)) ->
+        a + r.co_shared_hits) 0 replies
+  in
+  let lookups =
+    List.fold_left (fun a (_, (r : Serve.Protocol.compile_reply)) ->
+        a + r.co_shared_lookups) 0 replies
+  in
+  let n = List.length replies in
+  ( n, wall,
+    (if wall > 0.0 then float_of_int n /. wall else 0.0),
+    1000.0 *. Serve.Metrics.percentile lat 50.0,
+    1000.0 *. Serve.Metrics.percentile lat 95.0,
+    1000.0 *. Serve.Metrics.mean lat,
+    hits, lookups, Serve.Metrics.rate_of hits lookups )
+
+let daemon_bench ?(sessions = 4) ?(min_warm_rate = 0.5) () =
+  section
+    (Printf.sprintf
+       "daemon: %d concurrent client sessions x 16-code suite, cold store \
+        vs. daemon restarted on the persisted store" sessions);
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "polaris-bench-daemon"
+  in
+  let store_dir = Filename.concat dir "store" in
+  let socket = Filename.concat dir "bench.sock" in
+  (if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+  (* cold means cold: no store file, no warm in-memory tables *)
+  let store_file = Filename.concat store_dir "analysis.store" in
+  if Sys.file_exists store_file then Sys.remove store_file;
+  Util.Cachectl.clear_all ();
+  let cold_replies, cold_wall, _ =
+    daemon_phase ~sessions ~socket ~store_dir ()
+  in
+  (* daemon restart: a new process would start with empty tables and
+     only the store file; dropping every in-memory cache simulates
+     exactly that within this one *)
+  Util.Cachectl.clear_all ();
+  let warm_replies, warm_wall, warm_report =
+    daemon_phase ~sessions ~socket ~store_dir ()
+  in
+  (* byte-identity: every response of both phases against a from-scratch
+     compile of the same code (scratch clears the shared caches, so it
+     runs only after the daemons are down) *)
+  Util.Cachectl.clear_all ();
+  let cfg = Core.Config.polaris ~procs:8 () in
+  let scratch =
+    List.map
+      (fun (c : Suite.Code.t) ->
+        let r = Core.Incremental.scratch cfg c.source in
+        ( c.name,
+          (r.outcome.oc_output, Serve.Local.render_verdicts r.outcome) ))
+      Suite.Registry.all
+  in
+  let divergences = ref [] in
+  let check_phase phase replies =
+    List.iter
+      (fun (name, (r : Serve.Protocol.compile_reply)) ->
+        let out, verdicts = List.assoc name scratch in
+        if r.co_output <> out then
+          divergences := Printf.sprintf "%s (%s): output differs" name phase
+            :: !divergences;
+        if r.co_verdicts <> verdicts then
+          divergences := Printf.sprintf "%s (%s): verdicts differ" name phase
+            :: !divergences;
+        if r.co_check_divergences <> [] then
+          divergences :=
+            Printf.sprintf "%s (%s): server-side check" name phase
+            :: !divergences)
+      replies
+  in
+  check_phase "cold" cold_replies;
+  check_phase "warm" warm_replies;
+  let divergences = List.rev !divergences in
+  List.iter (fun d -> Printf.eprintf "daemon bench: DIVERGENCE %s\n" d)
+    divergences;
+  let ( cold_n, _, cold_rps, cold_p50, cold_p95, cold_mean, _, _, cold_rate )
+      =
+    phase_metrics cold_replies cold_wall
+  in
+  let ( warm_n, _, warm_rps, warm_p50, warm_p95, warm_mean, warm_hits,
+        warm_lookups, warm_rate ) =
+    phase_metrics warm_replies warm_wall
+  in
+  Printf.printf "%-6s | %4s %8s %8s | %9s %9s %9s | %s\n" "phase" "reqs"
+    "wall" "req/s" "p50" "p95" "mean" "shared reuse";
+  Printf.printf "%s\n" (String.make 78 '-');
+  Printf.printf "%-6s | %4d %7.2fs %8.1f | %7.2fms %7.2fms %7.2fms | %5.1f%%\n"
+    "cold" cold_n cold_wall cold_rps cold_p50 cold_p95 cold_mean
+    (100.0 *. cold_rate);
+  Printf.printf "%-6s | %4d %7.2fs %8.1f | %7.2fms %7.2fms %7.2fms | %5.1f%% (%d/%d)\n"
+    "warm" warm_n warm_wall warm_rps warm_p50 warm_p95 warm_mean
+    (100.0 *. warm_rate) warm_hits warm_lookups;
+  Printf.printf
+    "\nwarm shared-cache hit rate %.1f%% (floor %.0f%%), responses \
+     byte-identical to scratch: %b\n"
+    (100.0 *. warm_rate) (100.0 *. min_warm_rate) (divergences = []);
+  let ok = divergences = [] && warm_rate >= min_warm_rate in
+  let json =
+    let open Valid.Trace.Json in
+    let phase (n, wall, rps, p50, p95, mean, hits, lookups, rate) =
+      obj
+        [ ("requests", int n);
+          ("wall_s", float wall);
+          ("req_per_s", float rps);
+          ("p50_ms", float p50);
+          ("p95_ms", float p95);
+          ("mean_ms", float mean);
+          ("shared_hits", int hits);
+          ("shared_lookups", int lookups);
+          ("shared_hit_rate", float rate) ]
+    in
+    obj
+      [ ("sessions", int sessions);
+        ("codes", int (List.length Suite.Registry.all));
+        ( "cold",
+          phase
+            ( cold_n, cold_wall, cold_rps, cold_p50, cold_p95, cold_mean, 0, 0,
+              cold_rate ) );
+        ( "warm",
+          phase
+            ( warm_n, warm_wall, warm_rps, warm_p50, warm_p95, warm_mean,
+              warm_hits, warm_lookups, warm_rate ) );
+        ("min_warm_hit_rate", float min_warm_rate);
+        ("warm_server_stats", warm_report.Serve.Daemon.r_stats_json);
+        ("divergences", arr (List.map str divergences));
+        ("identical_output", bool (divergences = [])) ]
+  in
+  let oc = open_out "BENCH_daemon.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_daemon.json\n";
+  Util.Cachectl.clear_all ();
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: Polaris minus one technique                               *)
 
 let ablation () =
@@ -916,7 +1132,8 @@ let experiments =
     ("coverage", coverage); ("validate", validate); ("ablation", ablation);
     ("chaos", chaos); ("micro", micro); ("perf", fun () -> perf ());
     ("scale", fun () -> scale ());
-    ("incremental", fun () -> incremental ()) ]
+    ("incremental", fun () -> incremental ());
+    ("daemon", fun () -> daemon_bench ()) ]
 
 let () =
   match Sys.argv with
@@ -932,6 +1149,12 @@ let () =
     | Some n when n > 0 -> scale ~n ()
     | _ ->
       Printf.eprintf "usage: %s scale [iterations > 0]\n" Sys.argv.(0);
+      exit 1)
+  | [| _; "daemon"; n |] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> daemon_bench ~sessions:n ()
+    | _ ->
+      Printf.eprintf "usage: %s daemon [sessions > 0]\n" Sys.argv.(0);
       exit 1)
   | [| _; name |] -> (
     match List.assoc_opt name experiments with

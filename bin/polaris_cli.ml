@@ -14,7 +14,11 @@
     - [polaris serve FILE...]: incremental recompilation — compile a
       sequence of sources (edit deltas) in one process, reusing every
       analysis whose program unit is unchanged; [--check] compares each
-      compile against a from-scratch one. *)
+      compile against a from-scratch one.
+    - [polaris daemon]: the long-lived compile server — multiple client
+      sessions over a unix-domain socket share one analysis store,
+      persistent on disk under \$POLARIS_CACHE_DIR.
+    - [polaris client FILE...]: compile files on a running daemon. *)
 
 open Cmdliner
 
@@ -396,38 +400,47 @@ let serve_cmd =
         let config = config_of ~baseline ~procs:8 in
         let divergent = ref 0 in
         let incidents = ref 0 in
+        let failed = ref 0 in
         List.iteri
           (fun i path ->
-            let source = read_file path in
-            let r = Core.Incremental.compile ~strict config source in
-            let s = r.stats in
-            Fmt.pr "[%d/%d] %-20s %d/%d loops parallel   reuse %5.1f%% (%d/%d analysis lookups)@."
-              (i + 1) (List.length paths) path
-              (List.length (Core.Pipeline.parallel_loops r.pipeline))
-              (List.length r.pipeline.loops)
-              (100.0 *. s.st_reuse_rate) s.st_hits s.st_lookups;
-            incidents := !incidents + List.length r.pipeline.incidents;
-            List.iter
-              (fun inc -> Fmt.pr "    %a@." Core.Pipeline.pp_incident inc)
-              r.pipeline.incidents;
-            if explain_reuse then
-              Fmt.pr "%a" Valid.Trace.pp_reuse_table r.pipeline.reuse;
-            if emit then print_string (Core.Pipeline.output_source r.pipeline);
-            if check then begin
-              let fresh = Core.Incremental.scratch ~strict config source in
-              match
-                Core.Incremental.diverges ~incremental:r.outcome
-                  ~scratch:fresh.outcome
-              with
-              | [] -> Fmt.pr "    check: identical to from-scratch compile@."
-              | ds ->
-                incr divergent;
-                Fmt.epr "    check: DIVERGED from from-scratch compile:@.";
-                List.iter (fun d -> Fmt.epr "      %s@." d) ds
-            end)
+            (* per-file containment: an unreadable or unparseable path
+               fails THIS file; the session keeps serving the rest *)
+            match Serve.Local.compile_path ~strict ~check config path with
+            | Error msg ->
+              incr failed;
+              Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1) (List.length paths)
+                path msg
+            | Ok c ->
+              let r = c.lc_result in
+              let s = r.stats in
+              Fmt.pr "[%d/%d] %-20s %d/%d loops parallel   reuse %5.1f%% (%d/%d analysis lookups)@."
+                (i + 1) (List.length paths) path
+                (List.length (Core.Pipeline.parallel_loops r.pipeline))
+                (List.length r.pipeline.loops)
+                (100.0 *. s.st_reuse_rate) s.st_hits s.st_lookups;
+              incidents := !incidents + List.length r.pipeline.incidents;
+              List.iter
+                (fun inc -> Fmt.pr "    %a@." Core.Pipeline.pp_incident inc)
+                r.pipeline.incidents;
+              if explain_reuse then
+                Fmt.pr "%a" Valid.Trace.pp_reuse_table r.pipeline.reuse;
+              if emit then print_string (Core.Pipeline.output_source r.pipeline);
+              if check then begin
+                match c.lc_check_divergences with
+                | [] -> Fmt.pr "    check: identical to from-scratch compile@."
+                | ds ->
+                  incr divergent;
+                  Fmt.epr "    check: DIVERGED from from-scratch compile:@.";
+                  List.iter (fun d -> Fmt.epr "      %s@." d) ds
+              end)
           paths;
         if !divergent > 0 then begin
           Fmt.epr "polaris: serve: %d of %d compiles diverged@." !divergent
+            (List.length paths);
+          exit 1
+        end;
+        if !failed > 0 then begin
+          Fmt.epr "polaris: serve: %d of %d files failed@." !failed
             (List.length paths);
           exit 1
         end;
@@ -441,6 +454,188 @@ let serve_cmd =
     Term.(
       const go $ files $ baseline $ check $ emit $ strict_flag $ jobs_flag
       $ explain_reuse_flag)
+
+(* ----- daemon ----- *)
+
+let socket_flag =
+  Arg.(
+    value
+    & opt string (Serve.Daemon.default_socket ())
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket the daemon listens on (default \
+           \\$(b,POLARIS_SOCKET) or a per-user path under the temp dir)")
+
+let daemon_cmd =
+  let store =
+    Arg.(
+      value
+      & opt (some string) Util.Env.cache_dir
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Directory of the persistent analysis store (default \
+             \\$(b,POLARIS_CACHE_DIR); no persistence when unset — facts \
+             are still shared across sessions in memory)")
+  in
+  let max_mb =
+    Arg.(
+      value
+      & opt int Util.Env.max_cache_mb
+      & info [ "max-cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Size bound of the persistent store; least-recently-used \
+             facts are evicted beyond it (default \
+             \\$(b,POLARIS_MAX_CACHE_MB) or 64)")
+  in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Serve the baseline (PFA-like) pipeline")
+  in
+  let budget_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-steps" ] ~docv:"N"
+          ~doc:
+            "Per-request analysis fuel: a request that exhausts it gets \
+             safe serial verdicts instead of stalling other sessions")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request analysis deadline (same degradation as fuel)")
+  in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Append one JSON line per request (latency, reuse, incidents)")
+  in
+  let go socket store max_mb baseline budget_steps deadline log jobs =
+    with_errors (fun () ->
+        let cfg =
+          { (Serve.Daemon.default_cfg ()) with
+            d_socket = socket;
+            d_store_dir = store;
+            d_max_cache_mb = max_mb;
+            d_baseline = baseline;
+            d_jobs = jobs;
+            d_budget_steps = budget_steps;
+            d_deadline_s = deadline;
+            d_log = log }
+        in
+        let report =
+          Serve.Daemon.run ~signals:true
+            ~on_ready:(fun () ->
+              Fmt.pr "polaris daemon listening on %s@." socket;
+              (match store with
+              | Some d -> Fmt.pr "persistent store: %s (%d MB bound)@." d max_mb
+              | None -> Fmt.pr "persistent store: disabled@.");
+              Fmt.pr "stop with SIGINT/SIGTERM or `polaris client --shutdown'@.")
+            cfg
+        in
+        Fmt.pr "polaris daemon: served %d request(s) over %d session(s)@."
+          report.r_requests report.r_sessions)
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Run the compile daemon: a multi-client server whose sessions \
+          share one persistent analysis store")
+    Term.(
+      const go $ socket_flag $ store $ max_mb $ baseline $ budget_steps
+      $ deadline $ log $ jobs_flag)
+
+(* ----- client ----- *)
+
+let client_cmd =
+  let files =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Fortran source files to compile on the daemon")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Ask the daemon to verify each compile against a from-scratch one")
+  in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Use the baseline (PFA-like) pipeline")
+  in
+  let emit =
+    Arg.(value & flag & info [ "emit" ] ~doc:"Print each compile's transformed source")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's stats report (JSON)")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain, flush and exit")
+  in
+  let go socket files check baseline emit stats shutdown =
+    with_errors (fun () ->
+        if files = [] && not (stats || shutdown) then begin
+          Fmt.epr "polaris: client: nothing to do (no FILE, no --stats, no --shutdown)@.";
+          exit 1
+        end;
+        match Serve.Client.connect socket with
+        | Error m ->
+          Fmt.epr "polaris: %s@." m;
+          exit 1
+        | Ok c ->
+          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+          let failed = ref 0 and divergent = ref 0 in
+          List.iteri
+            (fun i path ->
+              match Serve.Client.compile_path c ~check ~baseline path with
+              | Error msg ->
+                incr failed;
+                Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1)
+                  (List.length files) path msg
+              | Ok (r : Serve.Protocol.compile_reply) ->
+                Fmt.pr
+                  "[%d/%d] %-20s %d verdict(s)   shared reuse %5.1f%% \
+                   (%d/%d)   %.1f ms@."
+                  (i + 1) (List.length files) path
+                  (List.length r.co_verdicts)
+                  (100.0
+                  *. (if r.co_shared_lookups = 0 then 0.0
+                      else
+                        float_of_int r.co_shared_hits
+                        /. float_of_int r.co_shared_lookups))
+                  r.co_shared_hits r.co_shared_lookups r.co_wall_ms;
+                if emit then print_string r.co_output;
+                if r.co_check_divergences <> [] then begin
+                  incr divergent;
+                  Fmt.epr "    check: DIVERGED on the daemon:@.";
+                  List.iter
+                    (fun d -> Fmt.epr "      %s@." d)
+                    r.co_check_divergences
+                end)
+            files;
+          (if stats then
+             match Serve.Client.stats c with
+             | Ok j -> Fmt.pr "%s@." j
+             | Error m ->
+               incr failed;
+               Fmt.epr "polaris: stats: %s@." m);
+          (if shutdown then
+             match Serve.Client.shutdown c with
+             | Ok () -> Fmt.pr "daemon is shutting down@."
+             | Error m ->
+               incr failed;
+               Fmt.epr "polaris: shutdown: %s@." m);
+          if !divergent > 0 || !failed > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Compile files on a running polaris daemon (thin client)")
+    Term.(
+      const go $ socket_flag $ files $ check $ baseline $ emit $ stats
+      $ shutdown)
 
 (* ----- chaos ----- *)
 
@@ -491,4 +686,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "polaris" ~doc)
-          [ compile_cmd; run_cmd; suite_cmd; validate_cmd; serve_cmd; chaos_cmd ]))
+          [ compile_cmd; run_cmd; suite_cmd; validate_cmd; serve_cmd;
+            daemon_cmd; client_cmd; chaos_cmd ]))

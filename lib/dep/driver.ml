@@ -163,8 +163,11 @@ type verdict_key = {
 let loop_fingerprint (l : Loops.loop) : loop_fingerprint =
   (l.index, l.lo, l.hi, l.step)
 
+(* persist: the key is a pure content fingerprint and the value a pure
+   (verdict, step-cost) pair, so entries survive to the daemon's
+   on-disk store and re-hit in later processes *)
 let verdict_cache : (verdict_key, verdict * int) Cache.t =
-  Cache.create ~name:"dep.verdict" ()
+  Cache.create ~name:"dep.verdict" ~persist:true ()
 
 (* ------------------------------------------------------------------ *)
 (* Analysis budgets                                                    *)

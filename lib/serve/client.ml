@@ -1,0 +1,97 @@
+(** The thin daemon client: connect, frame requests, decode responses.
+
+    The client owns the filesystem side of a session — it reads source
+    files and ships their {e text} to the daemon — so the daemon never
+    depends on the client's working directory.  A file that cannot be
+    read is a per-file failure: the session continues with the rest and
+    the overall exit is non-zero, mirroring `polaris serve`. *)
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* carry-over bytes between [recv] calls *)
+}
+
+(** Connect to the daemon at [socket].  Retries for up to [wait_s]
+    (default 5s) while the socket does not exist yet or refuses — the
+    common race when the daemon was just spawned. *)
+let connect ?(wait_s = 5.0) (socket : string) : (t, string) result =
+  let deadline = Unix.gettimeofday () +. wait_s in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok { fd; buf = Buffer.create 4096 }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      attempt ()
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to daemon at %s: %s" socket
+           (Unix.error_message e))
+  in
+  attempt ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(** Send one request; the response arrives via {!recv}.  Pipelining is
+    allowed: the daemon answers strictly in request order. *)
+let send t (req : Protocol.request) =
+  Protocol.send t.fd (Protocol.encode_request req)
+
+(** Receive the next response; [Error] on EOF or a protocol violation. *)
+let recv t : (Protocol.response, string) result =
+  match Protocol.recv t.fd t.buf with
+  | None -> Error "daemon closed the connection"
+  | Some payload -> (
+    match Protocol.decode_response payload with
+    | r -> Ok r
+    | exception Protocol.Malformed m -> Error ("malformed response: " ^ m))
+  | exception Protocol.Malformed m -> Error ("broken connection: " ^ m)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let roundtrip t req =
+  match send t req with
+  | () -> recv t
+  | exception Protocol.Malformed m -> Error ("send failed: " ^ m)
+  | exception Unix.Unix_error (e, _, _) -> Error ("send failed: " ^ Unix.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Convenience requests                                                *)
+
+let compile_source t ?(check = false) ?(baseline = false) ~label source :
+    (Protocol.compile_reply, string) result =
+  match
+    roundtrip t
+      (Protocol.Compile
+         { cr_label = label; cr_source = source; cr_check = check;
+           cr_baseline = baseline })
+  with
+  | Ok (Protocol.Compiled r) -> Ok r
+  | Ok (Protocol.Error_r m) -> Error m
+  | Ok _ -> Error "unexpected response kind"
+  | Error m -> Error m
+
+(** Read [path] locally and compile it on the daemon.  An unreadable
+    path is a per-file [Error], never a session abort. *)
+let compile_path t ?check ?baseline (path : string) :
+    (Protocol.compile_reply, string) result =
+  match Local.read_file path with
+  | exception Sys_error msg -> Error msg
+  | source -> compile_source t ?check ?baseline ~label:path source
+
+let stats t : (string, string) result =
+  match roundtrip t Protocol.Stats with
+  | Ok (Protocol.Stats_reply j) -> Ok j
+  | Ok (Protocol.Error_r m) -> Error m
+  | Ok _ -> Error "unexpected response kind"
+  | Error m -> Error m
+
+(** Ask the daemon to drain, flush and exit. *)
+let shutdown t : (unit, string) result =
+  match roundtrip t Protocol.Shutdown with
+  | Ok Protocol.Bye -> Ok ()
+  | Ok (Protocol.Error_r m) -> Error m
+  | Ok _ -> Error "unexpected response kind"
+  | Error m -> Error m

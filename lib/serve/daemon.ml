@@ -1,0 +1,341 @@
+(** The Polaris compile daemon: a long-lived, multi-client compilation
+    server over a unix-domain socket.
+
+    Architecture (DESIGN.md §9): one server loop multiplexes every
+    client session with [Unix.select]; requests are decoded from
+    length-prefixed frames ({!Protocol}) and executed {e one at a time,
+    in arrival order} — the determinism anchor — while each compile
+    internally fans its dependence analysis and validation across the
+    {!Util.Pool} worker domains ([-j N]).  The analysis facts live in
+    the process-wide content-addressed caches, so every session warms
+    every other session; with a {!Store} attached
+    ([POLARIS_CACHE_DIR]) the persistent subset also survives daemon
+    restarts, bounded by LRU eviction and guarded by integrity checks.
+
+    Fault containment is per request and per session: a compile that
+    faults (bad source, contained pass incident, exhausted budget)
+    answers with an error or degraded-but-sound result and the session
+    lives on; a session that breaks the framing protocol is closed
+    alone; SIGINT/SIGTERM drain in-flight requests, flush the store
+    and return cleanly.  One greedy client cannot starve the fleet:
+    every request draws its own analysis budget
+    ([--budget-steps]/[--deadline]), so a pathological source degrades
+    its own verdicts to serial and nothing else. *)
+
+type cfg = {
+  d_socket : string;            (** unix-domain socket path *)
+  d_store_dir : string option;  (** persistent store directory (None = off) *)
+  d_max_cache_mb : int;
+  d_baseline : bool;            (** serve the baseline pipeline instead *)
+  d_jobs : int;                 (** worker domains per compile *)
+  d_budget_steps : int option;  (** per-request analysis fuel *)
+  d_deadline_s : float option;  (** per-request analysis deadline *)
+  d_log : string option;        (** JSON-lines server log path *)
+  d_poll_s : float;             (** select timeout: stop-flag latency bound *)
+}
+
+let default_socket () =
+  match Util.Env.socket with
+  | Some p -> p
+  | None ->
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "polaris-%d.sock" (Unix.getuid ()))
+
+let default_cfg () =
+  { d_socket = default_socket ();
+    d_store_dir = Util.Env.cache_dir;
+    d_max_cache_mb = Util.Env.max_cache_mb;
+    d_baseline = false;
+    d_jobs = Util.Pool.jobs ();
+    d_budget_steps = None;
+    d_deadline_s = None;
+    d_log = None;
+    d_poll_s = 0.1 }
+
+(** What {!run} hands back when the loop ends. *)
+type report = {
+  r_graceful : bool;      (** drained and flushed (signal or Shutdown) *)
+  r_requests : int;
+  r_sessions : int;
+  r_stats_json : string;  (** final server stats (same shape as [Stats]) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;        (* bytes received, frames not yet peeled *)
+  c_session : Metrics.session;
+  mutable c_open : bool;
+}
+
+let close_conn c =
+  if c.c_open then begin
+    c.c_open <- false;
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+
+type state = {
+  st_cfg : cfg;
+  st_config : Core.Config.t;
+  st_store : Store.t option;
+  st_sv : Metrics.server;
+  mutable st_sessions : Metrics.session list;  (* every session ever *)
+  mutable st_stop : bool;  (* graceful shutdown requested *)
+  st_log : out_channel option;
+}
+
+let log_line st json =
+  match st.st_log with
+  | None -> ()
+  | Some oc ->
+    output_string oc json;
+    output_char oc '\n';
+    flush oc
+
+let stats_json st =
+  Metrics.server_json ~now:(Unix.gettimeofday ()) st.st_sv st.st_sessions
+    (Option.map Store.stats_json st.st_store)
+
+let handle_compile st (sess : Metrics.session) (c : Protocol.compile_req) :
+    Protocol.response =
+  let config =
+    if c.cr_baseline then Core.Config.baseline ~procs:8 () else st.st_config
+  in
+  match
+    Local.compile_source ?budget_steps:st.st_cfg.d_budget_steps
+      ?deadline_s:st.st_cfg.d_deadline_s ~check:c.cr_check config c.cr_source
+  with
+  | compiled ->
+    let r = compiled.lc_result in
+    let incidents = List.length r.pipeline.incidents in
+    sess.ss_incidents <- sess.ss_incidents + incidents;
+    st.st_sv.sv_incidents <- st.st_sv.sv_incidents + incidents;
+    sess.ss_shared_hits <- sess.ss_shared_hits + compiled.lc_shared_hits;
+    sess.ss_shared_lookups <- sess.ss_shared_lookups + compiled.lc_shared_lookups;
+    sess.ss_tracked_hits <- sess.ss_tracked_hits + r.stats.st_hits;
+    sess.ss_tracked_lookups <- sess.ss_tracked_lookups + r.stats.st_lookups;
+    Protocol.Compiled
+      { co_label = c.cr_label;
+        co_output = r.outcome.oc_output;
+        co_verdicts = compiled.lc_verdicts;
+        co_incidents = incidents;
+        co_reuse_rate = r.stats.st_reuse_rate;
+        co_shared_hits = compiled.lc_shared_hits;
+        co_shared_lookups = compiled.lc_shared_lookups;
+        co_wall_ms = 1000.0 *. compiled.lc_wall_s;
+        co_check_divergences = compiled.lc_check_divergences }
+  | exception Frontend.Lexer.Error m ->
+    Protocol.Error_r ("lexical error: " ^ m)
+  | exception Frontend.Parser.Error m ->
+    Protocol.Error_r ("syntax error: " ^ m)
+  | exception e ->
+    (* contained: the request failed, the session and server live on *)
+    Protocol.Error_r ("compile failed: " ^ Printexc.to_string e)
+
+let handle_request st conn (req : Protocol.request) : Protocol.response =
+  let sess = conn.c_session in
+  let t0 = Unix.gettimeofday () in
+  sess.ss_requests <- sess.ss_requests + 1;
+  st.st_sv.sv_requests <- st.st_sv.sv_requests + 1;
+  let resp =
+    match req with
+    | Protocol.Compile c ->
+      let r = handle_compile st sess c in
+      (match r with
+      | Protocol.Error_r _ ->
+        sess.ss_errors <- sess.ss_errors + 1;
+        st.st_sv.sv_errors <- st.st_sv.sv_errors + 1
+      | _ -> ());
+      r
+    | Protocol.Stats ->
+      Option.iter Store.flush st.st_store;
+      Protocol.Stats_reply (stats_json st)
+    | Protocol.Shutdown ->
+      st.st_stop <- true;
+      Protocol.Bye
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Metrics.add sess.ss_lat dt;
+  Metrics.add st.st_sv.sv_lat dt;
+  (let open Valid.Trace.Json in
+   log_line st
+     (obj
+        [ ("event", str "request");
+          ("session", int sess.ss_id);
+          ("seq", int sess.ss_requests);
+          ( "kind",
+            str
+              (match req with
+              | Protocol.Compile c -> "compile " ^ c.cr_label
+              | Protocol.Stats -> "stats"
+              | Protocol.Shutdown -> "shutdown") );
+          ("wall_ms", float (1000.0 *. dt));
+          ( "shared_hit_rate",
+            float (Metrics.rate_of sess.ss_shared_hits sess.ss_shared_lookups) );
+          ("incidents", int sess.ss_incidents);
+          ("errors", int sess.ss_errors) ]));
+  resp
+
+(* peel and answer every complete frame already buffered on [conn];
+   closes the connection on protocol violations (framing is
+   unrecoverable) or when the peer is gone *)
+let drain_frames st conn =
+  let continue = ref true in
+  while !continue && conn.c_open do
+    match Protocol.peel conn.c_buf with
+    | None -> continue := false
+    | Some payload -> (
+      match Protocol.decode_request payload with
+      | req -> (
+        let resp = handle_request st conn req in
+        match Protocol.send conn.c_fd (Protocol.encode_response resp) with
+        | () -> if resp = Protocol.Bye then continue := false
+        | exception (Unix.Unix_error _ | Protocol.Malformed _) ->
+          close_conn conn)
+      | exception Protocol.Malformed m ->
+        conn.c_session.ss_errors <- conn.c_session.ss_errors + 1;
+        st.st_sv.sv_errors <- st.st_sv.sv_errors + 1;
+        (try Protocol.send conn.c_fd (Protocol.encode_response (Protocol.Error_r m))
+         with Unix.Unix_error _ | Protocol.Malformed _ -> ());
+        close_conn conn)
+    | exception Protocol.Malformed m ->
+      conn.c_session.ss_errors <- conn.c_session.ss_errors + 1;
+      st.st_sv.sv_errors <- st.st_sv.sv_errors + 1;
+      (try Protocol.send conn.c_fd (Protocol.encode_response (Protocol.Error_r m))
+       with Unix.Unix_error _ | Protocol.Malformed _ -> ());
+      close_conn conn
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The server loop                                                     *)
+
+(** Run the daemon until a [Shutdown] request, a SIGINT/SIGTERM (when
+    [signals]), or [stop] is set externally.  Returns after draining
+    in-flight requests, flushing the store and removing the socket.
+    [on_ready] fires once the socket is listening (tests and the bench
+    use it to gate client connects). *)
+let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
+    report =
+  Util.Pool.set_jobs cfg.d_jobs;
+  let store =
+    Option.map
+      (fun dir ->
+        Store.open_store ~dir ~max_bytes:(cfg.d_max_cache_mb * 1024 * 1024) ())
+      cfg.d_store_dir
+  in
+  let prev_backing = Option.map Store.install store in
+  let log_oc = Option.map open_out cfg.d_log in
+  (* a client that disappears mid-write must not kill the server *)
+  let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let prev_handlers =
+    if signals then
+      let h = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Some (Sys.signal Sys.sigint h, Sys.signal Sys.sigterm h)
+    else None
+  in
+  (if Sys.file_exists cfg.d_socket then
+     try Unix.unlink cfg.d_socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let st =
+    { st_cfg = cfg;
+      st_config =
+        (if cfg.d_baseline then Core.Config.baseline ~procs:8 ()
+         else Core.Config.polaris ~procs:8 ());
+      st_store = store;
+      st_sv = Metrics.server ~now:(Unix.gettimeofday ());
+      st_sessions = [];
+      st_stop = false;
+      st_log = log_oc }
+  in
+  let conns : conn list ref = ref [] in
+  let cleanup () =
+    List.iter close_conn !conns;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink cfg.d_socket with Unix.Unix_error _ -> ());
+    Option.iter Store.flush store;
+    Option.iter (fun prev -> Store.uninstall prev) prev_backing;
+    (match prev_handlers with
+    | Some (hi, ht) ->
+      ignore (Sys.signal Sys.sigint hi);
+      ignore (Sys.signal Sys.sigterm ht)
+    | None -> ());
+    ignore (Sys.signal Sys.sigpipe prev_sigpipe);
+    Option.iter close_out log_oc
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.d_socket);
+  Unix.listen listen_fd 64;
+  (let open Valid.Trace.Json in
+   log_line st
+     (obj
+        [ ("event", str "listening");
+          ("socket", str cfg.d_socket);
+          ( "store",
+            match cfg.d_store_dir with Some d -> str d | None -> null ) ]));
+  Option.iter (fun f -> f ()) on_ready;
+  let chunk = Bytes.create 65536 in
+  let next_session = ref 0 in
+  while (not st.st_stop) && not (Atomic.get stop) do
+    let fds = listen_fd :: List.map (fun c -> c.c_fd) !conns in
+    match Unix.select fds [] [] cfg.d_poll_s with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      if List.mem listen_fd readable then begin
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          incr next_session;
+          st.st_sv.sv_sessions <- st.st_sv.sv_sessions + 1;
+          let sess = Metrics.session !next_session in
+          st.st_sessions <- sess :: st.st_sessions;
+          conns :=
+            !conns
+            @ [ { c_fd = fd; c_buf = Buffer.create 4096; c_session = sess;
+                  c_open = true } ]
+        | exception Unix.Unix_error _ -> ()
+      end;
+      List.iter
+        (fun c ->
+          if c.c_open && List.mem c.c_fd readable then
+            match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+            | 0 -> close_conn c
+            | n ->
+              Buffer.add_subbytes c.c_buf chunk 0 n;
+              drain_frames st c
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              ->
+              close_conn c
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        !conns;
+      conns := List.filter (fun c -> c.c_open) !conns
+  done;
+  (* graceful drain: answer every request already sent (one last
+     non-blocking read picks up bytes in flight — nothing waits for
+     new work), then flush and go down *)
+  List.iter
+    (fun c ->
+      if c.c_open then begin
+        (try
+           Unix.set_nonblock c.c_fd;
+           let continue = ref true in
+           while !continue do
+             match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+             | 0 -> continue := false
+             | n -> Buffer.add_subbytes c.c_buf chunk 0 n
+             | exception Unix.Unix_error _ -> continue := false
+           done
+         with Unix.Unix_error _ -> ());
+        drain_frames st c
+      end)
+    !conns;
+  let final = stats_json st in
+  (let open Valid.Trace.Json in
+   log_line st (obj [ ("event", str "shutdown"); ("stats", final) ]));
+  { r_graceful = true;
+    r_requests = st.st_sv.sv_requests;
+    r_sessions = st.st_sv.sv_sessions;
+    r_stats_json = final }

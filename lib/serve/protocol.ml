@@ -1,0 +1,300 @@
+(** Wire protocol of the compile daemon.
+
+    One connection is one client {e session}: a sequence of
+    length-prefixed request frames, each answered by exactly one
+    length-prefixed response frame, in order.  A frame is a 4-byte
+    big-endian payload length followed by the payload; inside a payload
+    every field is explicitly encoded (tag bytes, length-prefixed
+    strings, 8-byte IEEE-754 floats), so the format is
+    binary-deterministic, independent of [Marshal], and safe to parse
+    from untrusted peers — every decoder validates lengths and tags and
+    raises {!Malformed} instead of reading out of bounds.
+
+    Requests: [Compile] carries the {e source text} (the client reads
+    the file, keeping the daemon independent of the client's
+    filesystem), a label for reporting, and a [check] flag asking the
+    daemon to verify the compile against a from-scratch one.  [Stats]
+    asks for the server's observability report.  [Shutdown] asks for a
+    graceful drain-flush-exit.
+
+    Responses carry everything a client needs to reproduce the
+    compiler's one-shot behaviour byte-for-byte: the annotated output
+    source, the sid-masked per-loop verdict lines, incident counts,
+    and the per-request reuse telemetry (tracked-analysis rate and
+    shared persistent-cache rate) the bench aggregates. *)
+
+exception Malformed of string
+(** A frame or payload that violates the protocol.  Per-connection
+    fault containment: the daemon answers with {!Error_r} and closes
+    that session only. *)
+
+let max_frame = 64 * 1024 * 1024
+(** Ceiling on one frame's payload (64 MB): a corrupt or hostile length
+    prefix must not make the server allocate unboundedly. *)
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+
+type compile_req = {
+  cr_label : string;   (** client-side name, e.g. the file path *)
+  cr_source : string;  (** full Fortran source text *)
+  cr_check : bool;     (** verify against a from-scratch compile *)
+  cr_baseline : bool;  (** use the baseline (PFA-like) pipeline *)
+}
+
+type request = Compile of compile_req | Stats | Shutdown
+
+type compile_reply = {
+  co_label : string;
+  co_output : string;          (** annotated output source *)
+  co_verdicts : string list;   (** sid-masked per-loop verdict lines *)
+  co_incidents : int;          (** contained pass faults of this compile *)
+  co_reuse_rate : float;       (** tracked-analysis reuse (hits/lookups) *)
+  co_shared_hits : int;        (** hits in the persistent (shared) caches *)
+  co_shared_lookups : int;
+  co_wall_ms : float;          (** server-side wall time of the compile *)
+  co_check_divergences : string list;
+      (** non-empty only when [cr_check] was set and the incremental
+          compile diverged from scratch — a server-side contract
+          violation the client must surface *)
+}
+
+type response =
+  | Compiled of compile_reply
+  | Stats_reply of string  (** the server's observability report, JSON *)
+  | Error_r of string      (** request-contained failure (bad source, bad frame) *)
+  | Bye                    (** shutdown acknowledged; the server is draining *)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive encoders / decoders                                       *)
+
+let add_u32 buf n =
+  if n < 0 || n > max_frame then
+    invalid_arg (Printf.sprintf "Protocol.add_u32: %d out of range" n);
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let add_str buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let add_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let add_list buf add xs =
+  add_u32 buf (List.length xs);
+  List.iter (add buf) xs
+
+(* cursor-based reader over one payload string *)
+type cursor = { s : string; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > String.length c.s then
+    raise (Malformed (Printf.sprintf "truncated payload reading %s" what))
+
+let get_u8 c what =
+  need c 1 what;
+  let b = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let get_u32 c what =
+  need c 4 what;
+  let b i = Char.code c.s.[c.pos + i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.pos <- c.pos + 4;
+  if n > max_frame then
+    raise (Malformed (Printf.sprintf "%s length %d exceeds limit" what n));
+  n
+
+let get_str c what =
+  let n = get_u32 c what in
+  need c n what;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bool c what =
+  match get_u8 c what with
+  | 0 -> false
+  | 1 -> true
+  | b -> raise (Malformed (Printf.sprintf "%s: bad boolean byte %d" what b))
+
+let get_float c what =
+  need c 8 what;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code c.s.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  Int64.float_of_bits !bits
+
+let get_list c get what =
+  let n = get_u32 c what in
+  List.init n (fun _ -> get c what)
+
+let finished c what =
+  if c.pos <> String.length c.s then
+    raise
+      (Malformed
+         (Printf.sprintf "%s: %d trailing bytes" what
+            (String.length c.s - c.pos)))
+
+(* ------------------------------------------------------------------ *)
+(* Request / response payloads                                         *)
+
+let encode_request (r : request) : string =
+  let buf = Buffer.create 256 in
+  (match r with
+  | Compile c ->
+    Buffer.add_char buf 'C';
+    add_str buf c.cr_label;
+    add_bool buf c.cr_check;
+    add_bool buf c.cr_baseline;
+    add_str buf c.cr_source
+  | Stats -> Buffer.add_char buf 'S'
+  | Shutdown -> Buffer.add_char buf 'Q');
+  Buffer.contents buf
+
+let decode_request (payload : string) : request =
+  let c = { s = payload; pos = 0 } in
+  let r =
+    match Char.chr (get_u8 c "request tag") with
+    | 'C' ->
+      let cr_label = get_str c "compile label" in
+      let cr_check = get_bool c "compile check flag" in
+      let cr_baseline = get_bool c "compile baseline flag" in
+      let cr_source = get_str c "compile source" in
+      Compile { cr_label; cr_source; cr_check; cr_baseline }
+    | 'S' -> Stats
+    | 'Q' -> Shutdown
+    | t -> raise (Malformed (Printf.sprintf "unknown request tag %C" t))
+  in
+  finished c "request";
+  r
+
+let encode_response (r : response) : string =
+  let buf = Buffer.create 1024 in
+  (match r with
+  | Compiled o ->
+    Buffer.add_char buf 'R';
+    add_str buf o.co_label;
+    add_str buf o.co_output;
+    add_list buf add_str o.co_verdicts;
+    add_u32 buf o.co_incidents;
+    add_float buf o.co_reuse_rate;
+    add_u32 buf o.co_shared_hits;
+    add_u32 buf o.co_shared_lookups;
+    add_float buf o.co_wall_ms;
+    add_list buf add_str o.co_check_divergences
+  | Stats_reply json ->
+    Buffer.add_char buf 'T';
+    add_str buf json
+  | Error_r msg ->
+    Buffer.add_char buf 'E';
+    add_str buf msg
+  | Bye -> Buffer.add_char buf 'B');
+  Buffer.contents buf
+
+let decode_response (payload : string) : response =
+  let c = { s = payload; pos = 0 } in
+  let r =
+    match Char.chr (get_u8 c "response tag") with
+    | 'R' ->
+      let co_label = get_str c "reply label" in
+      let co_output = get_str c "reply output" in
+      let co_verdicts = get_list c get_str "reply verdicts" in
+      let co_incidents = get_u32 c "reply incidents" in
+      let co_reuse_rate = get_float c "reply reuse rate" in
+      let co_shared_hits = get_u32 c "reply shared hits" in
+      let co_shared_lookups = get_u32 c "reply shared lookups" in
+      let co_wall_ms = get_float c "reply wall" in
+      let co_check_divergences = get_list c get_str "reply divergences" in
+      Compiled
+        { co_label; co_output; co_verdicts; co_incidents; co_reuse_rate;
+          co_shared_hits; co_shared_lookups; co_wall_ms; co_check_divergences }
+    | 'T' -> Stats_reply (get_str c "stats json")
+    | 'E' -> Error_r (get_str c "error message")
+    | 'B' -> Bye
+    | t -> raise (Malformed (Printf.sprintf "unknown response tag %C" t))
+  in
+  finished c "response";
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+(** [frame payload]: the bytes to put on the wire. *)
+let frame (payload : string) : string =
+  let buf = Buffer.create (String.length payload + 4) in
+  add_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(** [peel buf]: if [buf] starts with a complete frame, remove and
+    return its payload; [None] while bytes are still missing.  Raises
+    {!Malformed} on an oversized length prefix — the connection's
+    framing is unrecoverable from that point. *)
+let peel (buf : Buffer.t) : string option =
+  let len = Buffer.length buf in
+  if len < 4 then None
+  else begin
+    let b i = Char.code (Buffer.nth buf i) in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > max_frame then
+      raise (Malformed (Printf.sprintf "frame length %d exceeds limit" n));
+    if len < 4 + n then None
+    else begin
+      let payload = Buffer.sub buf 4 n in
+      let rest = Buffer.sub buf (4 + n) (len - 4 - n) in
+      Buffer.clear buf;
+      Buffer.add_string buf rest;
+      Some payload
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Blocking I/O helpers (client side and tests)                        *)
+
+let write_all fd (s : string) =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.write fd b !off (n - !off) in
+    if k = 0 then raise (Malformed "connection closed mid-write");
+    off := !off + k
+  done
+
+(** Send one message (request or response payload) on [fd]. *)
+let send fd (payload : string) = write_all fd (frame payload)
+
+(** Receive one complete frame from [fd] (blocking); [None] on orderly
+    EOF at a frame boundary.  [buf] is the connection's carry-over
+    buffer: bytes of a following frame that arrive in the same read are
+    kept there for the next call. *)
+let recv fd (buf : Buffer.t) : string option =
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match peel buf with
+    | Some payload -> Some payload
+    | None -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+        if Buffer.length buf = 0 then None
+        else raise (Malformed "connection closed mid-frame")
+      | k ->
+        Buffer.add_subbytes buf chunk 0 k;
+        loop ())
+  in
+  loop ()

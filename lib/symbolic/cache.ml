@@ -44,6 +44,7 @@
 open Util
 
 type ('k, 'v) t = {
+  name : string;
   table : ('k, 'v) Hashtbl.t;
       (** shared store; read-only while a parallel phase is running *)
   shards : ('k, 'v) Hashtbl.t option array;
@@ -51,12 +52,19 @@ type ('k, 'v) t = {
           phase and drained by the registered merge hook *)
   stats : Cachectl.stats;
   equal_result : 'v -> 'v -> bool;
+  persist : bool;
+      (** entries are content-addressed pure data: mirror them in the
+          {!Util.Cachectl.backing} store when one is installed *)
 }
 
 (** [create ~name ()] registers a cache with {!Util.Cachectl} under
     [name].  [equal_result] (default structural [=]) is only used by the
-    debug cross-check. *)
-let create ~name ?(equal_result = fun a b -> a = b) () =
+    debug cross-check.  [persist] declares every entry a pure function
+    of a content-addressed key (no physical pointers, no validity
+    probe), so the entry may be spilled to a backing store and reloaded
+    by a {e different process} — only caches whose keys fingerprint the
+    IR content qualify. *)
+let create ~name ?(persist = false) ?(equal_result = fun a b -> a = b) () =
   let table = Hashtbl.create 1024 in
   let shards = Array.make Pool.max_jobs None in
   let clear_shards () = Array.fill shards 0 (Array.length shards) None in
@@ -72,13 +80,13 @@ let create ~name ?(equal_result = fun a b -> a = b) () =
     clear_shards ()
   in
   let stats =
-    Cachectl.register ~name ~merge
+    Cachectl.register ~name ~merge ~persist
       ~clear:(fun () ->
         Hashtbl.reset table;
         clear_shards ())
       ()
   in
-  { table; shards; stats; equal_result }
+  { name; table; shards; stats; equal_result; persist }
 
 (* shard table of the current task's slot, created on first write.
    Only ever touched from that slot's domain while the phase runs, and
@@ -91,21 +99,67 @@ let shard c i =
     c.shards.(i) <- Some t;
     t
 
+(* Canonical key bytes for the backing store.  [No_sharing] expands
+   shared subtrees, so two structurally equal keys — e.g. an interned
+   and a non-interned expression — marshal to identical bytes and hit
+   the same entry.  All key shapes here are acyclic pure data. *)
+let key_bytes key = Marshal.to_string key [ Marshal.No_sharing ]
+
+(* Consult the process-wide backing store (daemon persistence).  A hit
+   is promoted into this process's table — or, mid-parallel-phase, into
+   the task's shard, since the shared table is read-only then — so the
+   deserialization cost is paid once per key per process.  Bytes in the
+   store were written by this same binary for this same cache name
+   (enforced by the store's integrity header), so the unmarshal is
+   type-correct; a truncated payload raises and is treated as a miss. *)
+let backing_find c key =
+  if not c.persist then None
+  else
+    match !Cachectl.backing with
+    | None -> None
+    | Some bk -> (
+      match bk.Cachectl.bk_lookup ~name:c.name ~key:(key_bytes key) with
+      | None -> None
+      | Some data -> (
+        match (Marshal.from_string data 0 : 'v) with
+        | v ->
+          (match Pool.slot () with
+          | None -> Hashtbl.replace c.table key v
+          | Some i -> Hashtbl.replace (shard c i) key v);
+          Some v
+        | exception _ -> None))
+
 let find_opt c key =
   match Hashtbl.find_opt c.table key with
   | Some _ as r -> r
   | None -> (
-    match Pool.slot () with
-    | None -> None
-    | Some i -> (
-      match c.shards.(i) with
-      | Some t -> Hashtbl.find_opt t key
-      | None -> None))
+    match
+      match Pool.slot () with
+      | None -> None
+      | Some i -> (
+        match c.shards.(i) with
+        | Some t -> Hashtbl.find_opt t key
+        | None -> None)
+    with
+    | Some _ as r -> r
+    | None -> backing_find c key)
+
+(* write-through: a freshly computed entry of a persistent cache is
+   mirrored to the backing store (the store serializes internally and
+   is domain-safe, so this is sound from worker tasks too) *)
+let backing_insert c key v =
+  if c.persist then
+    match !Cachectl.backing with
+    | None -> ()
+    | Some bk ->
+      bk.Cachectl.bk_insert ~name:c.name ~key:(key_bytes key)
+        ~data:(Marshal.to_string v [])
 
 let store add_or_replace c key v =
-  match Pool.slot () with
+  (match Pool.slot () with
   | None -> add_or_replace c.table key v
-  | Some i -> add_or_replace (shard c i) key v
+  | Some i -> add_or_replace (shard c i) key v);
+  backing_insert c key v
 
 let add c key v = store Hashtbl.add c key v
 let replace c key v = store Hashtbl.replace c key v

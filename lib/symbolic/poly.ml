@@ -166,7 +166,8 @@ let eval (lookup : Atom.t -> Rat.t option) (p : t) : Rat.t option =
 
 open Fir
 
-let of_expr_cache : (Ast.expr, t) Cache.t = Cache.create ~name:"poly.of_expr" ()
+let of_expr_cache : (Ast.expr, t) Cache.t =
+  Cache.create ~name:"poly.of_expr" ~persist:true ()
 
 (** Translate an expression to a polynomial.  Non-polynomial structure
     (array elements, calls, symbolic powers, division by a non-constant)

@@ -58,21 +58,58 @@ let debug = ref Env.cache_debug
 let generation = ref 0
 let bump_generation () = incr generation
 
-let registry : (stats * (unit -> unit) * (unit -> unit) option) list ref =
-  ref []
+(* ------------------------------------------------------------------ *)
+(* Backing store (the compile daemon's persistent analysis store)      *)
+
+(** A second-level store behind the content-addressed caches.  Keys and
+    values are opaque byte strings (the cache layer marshals them); the
+    [name] namespaces entries per cache.  Installed by
+    [Serve.Store.install] when a daemon runs with [POLARIS_CACHE_DIR];
+    absent in ordinary one-shot compiles.  Implementations must be
+    domain-safe: during a parallel phase worker domains look up and
+    insert concurrently. *)
+type backing = {
+  bk_lookup : name:string -> key:string -> string option;
+  bk_insert : name:string -> key:string -> data:string -> unit;
+}
+
+let backing : backing option ref = ref None
+
+(** Install (or with [None] remove) the process-wide backing store. *)
+let set_backing b = backing := b
+
+type entry = {
+  e_stats : stats;
+  e_clear : unit -> unit;
+  e_merge : (unit -> unit) option;
+  e_persist : bool;
+}
+
+let registry : entry list ref = ref []
 
 (** [register ~name ~clear] enrolls a cache: returns its counters and
     remembers [clear] for {!clear_all}.  [merge], if given, folds the
     cache's per-slot shard tables into its shared store; the domain
     pool calls {!merge_shards} at the end of every parallel phase
     (caches with no sharding — e.g. the single-writer expression
-    intern pool — pass none). *)
-let register ~name ?merge ~clear () =
+    intern pool — pass none).  [persist] declares the cache's entries
+    content-addressed pure data, safe to spill to the {!backing}
+    store and reload in a later process. *)
+let register ~name ?merge ?(persist = false) ~clear () =
   let s =
     { cs_name = name; cs_hits = Atomic.make 0; cs_misses = Atomic.make 0 }
   in
-  registry := !registry @ [ (s, clear, merge) ];
+  registry :=
+    !registry @ [ { e_stats = s; e_clear = clear; e_merge = merge;
+                    e_persist = persist } ];
   s
+
+(** Names of the caches registered with [~persist:true] — the set the
+    daemon's persistent store shares across sessions and processes. *)
+let persistent_names () =
+  List.filter_map
+    (fun e -> if e.e_persist then Some e.e_stats.cs_name else None)
+    !registry
 
 let hit s = Atomic.incr s.cs_hits
 let miss s = Atomic.incr s.cs_misses
@@ -81,13 +118,15 @@ let miss s = Atomic.incr s.cs_misses
     sound at a sequential point (no task running); {!Util.Pool.map}
     calls it after each batch, on the submitting domain. *)
 let merge_shards () =
-  List.iter (fun (_, _, merge) -> Option.iter (fun f -> f ()) merge) !registry
+  List.iter (fun e -> Option.iter (fun f -> f ()) e.e_merge) !registry
 
 (** Current counters of every registered cache, as
     [(name, hits, misses)]. *)
 let snapshot () =
   List.map
-    (fun (s, _, _) -> (s.cs_name, Atomic.get s.cs_hits, Atomic.get s.cs_misses))
+    (fun e ->
+      (e.e_stats.cs_name, Atomic.get e.e_stats.cs_hits,
+       Atomic.get e.e_stats.cs_misses))
     !registry
 
 (** [delta ~base now]: per-cache counter growth since [base] (caches
@@ -103,10 +142,10 @@ let delta ~base now =
 (** Empty every registered cache and zero its counters. *)
 let clear_all () =
   List.iter
-    (fun (s, clear, _) ->
-      clear ();
-      Atomic.set s.cs_hits 0;
-      Atomic.set s.cs_misses 0)
+    (fun e ->
+      e.e_clear ();
+      Atomic.set e.e_stats.cs_hits 0;
+      Atomic.set e.e_stats.cs_misses 0)
     !registry
 
 (** [with_enabled b f] runs [f ()] with the master switch forced to

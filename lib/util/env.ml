@@ -38,6 +38,26 @@ let parse_flag raw : (bool, string) result =
       (Printf.sprintf "expected a boolean (1/0/true/false/yes/no/on/off), got %S"
          raw)
 
+(** [parse_mb raw]: a size in megabytes, [> 0].  Used for the
+    persistent-store bound [POLARIS_MAX_CACHE_MB]; zero, negative and
+    non-numeric values are rejected (a store bounded at 0 MB would
+    silently evict everything — if you want the store off, unset
+    [POLARIS_CACHE_DIR]). *)
+let parse_mb raw : (int, string) result =
+  match int_of_string_opt (String.trim raw) with
+  | None -> Error (Printf.sprintf "expected an integer (megabytes), got %S" raw)
+  | Some n when n < 1 ->
+    Error (Printf.sprintf "expected a size >= 1 MB, got %d" n)
+  | Some n -> Ok n
+
+(** [parse_path raw]: a filesystem path — any non-empty string after
+    trimming.  Used for [POLARIS_CACHE_DIR] and [POLARIS_SOCKET];
+    whitespace-only values are rejected rather than producing a daemon
+    that listens on "". *)
+let parse_path raw : (string, string) result =
+  let t = String.trim raw in
+  if t = "" then Error "expected a non-empty path" else Ok t
+
 let read var ~default parse =
   match Sys.getenv_opt var with
   | None -> default
@@ -56,3 +76,20 @@ let no_cache : bool = read "POLARIS_NO_CACHE" ~default:false parse_flag
 
 (** Parsed [POLARIS_CACHE_DEBUG] (default false). *)
 let cache_debug : bool = read "POLARIS_CACHE_DEBUG" ~default:false parse_flag
+
+(* option-valued knobs: absence is meaningful (feature off), so the
+   default is None and a malformed value warns and stays off *)
+let read_opt var parse =
+  read var ~default:None (fun raw -> Result.map Option.some (parse raw))
+
+(** Parsed [POLARIS_CACHE_DIR]: directory of the daemon's persistent
+    analysis store ([None] = persistence off). *)
+let cache_dir : string option = read_opt "POLARIS_CACHE_DIR" parse_path
+
+(** Parsed [POLARIS_MAX_CACHE_MB]: size bound of the persistent store
+    in megabytes (default 64). *)
+let max_cache_mb : int = read "POLARIS_MAX_CACHE_MB" ~default:64 parse_mb
+
+(** Parsed [POLARIS_SOCKET]: unix-domain socket path of the compile
+    daemon ([None] = the CLI's default path). *)
+let socket : string option = read_opt "POLARIS_SOCKET" parse_path

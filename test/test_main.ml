@@ -20,4 +20,5 @@ let () =
       ("chaos", Test_chaos.tests);
       ("cache", Test_cache.tests);
       ("pool", Test_pool.tests);
+      ("serve", Test_serve.tests);
       ("props", Test_props.tests) ]

@@ -1,0 +1,467 @@
+(* The compile daemon: wire protocol, persistent store (integrity +
+   eviction), per-file error containment of serve sessions, and the
+   daemon end to end over a real unix socket — including the graceful
+   SIGTERM drain. *)
+
+let smoke_source =
+  "      PROGRAM SMOKE\n\
+   \      INTEGER I, N\n\
+   \      PARAMETER (N = 16)\n\
+   \      REAL A(16), B(16)\n\
+   \      DO I = 1, N\n\
+   \        A(I) = I * 2.0\n\
+   \      ENDDO\n\
+   \      DO I = 1, N\n\
+   \        B(I) = A(I) + 1.0\n\
+   \      ENDDO\n\
+   \      PRINT *, B(1)\n\
+   \      END\n"
+
+let tmp_name base =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "polaris-test-%d-%s" (Unix.getpid ()) base)
+
+let rm_rf_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+
+let roundtrip_request r =
+  Serve.Protocol.decode_request (Serve.Protocol.encode_request r)
+
+let roundtrip_response r =
+  Serve.Protocol.decode_response (Serve.Protocol.encode_response r)
+
+let test_protocol_request_roundtrip () =
+  let reqs =
+    [ Serve.Protocol.Compile
+        { cr_label = "a.f"; cr_source = smoke_source; cr_check = true;
+          cr_baseline = false };
+      Serve.Protocol.Compile
+        { cr_label = ""; cr_source = ""; cr_check = false; cr_baseline = true };
+      Serve.Protocol.Stats; Serve.Protocol.Shutdown ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "request round-trips" true (roundtrip_request r = r))
+    reqs
+
+let test_protocol_response_roundtrip () =
+  let resps =
+    [ Serve.Protocol.Compiled
+        { co_label = "a.f"; co_output = "      END\n";
+          co_verdicts = [ "MAIN DO I PARALLEL -- x"; "MAIN DO J serial -- y" ];
+          co_incidents = 2; co_reuse_rate = 0.875; co_shared_hits = 13;
+          co_shared_lookups = 21; co_wall_ms = 1.25;
+          co_check_divergences = [ "output differs" ] };
+      Serve.Protocol.Stats_reply "{\"requests\":3}";
+      Serve.Protocol.Error_r "nope"; Serve.Protocol.Bye ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "response round-trips" true
+        (roundtrip_response r = r))
+    resps
+
+let test_protocol_rejects_malformed () =
+  let malformed f = match f () with
+    | exception Serve.Protocol.Malformed _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown request tag" true
+    (malformed (fun () -> Serve.Protocol.decode_request "Zjunk"));
+  Alcotest.(check bool) "empty request" true
+    (malformed (fun () -> Serve.Protocol.decode_request ""));
+  Alcotest.(check bool) "truncated compile payload" true
+    (malformed (fun () -> Serve.Protocol.decode_request "C\000\000\000\005ab"));
+  (* a valid payload with trailing garbage must not be silently accepted *)
+  let valid = Serve.Protocol.encode_request Serve.Protocol.Stats in
+  Alcotest.(check bool) "trailing bytes" true
+    (malformed (fun () -> Serve.Protocol.decode_request (valid ^ "x")));
+  (* an oversized frame length must be refused before allocation *)
+  let buf = Buffer.create 8 in
+  Buffer.add_string buf "\255\255\255\255rest";
+  Alcotest.(check bool) "oversized frame length" true
+    (malformed (fun () -> Serve.Protocol.peel buf))
+
+let test_protocol_peel_reassembles () =
+  let p1 = Serve.Protocol.encode_request Serve.Protocol.Stats in
+  let p2 =
+    Serve.Protocol.encode_request
+      (Serve.Protocol.Compile
+         { cr_label = "x"; cr_source = "y"; cr_check = false;
+           cr_baseline = false })
+  in
+  let wire = Serve.Protocol.frame p1 ^ Serve.Protocol.frame p2 in
+  let buf = Buffer.create 64 in
+  (* drip the bytes in: no frame until its last byte arrives, then both
+     frames peel in order from the same buffer *)
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Buffer.add_char buf ch;
+      match Serve.Protocol.peel buf with
+      | Some payload -> got := payload :: !got
+      | None -> ())
+    wire;
+  Alcotest.(check int) "two frames" 2 (List.length !got);
+  Alcotest.(check bool) "payloads in order" true (List.rev !got = [ p1; p2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Persistent store                                                    *)
+
+let test_store_roundtrip () =
+  let dir = tmp_name "store-rt" in
+  rm_rf_dir dir;
+  let s = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  Serve.Store.insert s ~name:"c1" ~key:"k1" ~data:"v1";
+  Serve.Store.insert s ~name:"c1" ~key:"k2" ~data:"v2";
+  Serve.Store.insert s ~name:"c2" ~key:"k1" ~data:"other";
+  Alcotest.(check (option string)) "hit" (Some "v1")
+    (Serve.Store.lookup s ~name:"c1" ~key:"k1");
+  Alcotest.(check (option string)) "names are namespaces" (Some "other")
+    (Serve.Store.lookup s ~name:"c2" ~key:"k1");
+  Alcotest.(check (option string)) "miss" None
+    (Serve.Store.lookup s ~name:"c1" ~key:"nope");
+  Serve.Store.flush s;
+  (* a different handle on the same directory sees everything *)
+  let s2 = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  Alcotest.(check int) "all entries reloaded" 3 (Serve.Store.entry_count s2);
+  Alcotest.(check (option string)) "persisted across open" (Some "v2")
+    (Serve.Store.lookup s2 ~name:"c1" ~key:"k2");
+  rm_rf_dir dir
+
+let flip_byte path pos =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.of_string (really_input_string ic n) in
+  close_in ic;
+  let pos = if pos < 0 then n + pos else pos in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_store_drops_corruption () =
+  let dir = tmp_name "store-corrupt" in
+  rm_rf_dir dir;
+  let s = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  for i = 1 to 10 do
+    Serve.Store.insert s ~name:"c" ~key:(Printf.sprintf "k%d" i)
+      ~data:(String.make 32 'x')
+  done;
+  Serve.Store.flush s;
+  let path = Filename.concat dir "analysis.store" in
+  (* garble the last entry's digest: that entry is dropped, the rest
+     load fine *)
+  flip_byte path (-1);
+  let s2 = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  Alcotest.(check int) "one entry dropped" 9 (Serve.Store.entry_count s2);
+  (* truncate mid-entry: framing breaks, the tail is abandoned, the
+     store still opens *)
+  Serve.Store.flush s;
+  let n = (Unix.stat path).st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (n - 10);
+  Unix.close fd;
+  let s3 = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  Alcotest.(check bool) "truncated tail dropped, rest kept" true
+    (Serve.Store.entry_count s3 < 10 && Serve.Store.entry_count s3 >= 1);
+  (* corrupt the header: nothing written by "another binary" may be
+     trusted — the whole file is discarded *)
+  Serve.Store.flush s;
+  flip_byte path 3;
+  let s4 = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  Alcotest.(check int) "corrupt header discards everything" 0
+    (Serve.Store.entry_count s4);
+  rm_rf_dir dir
+
+(* end to end: a compile backed by a corrupted store must silently
+   recompute the dropped facts and produce byte-identical output *)
+let test_store_corruption_is_invisible () =
+  let dir = tmp_name "store-invisible" in
+  rm_rf_dir dir;
+  let cfg = Core.Config.polaris ~procs:8 () in
+  Util.Cachectl.clear_all ();
+  let s = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  let prev = Serve.Store.install s in
+  let c1 = Serve.Local.compile_source cfg smoke_source in
+  Serve.Store.flush s;
+  Serve.Store.uninstall prev;
+  (* flip bytes across the file: some entries survive, some don't *)
+  let path = Filename.concat dir "analysis.store" in
+  let size = (Unix.stat path).st_size in
+  List.iter
+    (fun frac -> flip_byte path (size * frac / 10))
+    [ 4; 6; 8 ];
+  Util.Cachectl.clear_all ();
+  let s2 = Serve.Store.open_store ~dir ~max_bytes:(1 lsl 20) () in
+  let prev2 = Serve.Store.install s2 in
+  let c2 = Serve.Local.compile_source cfg smoke_source in
+  Serve.Store.uninstall prev2;
+  Util.Cachectl.clear_all ();
+  let scratch = Core.Incremental.scratch cfg smoke_source in
+  Alcotest.(check string) "store-backed output = scratch output"
+    scratch.outcome.oc_output c2.lc_result.outcome.oc_output;
+  Alcotest.(check string) "pre-corruption output agrees too"
+    scratch.outcome.oc_output c1.lc_result.outcome.oc_output;
+  Alcotest.(check bool) "verdicts identical" true
+    (c1.lc_verdicts = c2.lc_verdicts
+    && c2.lc_verdicts = Serve.Local.render_verdicts scratch.outcome);
+  rm_rf_dir dir
+
+let test_store_evicts_lru () =
+  let dir = tmp_name "store-evict" in
+  rm_rf_dir dir;
+  (* a bound small enough that 50 ~72-byte entries cannot all fit *)
+  let max_bytes = 1024 in
+  let s = Serve.Store.open_store ~dir ~max_bytes () in
+  for i = 1 to 50 do
+    Serve.Store.insert s ~name:"c" ~key:(Printf.sprintf "key-%02d" i)
+      ~data:(String.make 24 'd');
+    (* keep key-01 hot: recency must protect it from eviction *)
+    ignore (Serve.Store.lookup s ~name:"c" ~key:"key-01")
+  done;
+  Alcotest.(check bool) "evicted under the bound" true
+    (Serve.Store.entry_count s < 50);
+  Alcotest.(check (option string)) "hot entry survived LRU"
+    (Some (String.make 24 'd'))
+    (Serve.Store.lookup s ~name:"c" ~key:"key-01");
+  Serve.Store.flush s;
+  let size = (Unix.stat (Filename.concat dir "analysis.store")).st_size in
+  Alcotest.(check bool) "flushed file respects the bound" true
+    (size <= max_bytes + 64);
+  let s2 = Serve.Store.open_store ~dir ~max_bytes () in
+  Alcotest.(check bool) "reload stays bounded" true
+    (Serve.Store.entry_count s2 <= Serve.Store.entry_count s);
+  rm_rf_dir dir
+
+(* ------------------------------------------------------------------ *)
+(* Per-file error containment (the `polaris serve` discipline)         *)
+
+let test_local_compile_path_contains_errors () =
+  let cfg = Core.Config.polaris ~procs:8 () in
+  (* unreadable path: an Error, not an exception *)
+  (match Serve.Local.compile_path cfg "/nonexistent/nope.f" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unreadable path must be a per-file error");
+  (* unparseable source: an Error naming the file *)
+  let bad = tmp_name "bad.f" in
+  let oc = open_out bad in
+  output_string oc "      THIS IS NOT FORTRAN(\n";
+  close_out oc;
+  (match Serve.Local.compile_path cfg bad with
+  | Error m ->
+    Alcotest.(check bool) "error names the file" true
+      (String.length m >= String.length bad
+      && String.sub m 0 (String.length bad) = bad)
+  | Ok _ -> Alcotest.fail "unparseable source must be a per-file error");
+  Sys.remove bad;
+  (* a good file still compiles *)
+  let good = tmp_name "good.f" in
+  let oc = open_out good in
+  output_string oc smoke_source;
+  close_out oc;
+  (match Serve.Local.compile_path cfg good with
+  | Ok c ->
+    Alcotest.(check bool) "compile produced verdicts" true
+      (c.lc_verdicts <> [])
+  | Error m -> Alcotest.fail ("good file failed: " ^ m));
+  Sys.remove good
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end to end                                                   *)
+
+let start_daemon ?(signals = false) ~socket ~store_dir () =
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let cfg =
+    { (Serve.Daemon.default_cfg ()) with
+      d_socket = socket;
+      d_store_dir = store_dir;
+      d_poll_s = 0.02 }
+  in
+  let d =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run ~signals ~stop
+          ~on_ready:(fun () -> Atomic.set ready true)
+          cfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  (d, stop)
+
+let test_daemon_end_to_end () =
+  let socket = tmp_name "e2e.sock" in
+  let store_dir = tmp_name "e2e-store" in
+  rm_rf_dir store_dir;
+  Util.Cachectl.clear_all ();
+  let d, _stop = start_daemon ~socket ~store_dir:(Some store_dir) () in
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.compile_source c ~check:true ~label:"smoke" smoke_source with
+    | Ok r ->
+      Alcotest.(check int) "two loop verdicts" 2 (List.length r.co_verdicts);
+      Alcotest.(check bool) "server-side check passes" true
+        (r.co_check_divergences = []);
+      Alcotest.(check bool) "output is annotated Fortran" true
+        (String.length r.co_output > 0)
+    | Error m -> Alcotest.fail ("compile: " ^ m));
+    (match Serve.Client.stats c with
+    | Ok json ->
+      Alcotest.(check bool) "stats is a JSON object with requests" true
+        (String.length json > 2 && json.[0] = '{')
+    | Error m -> Alcotest.fail ("stats: " ^ m));
+    (match Serve.Client.shutdown c with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail ("shutdown: " ^ m));
+    Serve.Client.close c);
+  let report = Domain.join d in
+  Alcotest.(check bool) "graceful" true report.Serve.Daemon.r_graceful;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+  Alcotest.(check bool) "store flushed to disk" true
+    (Sys.file_exists (Filename.concat store_dir "analysis.store"));
+  rm_rf_dir store_dir;
+  Util.Cachectl.clear_all ()
+
+let test_daemon_contains_malformed_session () =
+  let socket = tmp_name "malformed.sock" in
+  Util.Cachectl.clear_all ();
+  let d, stop = start_daemon ~socket ~store_dir:None () in
+  (* session 1 speaks garbage: it gets an error and is closed alone *)
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    Serve.Protocol.send c.Serve.Client.fd "Zjunk";
+    (match Serve.Client.recv c with
+    | Ok (Serve.Protocol.Error_r _) -> ()
+    | Ok _ -> Alcotest.fail "expected Error_r for a malformed request"
+    | Error m -> Alcotest.fail ("recv: " ^ m));
+    (* the daemon closed this session after the protocol violation *)
+    (match Serve.Client.recv c with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "session must be closed after a violation");
+    Serve.Client.close c);
+  (* the server itself is unharmed: a fresh session compiles fine *)
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.compile_source c ~label:"after" smoke_source with
+    | Ok r -> Alcotest.(check int) "still serving" 2 (List.length r.co_verdicts)
+    | Error m -> Alcotest.fail ("compile after violation: " ^ m));
+    Serve.Client.close c);
+  Atomic.set stop true;
+  let report = Domain.join d in
+  Alcotest.(check bool) "graceful stop" true report.Serve.Daemon.r_graceful;
+  Util.Cachectl.clear_all ()
+
+let test_daemon_sigterm_drains () =
+  let socket = tmp_name "sigterm.sock" in
+  let store_dir = tmp_name "sigterm-store" in
+  rm_rf_dir store_dir;
+  Util.Cachectl.clear_all ();
+  let d, _stop = start_daemon ~signals:true ~socket ~store_dir:(Some store_dir) () in
+  match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (* an active session... *)
+    (match Serve.Client.compile_source c ~label:"one" smoke_source with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail ("compile: " ^ m));
+    (* ...with two more requests already in flight when the signal hits *)
+    Serve.Client.send c
+      (Serve.Protocol.Compile
+         { cr_label = "two"; cr_source = smoke_source; cr_check = false;
+           cr_baseline = false });
+    Serve.Client.send c
+      (Serve.Protocol.Compile
+         { cr_label = "three"; cr_source = smoke_source; cr_check = false;
+           cr_baseline = false });
+    Unix.kill (Unix.getpid ()) Sys.sigterm;
+    let report = Domain.join d in
+    Alcotest.(check bool) "graceful under SIGTERM" true
+      report.Serve.Daemon.r_graceful;
+    (* both in-flight requests were drained and answered *)
+    (match Serve.Client.recv c with
+    | Ok (Serve.Protocol.Compiled r) ->
+      Alcotest.(check string) "in-flight request two answered" "two" r.co_label
+    | Ok _ | Error _ -> Alcotest.fail "request two was not drained");
+    (match Serve.Client.recv c with
+    | Ok (Serve.Protocol.Compiled r) ->
+      Alcotest.(check string) "in-flight request three answered" "three"
+        r.co_label
+    | Ok _ | Error _ -> Alcotest.fail "request three was not drained");
+    Serve.Client.close c;
+    Alcotest.(check int) "all three requests served" 3
+      report.Serve.Daemon.r_requests;
+    Alcotest.(check bool) "store flushed on the way down" true
+      (Sys.file_exists (Filename.concat store_dir "analysis.store"));
+    Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+    rm_rf_dir store_dir;
+    Util.Cachectl.clear_all ()
+
+(* facts proved by one session must be served to the next from the
+   persistent store: restart the daemon on the same store directory and
+   require a majority of shared-cache lookups to hit *)
+let test_daemon_store_warms_next_daemon () =
+  let socket = tmp_name "warm.sock" in
+  let store_dir = tmp_name "warm-store" in
+  rm_rf_dir store_dir;
+  Util.Cachectl.clear_all ();
+  let d1, stop1 = start_daemon ~socket ~store_dir:(Some store_dir) () in
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.compile_source c ~label:"cold" smoke_source with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m);
+    Serve.Client.close c);
+  Atomic.set stop1 true;
+  ignore (Domain.join d1);
+  (* simulate a fresh daemon process: in-memory tables gone, disk kept *)
+  Util.Cachectl.clear_all ();
+  let d2, stop2 = start_daemon ~socket ~store_dir:(Some store_dir) () in
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.compile_source c ~label:"warm" smoke_source with
+    | Ok r ->
+      Alcotest.(check bool) "warm compile hits the persisted store" true
+        (r.co_shared_lookups > 0
+        && float_of_int r.co_shared_hits
+           >= 0.5 *. float_of_int r.co_shared_lookups)
+    | Error m -> Alcotest.fail m);
+    Serve.Client.close c);
+  Atomic.set stop2 true;
+  ignore (Domain.join d2);
+  rm_rf_dir store_dir;
+  Util.Cachectl.clear_all ()
+
+let tests =
+  [ ("protocol request roundtrip", `Quick, test_protocol_request_roundtrip);
+    ("protocol response roundtrip", `Quick, test_protocol_response_roundtrip);
+    ("protocol rejects malformed", `Quick, test_protocol_rejects_malformed);
+    ("protocol peel reassembles partial frames", `Quick,
+     test_protocol_peel_reassembles);
+    ("store roundtrip through disk", `Quick, test_store_roundtrip);
+    ("store drops corrupt entries", `Quick, test_store_drops_corruption);
+    ("store corruption invisible to compiles", `Quick,
+     test_store_corruption_is_invisible);
+    ("store evicts LRU under its bound", `Quick, test_store_evicts_lru);
+    ("serve session contains per-file errors", `Quick,
+     test_local_compile_path_contains_errors);
+    ("daemon end to end", `Quick, test_daemon_end_to_end);
+    ("daemon contains malformed sessions", `Quick,
+     test_daemon_contains_malformed_session);
+    ("daemon drains in-flight requests on SIGTERM", `Quick,
+     test_daemon_sigterm_drains);
+    ("daemon store warms the next daemon", `Quick,
+     test_daemon_store_warms_next_daemon) ]

@@ -135,10 +135,33 @@ let test_env_parse_flag () =
     (fun s -> Alcotest.(check bool) (s ^ " rejected") true (rejected s))
     [ ""; "2"; "enable"; "oui" ]
 
+(* the daemon-store knobs: POLARIS_MAX_CACHE_MB and the two path
+   variables (POLARIS_CACHE_DIR, POLARIS_SOCKET) *)
+let test_env_parse_mb () =
+  let rejected s = match Env.parse_mb s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "plain" true (Env.parse_mb "64" = Ok 64);
+  Alcotest.(check bool) "whitespace trimmed" true (Env.parse_mb " 128 " = Ok 128);
+  Alcotest.(check bool) "zero rejected (store off = unset CACHE_DIR)" true
+    (rejected "0");
+  Alcotest.(check bool) "negative rejected" true (rejected "-5");
+  Alcotest.(check bool) "non-numeric rejected" true (rejected "big");
+  Alcotest.(check bool) "empty rejected" true (rejected "")
+
+let test_env_parse_path () =
+  Alcotest.(check bool) "plain path" true
+    (Env.parse_path "/tmp/cache" = Ok "/tmp/cache");
+  Alcotest.(check bool) "trimmed" true (Env.parse_path " /a/b " = Ok "/a/b");
+  Alcotest.(check bool) "empty rejected" true
+    (match Env.parse_path "" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "whitespace-only rejected" true
+    (match Env.parse_path "   " with Error _ -> true | Ok _ -> false)
+
 let tests =
   [ ("rat normalization", `Quick, test_make_normalizes);
     ("env jobs parsing", `Quick, test_env_parse_jobs);
     ("env flag parsing", `Quick, test_env_parse_flag);
+    ("env cache-size parsing", `Quick, test_env_parse_mb);
+    ("env path parsing", `Quick, test_env_parse_path);
     ("rat zero denominator", `Quick, test_make_zero_den);
     ("rat arithmetic", `Quick, test_arith);
     ("rat division by zero", `Quick, test_div_by_zero);
