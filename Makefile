@@ -4,7 +4,7 @@
 # serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
 # faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate chaos check bench perf scale incremental daemon clean
+.PHONY: all build test validate chaos check bench perf scale incremental daemon storm chaosnet clean
 
 all: build
 
@@ -57,6 +57,21 @@ incremental: build
 # from-scratch compile or the warm shared-cache hit rate is below 50%.
 daemon: build
 	dune exec bench/main.exe -- daemon 4
+
+# Overload storm: 6 honest clients, 1 mid-frame staller and 1 seeded
+# chaos transport against a daemon capped at 4 sessions.  Writes
+# BENCH_storm.json and exits non-zero unless the daemon sheds (Busy),
+# evicts the staller, keeps queued response bytes bounded, and answers
+# every honest request byte-identically to a from-scratch compile.
+storm: build
+	dune exec bench/main.exe -- storm 6
+
+# Network chaos: 100 seeded fault-injecting transports (bit flips,
+# torn frames, mid-frame disconnects, stalls) against a live daemon.
+# Writes BENCH_chaosnet.json and exits non-zero unless every retried
+# client converges byte-identically and the daemon exits gracefully.
+chaosnet: build
+	dune exec bench/main.exe -- chaosnet 100
 
 clean:
 	dune clean

@@ -1079,6 +1079,283 @@ let daemon_bench ?(sessions = 4) ?(min_warm_rate = 0.5) () =
   if not ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Storm: overload protection under hostile concurrency               *)
+
+(* two small codes for the chaos lane: the network-fault sweep needs
+   byte-exact expectations computed before the daemon starts *)
+let storm_smoke_source =
+  "      PROGRAM SMOKE\n\
+   \      INTEGER I, N\n\
+   \      PARAMETER (N = 16)\n\
+   \      REAL A(16), B(16)\n\
+   \      DO I = 1, N\n\
+   \        A(I) = I * 2.0\n\
+   \      ENDDO\n\
+   \      DO I = 1, N\n\
+   \        B(I) = A(I) + 1.0\n\
+   \      ENDDO\n\
+   \      PRINT *, B(1)\n\
+   \      END\n"
+
+let storm_reduce_source =
+  "      PROGRAM REDUCE\n\
+   \      INTEGER I\n\
+   \      REAL S, A(32)\n\
+   \      DO I = 1, 32\n\
+   \        A(I) = I * 1.5\n\
+   \      ENDDO\n\
+   \      S = 0.0\n\
+   \      DO I = 1, 32\n\
+   \        S = S + A(I)\n\
+   \      ENDDO\n\
+   \      PRINT *, S\n\
+   \      END\n"
+
+(* a client from hell: opens a session, sends half a frame, and goes
+   silent holding its slot.  The daemon's idle eviction must reclaim
+   it; nobody else may wait on it. *)
+let storm_stall ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let wire =
+    Serve.Protocol.frame (Serve.Protocol.encode_request Serve.Protocol.Stats)
+  in
+  ignore (Unix.write_substring fd wire 0 (String.length wire / 2));
+  fd
+
+(* the storm: [clients] honest sessions hammer the full suite through
+   per-request connections (fresh connect + retry on Busy), one client
+   stalls mid-frame, one runs the seeded network-fault transport — all
+   against a daemon whose admission cap is far below the offered load.
+   The daemon must shed (Busy), evict the staller, keep queued response
+   bytes bounded, and still answer every honest request with bytes
+   identical to a from-scratch compile. *)
+let storm ?(clients = 6) () =
+  section
+    (Printf.sprintf
+       "storm: %d honest clients + 1 stalled + 1 chaos transport vs. a \
+        daemon capped at 4 sessions" clients);
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "polaris-bench-storm"
+  in
+  (if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+  let socket = Filename.concat dir "storm.sock" in
+  let max_sessions = 4 and max_wbuf = 1 lsl 20 in
+  (* chaos expectations first: the from-scratch compiles clear the
+     shared caches, so they must not race the daemon *)
+  Util.Cachectl.clear_all ();
+  let chaos_sources =
+    [ ("smoke", storm_smoke_source); ("reduce", storm_reduce_source) ]
+  in
+  let config = Core.Config.polaris ~procs:8 () in
+  let chaos_expected = Serve.Chaosnet.expected_outputs config chaos_sources in
+  Util.Cachectl.clear_all ();
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let cfg =
+    { (Serve.Daemon.default_cfg ()) with
+      d_socket = socket;
+      d_store_dir = None;
+      d_poll_s = 0.01;
+      d_max_sessions = max_sessions;
+      d_max_wbuf = max_wbuf;
+      d_idle_timeout_s = 1.0 }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run ~stop ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let t0 = Unix.gettimeofday () in
+  let stalled_fd = storm_stall ~socket in
+  let honest =
+    List.init clients (fun s ->
+        let order = rotate (s * 3) Suite.Registry.all in
+        Domain.spawn (fun () ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (code : Suite.Code.t) :: rest -> (
+                match
+                  Serve.Client.compile_retry ~retries:40 ~deadline_s:60.0
+                    ~socket ~label:code.name code.source
+                with
+                | Ok reply -> go ((code.name, reply) :: acc) rest
+                | Error m -> Error (code.name ^ ": " ^ m))
+            in
+            go [] order))
+  in
+  let chaos_lane =
+    Domain.spawn (fun () ->
+        Serve.Chaosnet.run_sweep ~first_seed:1 ~seeds:10 ~retries:16
+          ~deadline_s:5.0 ~socket ~expected:chaos_expected chaos_sources)
+  in
+  let results = List.map Domain.join honest in
+  let sweep = Domain.join chaos_lane in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* the staller must have been evicted: its fd sees EOF, not silence *)
+  let evicted_observed =
+    match Unix.select [ stalled_fd ] [] [] 10.0 with
+    | [ _ ], _, _ -> Unix.read stalled_fd (Bytes.create 1) 0 1 = 0
+    | _ -> false
+  in
+  (try Unix.close stalled_fd with Unix.Unix_error _ -> ());
+  Atomic.set stop true;
+  let report = Domain.join daemon in
+  let replies =
+    List.concat_map
+      (function
+        | Ok rs -> rs
+        | Error m ->
+          Printf.eprintf "storm: honest session failed: %s\n" m;
+          exit 1)
+      results
+  in
+  (* byte-identity against from-scratch compiles (daemon is down, the
+     scratch compiles may clear the shared caches now) *)
+  Util.Cachectl.clear_all ();
+  let scratch =
+    List.map
+      (fun (c : Suite.Code.t) ->
+        let r = Core.Incremental.scratch config c.source in
+        (c.name, (r.outcome.oc_output, Serve.Local.render_verdicts r.outcome)))
+      Suite.Registry.all
+  in
+  let divergences = ref [] in
+  List.iter
+    (fun (name, (r : Serve.Protocol.compile_reply)) ->
+      let out, verdicts = List.assoc name scratch in
+      if r.co_output <> out then
+        divergences := (name ^ ": output differs") :: !divergences;
+      if r.co_verdicts <> verdicts then
+        divergences := (name ^ ": verdicts differ") :: !divergences)
+    replies;
+  let divergences = List.rev !divergences in
+  List.iter (fun d -> Printf.eprintf "storm: DIVERGENCE %s\n" d) divergences;
+  let n = List.length replies in
+  let pending_bound = max_sessions * max_wbuf in
+  let bounded = report.Serve.Daemon.r_max_pending <= pending_bound in
+  Printf.printf "%d honest requests in %.2fs (%.1f req/s)\n" n wall
+    (if wall > 0.0 then float_of_int n /. wall else 0.0);
+  Printf.printf
+    "shed %d, evicted idle %d / slow %d, peak queued response bytes %d \
+     (bound %d)\n"
+    report.r_shed report.r_evicted_idle report.r_evicted_slow
+    report.r_max_pending pending_bound;
+  Printf.printf
+    "chaos lane: %d compiles, %d converged, %d mismatched, %d gave up\n"
+    sweep.Serve.Chaosnet.sw_compiles sweep.sw_converged sweep.sw_mismatched
+    sweep.sw_gave_up;
+  Printf.printf "staller evicted (EOF observed): %b\n" evicted_observed;
+  Printf.printf "responses byte-identical to scratch: %b\n"
+    (divergences = []);
+  let ok =
+    divergences = [] && report.r_graceful && report.r_shed >= 1
+    && report.r_evicted_idle >= 1 && evicted_observed && bounded
+    && sweep.sw_mismatched = 0 && sweep.sw_gave_up = 0
+  in
+  let json =
+    let open Valid.Trace.Json in
+    obj
+      [ ("clients", int clients);
+        ("max_sessions", int max_sessions);
+        ("requests", int n);
+        ("wall_s", float wall);
+        ( "req_per_s",
+          float (if wall > 0.0 then float_of_int n /. wall else 0.0) );
+        ("shed", int report.r_shed);
+        ("evicted_idle", int report.r_evicted_idle);
+        ("evicted_slow", int report.r_evicted_slow);
+        ("max_pending_bytes", int report.r_max_pending);
+        ("pending_bound_bytes", int pending_bound);
+        ("staller_evicted", bool evicted_observed);
+        ("chaos", Serve.Chaosnet.sweep_json sweep);
+        ("graceful", bool report.r_graceful);
+        ("identical_output", bool (divergences = [])) ]
+  in
+  let oc = open_out "BENCH_storm.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_storm.json\n";
+  Util.Cachectl.clear_all ();
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Chaosnet: the 100-seed network-fault sweep, standalone              *)
+
+let chaosnet ?(seeds = 100) () =
+  section
+    (Printf.sprintf
+       "chaosnet: %d-seed network-fault sweep (flips, tears, drops, \
+        delays) against a live daemon" seeds);
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "polaris-bench-chaosnet"
+  in
+  (if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+  let socket = Filename.concat dir "chaosnet.sock" in
+  let sources =
+    [ ("smoke", storm_smoke_source); ("reduce", storm_reduce_source) ]
+  in
+  Util.Cachectl.clear_all ();
+  let config = Core.Config.polaris ~procs:8 () in
+  let expected = Serve.Chaosnet.expected_outputs config sources in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  (* the short idle timeout is the designed unstick for a flipped
+     length field that leaves the daemon holding a half frame *)
+  let cfg =
+    { (Serve.Daemon.default_cfg ()) with
+      d_socket = socket;
+      d_store_dir = None;
+      d_poll_s = 0.01;
+      d_idle_timeout_s = 0.3 }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run ~stop ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let t0 = Unix.gettimeofday () in
+  let sweep =
+    Serve.Chaosnet.run_sweep ~first_seed:1 ~seeds ~retries:16 ~deadline_s:5.0
+      ~socket ~expected sources
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  let report = Domain.join daemon in
+  Printf.printf
+    "seeds %d | compiles %d converged %d mismatched %d gave up %d\n"
+    sweep.Serve.Chaosnet.sw_seeds sweep.sw_compiles sweep.sw_converged
+    sweep.sw_mismatched sweep.sw_gave_up;
+  Printf.printf "faults injected: %d flips, %d drops, %d tears, %d delays\n"
+    sweep.sw_flips sweep.sw_drops sweep.sw_tears sweep.sw_delays;
+  Printf.printf "wall %.2fs, daemon graceful: %b\n" wall
+    report.Serve.Daemon.r_graceful;
+  let ok =
+    report.r_graceful && sweep.sw_mismatched = 0 && sweep.sw_gave_up = 0
+    && sweep.sw_converged = sweep.sw_compiles
+  in
+  let json =
+    let open Valid.Trace.Json in
+    obj
+      [ ("wall_s", float wall);
+        ("sweep", Serve.Chaosnet.sweep_json sweep);
+        ("graceful", bool report.r_graceful);
+        ("converged_all", bool ok) ]
+  in
+  let oc = open_out "BENCH_chaosnet.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_chaosnet.json\n";
+  Util.Cachectl.clear_all ();
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: Polaris minus one technique                               *)
 
 let ablation () =
@@ -1133,7 +1410,9 @@ let experiments =
     ("chaos", chaos); ("micro", micro); ("perf", fun () -> perf ());
     ("scale", fun () -> scale ());
     ("incremental", fun () -> incremental ());
-    ("daemon", fun () -> daemon_bench ()) ]
+    ("daemon", fun () -> daemon_bench ());
+    ("storm", fun () -> storm ());
+    ("chaosnet", fun () -> chaosnet ()) ]
 
 let () =
   match Sys.argv with
@@ -1155,6 +1434,18 @@ let () =
     | Some n when n > 0 -> daemon_bench ~sessions:n ()
     | _ ->
       Printf.eprintf "usage: %s daemon [sessions > 0]\n" Sys.argv.(0);
+      exit 1)
+  | [| _; "storm"; n |] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> storm ~clients:n ()
+    | _ ->
+      Printf.eprintf "usage: %s storm [clients > 0]\n" Sys.argv.(0);
+      exit 1)
+  | [| _; "chaosnet"; n |] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> chaosnet ~seeds:n ()
+    | _ ->
+      Printf.eprintf "usage: %s chaosnet [seeds > 0]\n" Sys.argv.(0);
       exit 1)
   | [| _; name |] -> (
     match List.assoc_opt name experiments with

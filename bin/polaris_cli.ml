@@ -57,6 +57,12 @@ let with_errors f =
   | Core.Simulate.Output_mismatch ->
     Fmt.epr "polaris: internal error: serial/parallel output mismatch@.";
     exit 1
+  | Serve.Daemon.Already_running (pid, sock) ->
+    Fmt.epr
+      "polaris: a daemon (pid %d) already owns %s; use `polaris client \
+       --shutdown' to stop it@."
+      pid sock;
+    exit 1
 
 let config_of ~baseline ~procs =
   if baseline then Core.Config.baseline ~procs ()
@@ -513,7 +519,55 @@ let daemon_cmd =
       & info [ "log" ] ~docv:"FILE"
           ~doc:"Append one JSON line per request (latency, reuse, incidents)")
   in
-  let go socket store max_mb baseline budget_steps deadline log jobs =
+  let max_sessions =
+    Arg.(
+      value
+      & opt int Util.Env.max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Admission cap: connections beyond N concurrent sessions are \
+             shed with a Busy response (default \\$(b,POLARIS_MAX_SESSIONS) \
+             or 64)")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float Util.Env.idle_timeout_s
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Evict sessions idle longer than this (default \
+             \\$(b,POLARIS_IDLE_TIMEOUT_S) or 600)")
+  in
+  let flush_every =
+    Arg.(
+      value
+      & opt int Util.Env.flush_every
+      & info [ "flush-every" ] ~docv:"N"
+          ~doc:
+            "Flush the persistent store after every N compile requests, \
+             bounding what a crash can lose (default \
+             \\$(b,POLARIS_FLUSH_EVERY) or 64)")
+  in
+  let flush_interval =
+    Arg.(
+      value
+      & opt float Util.Env.flush_interval_s
+      & info [ "flush-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Also flush the persistent store after this many seconds with \
+             unflushed work (default \\$(b,POLARIS_FLUSH_INTERVAL_S) or 30)")
+  in
+  let max_pipeline =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "max-pipeline" ] ~docv:"N"
+          ~doc:
+            "Pipelined requests executed per connection per loop turn; an \
+             aggressive pipeliner round-robins with the other sessions")
+  in
+  let go socket store max_mb baseline budget_steps deadline log max_sessions
+      idle_timeout flush_every flush_interval max_pipeline jobs =
     with_errors (fun () ->
         let cfg =
           { (Serve.Daemon.default_cfg ()) with
@@ -524,7 +578,12 @@ let daemon_cmd =
             d_jobs = jobs;
             d_budget_steps = budget_steps;
             d_deadline_s = deadline;
-            d_log = log }
+            d_log = log;
+            d_max_sessions = max_sessions;
+            d_idle_timeout_s = idle_timeout;
+            d_flush_every = flush_every;
+            d_flush_interval_s = flush_interval;
+            d_max_pipeline = max_pipeline }
         in
         let report =
           Serve.Daemon.run ~signals:true
@@ -533,11 +592,18 @@ let daemon_cmd =
               (match store with
               | Some d -> Fmt.pr "persistent store: %s (%d MB bound)@." d max_mb
               | None -> Fmt.pr "persistent store: disabled@.");
+              Fmt.pr "admission: %d session(s), idle timeout %.0fs@."
+                max_sessions idle_timeout;
               Fmt.pr "stop with SIGINT/SIGTERM or `polaris client --shutdown'@.")
             cfg
         in
         Fmt.pr "polaris daemon: served %d request(s) over %d session(s)@."
-          report.r_requests report.r_sessions)
+          report.r_requests report.r_sessions;
+        if report.r_shed + report.r_evicted_slow + report.r_evicted_idle > 0
+        then
+          Fmt.pr
+            "polaris daemon: shed %d connection(s), evicted %d slow / %d idle@."
+            report.r_shed report.r_evicted_slow report.r_evicted_idle)
   in
   Cmd.v
     (Cmd.info "daemon"
@@ -546,7 +612,8 @@ let daemon_cmd =
           share one persistent analysis store")
     Term.(
       const go $ socket_flag $ store $ max_mb $ baseline $ budget_steps
-      $ deadline $ log $ jobs_flag)
+      $ deadline $ log $ max_sessions $ idle_timeout $ flush_every
+      $ flush_interval $ max_pipeline $ jobs_flag)
 
 (* ----- client ----- *)
 
@@ -575,67 +642,131 @@ let client_cmd =
   let shutdown =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain, flush and exit")
   in
-  let go socket files check baseline emit stats shutdown =
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry each compile up to N times over fresh connections with \
+             exponential backoff; transient failures (transport errors, \
+             timeouts, Busy sheds) are retried, application errors are \
+             final.  Compiles are deterministic, so the resend is \
+             idempotent-safe.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request wall deadline: fail (and with --retries, retry) \
+             instead of waiting forever on a stalled daemon")
+  in
+  let ping =
+    Arg.(
+      value & flag
+      & info [ "ping" ]
+          ~doc:"Probe the daemon's liveness (exit 0 iff it answers)")
+  in
+  let go socket files check baseline emit stats shutdown retries timeout ping =
     with_errors (fun () ->
-        if files = [] && not (stats || shutdown) then begin
-          Fmt.epr "polaris: client: nothing to do (no FILE, no --stats, no --shutdown)@.";
+        if files = [] && not (stats || shutdown || ping) then begin
+          Fmt.epr
+            "polaris: client: nothing to do (no FILE, no --stats, no --ping, \
+             no --shutdown)@.";
           exit 1
         end;
-        match Serve.Client.connect socket with
-        | Error m ->
-          Fmt.epr "polaris: %s@." m;
-          exit 1
-        | Ok c ->
-          Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
-          let failed = ref 0 and divergent = ref 0 in
-          List.iteri
-            (fun i path ->
-              match Serve.Client.compile_path c ~check ~baseline path with
-              | Error msg ->
-                incr failed;
-                Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1)
-                  (List.length files) path msg
-              | Ok (r : Serve.Protocol.compile_reply) ->
-                Fmt.pr
-                  "[%d/%d] %-20s %d verdict(s)   shared reuse %5.1f%% \
-                   (%d/%d)   %.1f ms@."
-                  (i + 1) (List.length files) path
-                  (List.length r.co_verdicts)
-                  (100.0
-                  *. (if r.co_shared_lookups = 0 then 0.0
-                      else
-                        float_of_int r.co_shared_hits
-                        /. float_of_int r.co_shared_lookups))
-                  r.co_shared_hits r.co_shared_lookups r.co_wall_ms;
-                if emit then print_string r.co_output;
-                if r.co_check_divergences <> [] then begin
-                  incr divergent;
-                  Fmt.epr "    check: DIVERGED on the daemon:@.";
-                  List.iter
-                    (fun d -> Fmt.epr "      %s@." d)
-                    r.co_check_divergences
-                end)
-            files;
-          (if stats then
-             match Serve.Client.stats c with
-             | Ok j -> Fmt.pr "%s@." j
-             | Error m ->
-               incr failed;
-               Fmt.epr "polaris: stats: %s@." m);
-          (if shutdown then
-             match Serve.Client.shutdown c with
-             | Ok () -> Fmt.pr "daemon is shutting down@."
-             | Error m ->
-               incr failed;
-               Fmt.epr "polaris: shutdown: %s@." m);
-          if !divergent > 0 || !failed > 0 then exit 1)
+        let failed = ref 0 and divergent = ref 0 in
+        let report_reply i path (r : Serve.Protocol.compile_reply) =
+          Fmt.pr
+            "[%d/%d] %-20s %d verdict(s)   shared reuse %5.1f%% (%d/%d)   \
+             %.1f ms@."
+            (i + 1) (List.length files) path
+            (List.length r.co_verdicts)
+            (100.0
+            *. (if r.co_shared_lookups = 0 then 0.0
+                else
+                  float_of_int r.co_shared_hits
+                  /. float_of_int r.co_shared_lookups))
+            r.co_shared_hits r.co_shared_lookups r.co_wall_ms;
+          if emit then print_string r.co_output;
+          if r.co_check_divergences <> [] then begin
+            incr divergent;
+            Fmt.epr "    check: DIVERGED on the daemon:@.";
+            List.iter (fun d -> Fmt.epr "      %s@." d) r.co_check_divergences
+          end
+        in
+        let with_conn f =
+          match Serve.Client.connect ?deadline_s:timeout socket with
+          | Error m ->
+            Fmt.epr "polaris: %s@." m;
+            exit 1
+          | Ok c ->
+            Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+                f c)
+        in
+        if ping then
+          with_conn (fun c ->
+              match Serve.Client.ping c with
+              | Ok () -> Fmt.pr "daemon at %s is alive@." socket
+              | Error m ->
+                Fmt.epr "polaris: ping: %s@." m;
+                exit 1);
+        (if files <> [] then
+           if retries > 0 then
+             (* recovery mode: every file compiles over its own
+                connection(s) so one poisoned session costs one attempt *)
+             List.iteri
+               (fun i path ->
+                 match Serve.Local.read_file path with
+                 | exception Sys_error msg ->
+                   incr failed;
+                   Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1)
+                     (List.length files) path msg
+                 | source -> (
+                   match
+                     Serve.Client.compile_retry ~retries ?deadline_s:timeout
+                       ~check ~baseline ~socket ~label:path source
+                   with
+                   | Error msg ->
+                     incr failed;
+                     Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1)
+                       (List.length files) path msg
+                   | Ok r -> report_reply i path r))
+               files
+           else
+             with_conn (fun c ->
+                 List.iteri
+                   (fun i path ->
+                     match Serve.Client.compile_path c ~check ~baseline path with
+                     | Error msg ->
+                       incr failed;
+                       Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1)
+                         (List.length files) path msg
+                     | Ok r -> report_reply i path r)
+                   files));
+        (if stats || shutdown then
+           with_conn (fun c ->
+               (if stats then
+                  match Serve.Client.stats c with
+                  | Ok j -> Fmt.pr "%s@." j
+                  | Error m ->
+                    incr failed;
+                    Fmt.epr "polaris: stats: %s@." m);
+               if shutdown then
+                 match Serve.Client.shutdown c with
+                 | Ok () -> Fmt.pr "daemon is shutting down@."
+                 | Error m ->
+                   incr failed;
+                   Fmt.epr "polaris: shutdown: %s@." m));
+        if !divergent > 0 || !failed > 0 then exit 1)
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Compile files on a running polaris daemon (thin client)")
     Term.(
       const go $ socket_flag $ files $ check $ baseline $ emit $ stats
-      $ shutdown)
+      $ shutdown $ retries $ timeout $ ping)
 
 (* ----- chaos ----- *)
 

@@ -20,7 +20,29 @@
     and return cleanly.  One greedy client cannot starve the fleet:
     every request draws its own analysis budget
     ([--budget-steps]/[--deadline]), so a pathological source degrades
-    its own verdicts to serial and nothing else. *)
+    its own verdicts to serial and nothing else.
+
+    {b Overload protection} (PR 7).  Responses are never written
+    blocking: each connection owns a bounded outgoing byte queue
+    drained through the select loop's write set, so a stalled reader
+    wedges {e its own} queue, not the server — when the queue overflows
+    [max_wbuf] the session is evicted.  Admission is controlled: at
+    [max_sessions] open sessions a new connection is shed with one
+    {!Protocol.Busy} frame and closed (nothing attempted, retry
+    later); a connection buffering more than [max_rbuf] unparsed
+    request bytes, or idle longer than [idle_timeout_s], is evicted.
+    At most [max_pipeline] pipelined requests are executed per
+    connection per loop turn, round-robining the sessions.
+
+    {b Crash safety.}  The store is flushed (atomic tmp+rename) every
+    [flush_every] compile requests — {e before} the triggering
+    response is queued, so a client that has seen reply N knows every
+    fact up to the last flush boundary is on disk — and again after
+    [flush_interval_s] seconds with unflushed work.  A SIGKILL
+    therefore loses at most one flush window.  A pidfile
+    ([socket].pid) enforces single-instance discipline: a new daemon
+    refuses to stomp a live daemon's socket ({!Already_running}) but
+    silently recovers a stale one (dead pid — the SIGKILL case). *)
 
 type cfg = {
   d_socket : string;            (** unix-domain socket path *)
@@ -30,8 +52,18 @@ type cfg = {
   d_jobs : int;                 (** worker domains per compile *)
   d_budget_steps : int option;  (** per-request analysis fuel *)
   d_deadline_s : float option;  (** per-request analysis deadline *)
-  d_log : string option;        (** JSON-lines server log path *)
+  d_log : string option;        (** JSON-lines server log path (appended) *)
   d_poll_s : float;             (** select timeout: stop-flag latency bound *)
+  (* overload protection *)
+  d_max_sessions : int;         (** admission cap; beyond it: [Busy] + close *)
+  d_idle_timeout_s : float;     (** evict sessions idle longer than this *)
+  d_max_rbuf : int;             (** per-connection unparsed-request byte cap *)
+  d_max_wbuf : int;             (** per-connection queued-response byte cap *)
+  d_max_pipeline : int;         (** requests executed per connection per turn *)
+  d_sndbuf : int option;        (** SO_SNDBUF for client fds (tests shrink it) *)
+  (* crash safety *)
+  d_flush_every : int;          (** store flush cadence in compile requests *)
+  d_flush_interval_s : float;   (** store flush cadence in seconds *)
 }
 
 let default_socket () =
@@ -50,22 +82,85 @@ let default_cfg () =
     d_budget_steps = None;
     d_deadline_s = None;
     d_log = None;
-    d_poll_s = 0.1 }
+    d_poll_s = 0.1;
+    d_max_sessions = Util.Env.max_sessions;
+    d_idle_timeout_s = Util.Env.idle_timeout_s;
+    d_max_rbuf = Protocol.max_frame + Protocol.header_len;
+    d_max_wbuf = Protocol.max_frame + Protocol.header_len;
+    d_max_pipeline = 32;
+    d_sndbuf = None;
+    d_flush_every = Util.Env.flush_every;
+    d_flush_interval_s = Util.Env.flush_interval_s }
 
 (** What {!run} hands back when the loop ends. *)
 type report = {
   r_graceful : bool;      (** drained and flushed (signal or Shutdown) *)
   r_requests : int;
   r_sessions : int;
+  r_shed : int;           (** connections refused with [Busy] *)
+  r_evicted_slow : int;   (** sessions evicted for an overfull write queue *)
+  r_evicted_idle : int;   (** sessions evicted by the idle timeout *)
+  r_flushes : int;        (** periodic store flushes *)
+  r_max_pending : int;    (** high-water mark of queued response bytes *)
   r_stats_json : string;  (** final server stats (same shape as [Stats]) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Single-instance discipline: the pidfile                              *)
+
+exception Already_running of int * string
+(** [(pid, socket)]: a live daemon owns the socket; refusing to stomp
+    it.  The CLI reports this as a clean one-line error. *)
+
+let pidfile_path socket = socket ^ ".pid"
+
+type liveness =
+  | Live of int   (** pidfile names a process that is alive *)
+  | Stale of int  (** pidfile names a dead process (crash leftovers) *)
+  | Absent        (** no pidfile (or unreadable garbage — also stale) *)
+
+(** Probe the pidfile guarding [socket].  [Live] means a daemon owns
+    the socket right now; [Stale] means the previous owner died without
+    cleanup (e.g. SIGKILL) and its socket and pidfile are safe to
+    recover.  Garbage pidfile contents are treated as [Absent]: there
+    is nothing trustworthy to refuse over. *)
+let probe ~socket : liveness =
+  let path = pidfile_path socket in
+  match open_in path with
+  | exception Sys_error _ -> Absent
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    close_in_noerr ic;
+    (match int_of_string_opt (String.trim line) with
+    | None -> Absent
+    | Some pid -> (
+      match Unix.kill pid 0 with
+      | () -> Live pid
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> Stale pid
+      | exception Unix.Unix_error (Unix.EPERM, _, _) -> Live pid
+      | exception Unix.Unix_error _ -> Stale pid))
+
+let write_pidfile socket =
+  let path = pidfile_path socket in
+  let oc = open_out path in
+  output_string oc (string_of_int (Unix.getpid ()));
+  output_char oc '\n';
+  close_out oc
+
+let remove_pidfile socket =
+  try Sys.remove (pidfile_path socket) with Sys_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
 
 type conn = {
   c_fd : Unix.file_descr;
-  c_buf : Buffer.t;        (* bytes received, frames not yet peeled *)
+  c_buf : Buffer.t;          (* bytes received, frames not yet peeled *)
+  c_outq : string Queue.t;   (* framed responses not yet (fully) written *)
+  mutable c_out_off : int;   (* bytes of the queue head already written *)
+  mutable c_out_bytes : int; (* total bytes pending across the queue *)
+  mutable c_last_active : float;  (* last read or write progress *)
+  mutable c_closing : bool;  (* flush the queue, then close; no more reads *)
   c_session : Metrics.session;
   mutable c_open : bool;
 }
@@ -86,6 +181,8 @@ type state = {
   st_sv : Metrics.server;
   mutable st_sessions : Metrics.session list;  (* every session ever *)
   mutable st_stop : bool;  (* graceful shutdown requested *)
+  mutable st_since_flush : int;   (* compile requests since the last flush *)
+  mutable st_last_flush : float;
   st_log : out_channel option;
 }
 
@@ -100,6 +197,23 @@ let log_line st json =
 let stats_json st =
   Metrics.server_json ~now:(Unix.gettimeofday ()) st.st_sv st.st_sessions
     (Option.map Store.stats_json st.st_store)
+
+(* flush the store and reset the cadence counters; every flush is
+   counted and logged so the crash window is observable *)
+let flush_store st ~reason =
+  match st.st_store with
+  | None -> ()
+  | Some store ->
+    Store.flush store;
+    st.st_since_flush <- 0;
+    st.st_last_flush <- Unix.gettimeofday ();
+    st.st_sv.sv_flushes <- st.st_sv.sv_flushes + 1;
+    let open Valid.Trace.Json in
+    log_line st
+      (obj
+         [ ("event", str "flush");
+           ("reason", str reason);
+           ("entries", int (Store.entry_count store)) ])
 
 let handle_compile st (sess : Metrics.session) (c : Protocol.compile_req) :
     Protocol.response =
@@ -151,10 +265,18 @@ let handle_request st conn (req : Protocol.request) : Protocol.response =
         sess.ss_errors <- sess.ss_errors + 1;
         st.st_sv.sv_errors <- st.st_sv.sv_errors + 1
       | _ -> ());
+      (* crash-window discipline: the flush that covers this compile's
+         facts happens before its response can reach the client *)
+      st.st_since_flush <- st.st_since_flush + 1;
+      if st.st_store <> None && st.st_since_flush >= st.st_cfg.d_flush_every
+      then flush_store st ~reason:"request-count";
       r
     | Protocol.Stats ->
-      Option.iter Store.flush st.st_store;
+      (match st.st_store with
+      | Some _ -> flush_store st ~reason:"stats"
+      | None -> ());
       Protocol.Stats_reply (stats_json st)
+    | Protocol.Ping -> Protocol.Pong
     | Protocol.Shutdown ->
       st.st_stop <- true;
       Protocol.Bye
@@ -173,6 +295,7 @@ let handle_request st conn (req : Protocol.request) : Protocol.response =
               (match req with
               | Protocol.Compile c -> "compile " ^ c.cr_label
               | Protocol.Stats -> "stats"
+              | Protocol.Ping -> "ping"
               | Protocol.Shutdown -> "shutdown") );
           ("wall_ms", float (1000.0 *. dt));
           ( "shared_hit_rate",
@@ -181,34 +304,114 @@ let handle_request st conn (req : Protocol.request) : Protocol.response =
           ("errors", int sess.ss_errors) ]));
   resp
 
-(* peel and answer every complete frame already buffered on [conn];
-   closes the connection on protocol violations (framing is
-   unrecoverable) or when the peer is gone *)
-let drain_frames st conn =
+(* ------------------------------------------------------------------ *)
+(* Outgoing write queues                                               *)
+
+(* every conn list is short (bounded by max_sessions), so summing is
+   cheap enough to keep the high-water gauge exact *)
+let total_pending conns =
+  List.fold_left (fun a c -> if c.c_open then a + c.c_out_bytes else a) 0 conns
+
+let log_evict st conn ~kind =
+  let open Valid.Trace.Json in
+  log_line st
+    (obj
+       [ ("event", str "evict");
+         ("kind", str kind);
+         ("session", int conn.c_session.ss_id);
+         ("pending_bytes", int conn.c_out_bytes) ])
+
+(* queue [wire] on [conn]; a queue that outgrows the cap means the
+   peer stopped reading — evict it rather than hold its bytes forever *)
+let enqueue st conns conn (wire : string) =
+  if conn.c_open then begin
+    Queue.add wire conn.c_outq;
+    conn.c_out_bytes <- conn.c_out_bytes + String.length wire;
+    let pending = total_pending conns in
+    if pending > st.st_sv.sv_max_pending then
+      st.st_sv.sv_max_pending <- pending;
+    if conn.c_out_bytes > st.st_cfg.d_max_wbuf then begin
+      st.st_sv.sv_evicted_slow <- st.st_sv.sv_evicted_slow + 1;
+      log_evict st conn ~kind:"slow";
+      close_conn conn
+    end
+  end
+
+(* write as much of the queue as the kernel will take right now; never
+   blocks (conn fds are non-blocking).  Closes on a gone peer; closes a
+   [c_closing] conn whose last byte just left. *)
+let flush_conn conn =
+  if conn.c_open then begin
+    let progress = ref false in
+    let continue = ref true in
+    while !continue && conn.c_open do
+      match Queue.peek_opt conn.c_outq with
+      | None -> continue := false
+      | Some head -> (
+        let len = String.length head - conn.c_out_off in
+        match Unix.write_substring conn.c_fd head conn.c_out_off len with
+        | 0 -> continue := false
+        | k ->
+          progress := true;
+          conn.c_out_bytes <- conn.c_out_bytes - k;
+          if k = len then begin
+            ignore (Queue.pop conn.c_outq);
+            conn.c_out_off <- 0
+          end
+          else begin
+            (* kernel buffer full: stop until select says writable *)
+            conn.c_out_off <- conn.c_out_off + k;
+            continue := false
+          end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> close_conn conn)
+    done;
+    if !progress && conn.c_open then
+      conn.c_last_active <- Unix.gettimeofday ();
+    if conn.c_closing && conn.c_open && Queue.is_empty conn.c_outq then
+      close_conn conn
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Frame processing                                                    *)
+
+(* protocol violation or cap breach: answer [Rejected], stop reading,
+   close once the answer is flushed.  One helper — the malformed-frame
+   and malformed-payload paths used to be two identical branches. *)
+let reject st conns conn msg =
+  conn.c_session.ss_errors <- conn.c_session.ss_errors + 1;
+  st.st_sv.sv_errors <- st.st_sv.sv_errors + 1;
+  st.st_sv.sv_rejects <- st.st_sv.sv_rejects + 1;
+  enqueue st conns conn
+    (Protocol.frame (Protocol.encode_response (Protocol.Rejected msg)));
+  conn.c_closing <- true
+
+(* peel and answer buffered frames on [conn], at most [budget] per call
+   so one aggressive pipeliner round-robins with the other sessions
+   (the shutdown drain passes [max_int]) *)
+let drain_frames ?budget st conns conn =
+  let budget =
+    ref (match budget with Some b -> b | None -> st.st_cfg.d_max_pipeline)
+  in
   let continue = ref true in
-  while !continue && conn.c_open do
+  while !continue && conn.c_open && (not conn.c_closing) && !budget > 0 do
     match Protocol.peel conn.c_buf with
     | None -> continue := false
     | Some payload -> (
+      decr budget;
       match Protocol.decode_request payload with
-      | req -> (
+      | req ->
         let resp = handle_request st conn req in
-        match Protocol.send conn.c_fd (Protocol.encode_response resp) with
-        | () -> if resp = Protocol.Bye then continue := false
-        | exception (Unix.Unix_error _ | Protocol.Malformed _) ->
-          close_conn conn)
+        enqueue st conns conn
+          (Protocol.frame (Protocol.encode_response resp));
+        if resp = Protocol.Bye then conn.c_closing <- true
       | exception Protocol.Malformed m ->
-        conn.c_session.ss_errors <- conn.c_session.ss_errors + 1;
-        st.st_sv.sv_errors <- st.st_sv.sv_errors + 1;
-        (try Protocol.send conn.c_fd (Protocol.encode_response (Protocol.Error_r m))
-         with Unix.Unix_error _ | Protocol.Malformed _ -> ());
-        close_conn conn)
+        reject st conns conn ("malformed request: " ^ m))
     | exception Protocol.Malformed m ->
-      conn.c_session.ss_errors <- conn.c_session.ss_errors + 1;
-      st.st_sv.sv_errors <- st.st_sv.sv_errors + 1;
-      (try Protocol.send conn.c_fd (Protocol.encode_response (Protocol.Error_r m))
-       with Unix.Unix_error _ | Protocol.Malformed _ -> ());
-      close_conn conn
+      reject st conns conn ("broken framing: " ^ m)
   done
 
 (* ------------------------------------------------------------------ *)
@@ -218,9 +421,14 @@ let drain_frames st conn =
     [signals]), or [stop] is set externally.  Returns after draining
     in-flight requests, flushing the store and removing the socket.
     [on_ready] fires once the socket is listening (tests and the bench
-    use it to gate client connects). *)
+    use it to gate client connects).
+    @raise Already_running when a live daemon owns the socket. *)
 let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
     report =
+  (* single-instance discipline before touching the socket *)
+  (match probe ~socket:cfg.d_socket with
+  | Live pid -> raise (Already_running (pid, cfg.d_socket))
+  | Stale _ | Absent -> ());
   Util.Pool.set_jobs cfg.d_jobs;
   let store =
     Option.map
@@ -229,7 +437,13 @@ let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
       cfg.d_store_dir
   in
   let prev_backing = Option.map Store.install store in
-  let log_oc = Option.map open_out cfg.d_log in
+  (* append: a restarted daemon must extend the log, not erase the
+     history that explains why it restarted *)
+  let log_oc =
+    Option.map
+      (fun p -> open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 p)
+      cfg.d_log
+  in
   (* a client that disappears mid-write must not kill the server *)
   let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let prev_handlers =
@@ -240,16 +454,20 @@ let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
   in
   (if Sys.file_exists cfg.d_socket then
      try Unix.unlink cfg.d_socket with Unix.Unix_error _ -> ());
+  write_pidfile cfg.d_socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let now0 = Unix.gettimeofday () in
   let st =
     { st_cfg = cfg;
       st_config =
         (if cfg.d_baseline then Core.Config.baseline ~procs:8 ()
          else Core.Config.polaris ~procs:8 ());
       st_store = store;
-      st_sv = Metrics.server ~now:(Unix.gettimeofday ());
+      st_sv = Metrics.server ~now:now0;
       st_sessions = [];
       st_stop = false;
+      st_since_flush = 0;
+      st_last_flush = now0;
       st_log = log_oc }
   in
   let conns : conn list ref = ref [] in
@@ -257,6 +475,7 @@ let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
     List.iter close_conn !conns;
     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
     (try Unix.unlink cfg.d_socket with Unix.Unix_error _ -> ());
+    remove_pidfile cfg.d_socket;
     Option.iter Store.flush store;
     Option.iter (fun prev -> Store.uninstall prev) prev_backing;
     (match prev_handlers with
@@ -276,51 +495,135 @@ let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
         [ ("event", str "listening");
           ("socket", str cfg.d_socket);
           ( "store",
-            match cfg.d_store_dir with Some d -> str d | None -> null ) ]));
+            match cfg.d_store_dir with Some d -> str d | None -> null ) ]);
+   (* the restart marker: how much analysis state this lifetime
+      recovered from the previous one's flushes *)
+   log_line st
+     (obj
+        [ ("event", str "restart");
+          ("pid", int (Unix.getpid ()));
+          ( "recovered_entries",
+            int (match store with Some s -> Store.loaded_count s | None -> 0)
+          );
+          ( "corrupt_dropped",
+            int (match store with Some s -> Store.corrupt_count s | None -> 0)
+          ) ]));
   Option.iter (fun f -> f ()) on_ready;
+  let busy_wire = Protocol.frame (Protocol.encode_response Protocol.Busy) in
   let chunk = Bytes.create 65536 in
   let next_session = ref 0 in
+  let accept_one now =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+      let open_sessions =
+        List.length (List.filter (fun c -> c.c_open) !conns)
+      in
+      if open_sessions >= cfg.d_max_sessions then begin
+        (* shed: one tiny Busy frame (always fits the empty socket
+           buffer), then close — no session, no state *)
+        st.st_sv.sv_shed <- st.st_sv.sv_shed + 1;
+        (let open Valid.Trace.Json in
+         log_line st
+           (obj [ ("event", str "shed"); ("open_sessions", int open_sessions) ]));
+        (try ignore (Unix.write_substring fd busy_wire 0 (String.length busy_wire))
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Unix.set_nonblock fd;
+        (match cfg.d_sndbuf with
+        | Some n -> (
+          try Unix.setsockopt_int fd Unix.SO_SNDBUF n
+          with Unix.Unix_error _ | Invalid_argument _ -> ())
+        | None -> ());
+        incr next_session;
+        st.st_sv.sv_sessions <- st.st_sv.sv_sessions + 1;
+        let sess = Metrics.session !next_session in
+        st.st_sessions <- sess :: st.st_sessions;
+        conns :=
+          { c_fd = fd; c_buf = Buffer.create 4096; c_outq = Queue.create ();
+            c_out_off = 0; c_out_bytes = 0; c_last_active = now;
+            c_closing = false; c_session = sess; c_open = true }
+          :: !conns
+      end
+    | exception Unix.Unix_error _ -> ()
+  in
   while (not st.st_stop) && not (Atomic.get stop) do
-    let fds = listen_fd :: List.map (fun c -> c.c_fd) !conns in
-    match Unix.select fds [] [] cfg.d_poll_s with
+    let now = Unix.gettimeofday () in
+    (* time-based flush: bound the crash window even on a quiet socket *)
+    if
+      store <> None && st.st_since_flush > 0
+      && now -. st.st_last_flush >= cfg.d_flush_interval_s
+    then flush_store st ~reason:"interval";
+    (* idle eviction *)
+    List.iter
+      (fun c ->
+        if c.c_open && now -. c.c_last_active > cfg.d_idle_timeout_s then begin
+          st.st_sv.sv_evicted_idle <- st.st_sv.sv_evicted_idle + 1;
+          log_evict st c ~kind:"idle";
+          close_conn c
+        end)
+      !conns;
+    conns := List.filter (fun c -> c.c_open) !conns;
+    (* oldest-first keeps per-turn processing in arrival order *)
+    let ordered = List.rev !conns in
+    let read_fds =
+      listen_fd
+      :: List.filter_map
+           (fun c -> if c.c_open && not c.c_closing then Some c.c_fd else None)
+           ordered
+    in
+    let write_fds =
+      List.filter_map
+        (fun c -> if c.c_open && c.c_out_bytes > 0 then Some c.c_fd else None)
+        ordered
+    in
+    (* frames deferred by the pipelining cap are work we already have *)
+    let timeout =
+      if List.exists (fun c -> c.c_open && (not c.c_closing)
+                               && Protocol.has_frame c.c_buf) ordered
+      then 0.0
+      else cfg.d_poll_s
+    in
+    (match Unix.select read_fds write_fds [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
-      if List.mem listen_fd readable then begin
-        match Unix.accept listen_fd with
-        | fd, _ ->
-          incr next_session;
-          st.st_sv.sv_sessions <- st.st_sv.sv_sessions + 1;
-          let sess = Metrics.session !next_session in
-          st.st_sessions <- sess :: st.st_sessions;
-          conns :=
-            !conns
-            @ [ { c_fd = fd; c_buf = Buffer.create 4096; c_session = sess;
-                  c_open = true } ]
-        | exception Unix.Unix_error _ -> ()
-      end;
+    | readable, _writable, _ ->
+      if List.mem listen_fd readable then accept_one now;
+      (* reads *)
       List.iter
         (fun c ->
-          if c.c_open && List.mem c.c_fd readable then
+          if c.c_open && (not c.c_closing) && List.mem c.c_fd readable then
             match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
             | 0 -> close_conn c
             | n ->
+              c.c_last_active <- now;
               Buffer.add_subbytes c.c_buf chunk 0 n;
-              drain_frames st c
-            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
-              ->
+              if Buffer.length c.c_buf > cfg.d_max_rbuf then
+                reject st !conns c "receive buffer cap exceeded"
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
               close_conn c
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-        !conns;
-      conns := List.filter (fun c -> c.c_open) !conns
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              ())
+        ordered;
+      (* execute buffered frames — fresh and deferred alike, capped per
+         connection per turn *)
+      List.iter (fun c -> drain_frames st !conns c) ordered;
+      (* opportunistic flush: the common case writes the response now;
+         the select write set only exists to wake us for the backlog *)
+      List.iter (fun c -> if c.c_out_bytes > 0 then flush_conn c) ordered);
+    conns := List.filter (fun c -> c.c_open) !conns
   done;
   (* graceful drain: answer every request already sent (one last
      non-blocking read picks up bytes in flight — nothing waits for
-     new work), then flush and go down *)
+     new work), then flush the queues blocking, flush the store and go
+     down *)
   List.iter
     (fun c ->
       if c.c_open then begin
         (try
-           Unix.set_nonblock c.c_fd;
            let continue = ref true in
            while !continue do
              match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
@@ -329,13 +632,36 @@ let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
              | exception Unix.Unix_error _ -> continue := false
            done
          with Unix.Unix_error _ -> ());
-        drain_frames st c
+        if not c.c_closing then drain_frames ~budget:max_int st !conns c;
+        (* deliver the queued answers even to a peer whose socket
+           buffer is full: blocking writes, best effort *)
+        (try
+           Unix.clear_nonblock c.c_fd;
+           while c.c_open && not (Queue.is_empty c.c_outq) do
+             let head = Queue.peek c.c_outq in
+             let len = String.length head - c.c_out_off in
+             match Unix.write_substring c.c_fd head c.c_out_off len with
+             | 0 -> close_conn c
+             | k ->
+               c.c_out_bytes <- c.c_out_bytes - k;
+               if k = len then begin
+                 ignore (Queue.pop c.c_outq);
+                 c.c_out_off <- 0
+               end
+               else c.c_out_off <- c.c_out_off + k
+           done
+         with Unix.Unix_error _ -> close_conn c)
       end)
-    !conns;
+    (List.rev !conns);
   let final = stats_json st in
   (let open Valid.Trace.Json in
    log_line st (obj [ ("event", str "shutdown"); ("stats", final) ]));
   { r_graceful = true;
     r_requests = st.st_sv.sv_requests;
     r_sessions = st.st_sv.sv_sessions;
+    r_shed = st.st_sv.sv_shed;
+    r_evicted_slow = st.st_sv.sv_evicted_slow;
+    r_evicted_idle = st.st_sv.sv_evicted_idle;
+    r_flushes = st.st_sv.sv_flushes;
+    r_max_pending = st.st_sv.sv_max_pending;
     r_stats_json = final }

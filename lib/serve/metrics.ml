@@ -64,11 +64,22 @@ type server = {
   mutable sv_requests : int;
   mutable sv_errors : int;
   mutable sv_incidents : int;
+  (* self-protection telemetry (PR 7): every shed, eviction, protocol
+     rejection and store flush is counted so overload behaviour is
+     observable, not inferred *)
+  mutable sv_shed : int;          (** connections refused with [Busy] at the cap *)
+  mutable sv_evicted_slow : int;  (** sessions dropped for an overfull write queue *)
+  mutable sv_evicted_idle : int;  (** sessions dropped by the idle timeout *)
+  mutable sv_rejects : int;       (** protocol violations answered [Rejected] *)
+  mutable sv_flushes : int;       (** periodic store flushes performed *)
+  mutable sv_max_pending : int;   (** high-water mark of queued response bytes *)
   sv_lat : recorder;
 }
 
 let server ~now = { sv_started = now; sv_sessions = 0; sv_requests = 0;
-                    sv_errors = 0; sv_incidents = 0; sv_lat = recorder () }
+                    sv_errors = 0; sv_incidents = 0; sv_shed = 0;
+                    sv_evicted_slow = 0; sv_evicted_idle = 0; sv_rejects = 0;
+                    sv_flushes = 0; sv_max_pending = 0; sv_lat = recorder () }
 
 let rate_of hits lookups =
   if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
@@ -104,6 +115,12 @@ let server_json ~now (sv : server) (sessions : session list)
        ("requests", Json.int sv.sv_requests);
        ("errors", Json.int sv.sv_errors);
        ("incidents", Json.int sv.sv_incidents);
+       ("shed", Json.int sv.sv_shed);
+       ("evicted_slow", Json.int sv.sv_evicted_slow);
+       ("evicted_idle", Json.int sv.sv_evicted_idle);
+       ("rejects", Json.int sv.sv_rejects);
+       ("flushes", Json.int sv.sv_flushes);
+       ("max_pending_bytes", Json.int sv.sv_max_pending);
        ( "req_per_s",
          Json.float
            (if uptime <= 0.0 then 0.0 else float_of_int sv.sv_requests /. uptime) );

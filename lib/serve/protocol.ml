@@ -3,30 +3,51 @@
     One connection is one client {e session}: a sequence of
     length-prefixed request frames, each answered by exactly one
     length-prefixed response frame, in order.  A frame is a 4-byte
-    big-endian payload length followed by the payload; inside a payload
-    every field is explicitly encoded (tag bytes, length-prefixed
-    strings, 8-byte IEEE-754 floats), so the format is
-    binary-deterministic, independent of [Marshal], and safe to parse
-    from untrusted peers — every decoder validates lengths and tags and
-    raises {!Malformed} instead of reading out of bounds.
+    big-endian payload length, a 4-byte FNV-1a checksum of the payload,
+    then the payload; inside a payload every field is explicitly
+    encoded (tag bytes, length-prefixed strings, 8-byte IEEE-754
+    floats), so the format is binary-deterministic, independent of
+    [Marshal], and safe to parse from untrusted peers — every decoder
+    validates lengths and tags and raises {!Malformed} instead of
+    reading out of bounds.
+
+    The checksum is the transport-fault detector: a bit flip anywhere
+    in a frame (length, checksum or payload) is caught before the
+    payload is decoded, so a corrupted {e request} can never be
+    silently compiled as a different program and a corrupted
+    {e response} can never be silently accepted as a result.  Both
+    sides treat a checksum mismatch exactly like any other framing
+    violation — the daemon answers {!Rejected} and closes the guilty
+    session, the client drops the connection and (with retries
+    configured) reconnects and resends.  Compiles are deterministic, so
+    the retry is idempotent-safe.
 
     Requests: [Compile] carries the {e source text} (the client reads
     the file, keeping the daemon independent of the client's
     filesystem), a label for reporting, and a [check] flag asking the
     daemon to verify the compile against a from-scratch one.  [Stats]
-    asks for the server's observability report.  [Shutdown] asks for a
-    graceful drain-flush-exit.
+    asks for the server's observability report.  [Ping] is a liveness
+    probe answered with [Pong].  [Shutdown] asks for a graceful
+    drain-flush-exit.
 
     Responses carry everything a client needs to reproduce the
     compiler's one-shot behaviour byte-for-byte: the annotated output
     source, the sid-masked per-loop verdict lines, incident counts,
     and the per-request reuse telemetry (tracked-analysis rate and
-    shared persistent-cache rate) the bench aggregates. *)
+    shared persistent-cache rate) the bench aggregates.  [Busy] and
+    [Rejected] are the daemon's self-protection verdicts: [Busy] sheds
+    a connection at the admission cap (retry later — nothing was
+    attempted), [Rejected] answers a protocol violation (a retried
+    request may succeed: the bytes, not the request, were bad). *)
 
 exception Malformed of string
 (** A frame or payload that violates the protocol.  Per-connection
-    fault containment: the daemon answers with {!Error_r} and closes
+    fault containment: the daemon answers with {!Rejected} and closes
     that session only. *)
+
+exception Timeout
+(** Raised by {!recv} when its deadline passes before a complete frame
+    arrives.  Clients treat it as a transient failure (retryable). *)
 
 let max_frame = 64 * 1024 * 1024
 (** Ceiling on one frame's payload (64 MB): a corrupt or hostile length
@@ -42,7 +63,7 @@ type compile_req = {
   cr_baseline : bool;  (** use the baseline (PFA-like) pipeline *)
 }
 
-type request = Compile of compile_req | Stats | Shutdown
+type request = Compile of compile_req | Stats | Ping | Shutdown
 
 type compile_reply = {
   co_label : string;
@@ -62,7 +83,13 @@ type compile_reply = {
 type response =
   | Compiled of compile_reply
   | Stats_reply of string  (** the server's observability report, JSON *)
-  | Error_r of string      (** request-contained failure (bad source, bad frame) *)
+  | Error_r of string      (** request-contained {e application} failure
+                               (bad source); deterministic, not retryable *)
+  | Rejected of string     (** protocol-level refusal (malformed frame,
+                               cap exceeded); the connection closes and a
+                               retry over a fresh one may succeed *)
+  | Busy                   (** load shed at the admission cap; retry later *)
+  | Pong                   (** liveness probe answer *)
   | Bye                    (** shutdown acknowledged; the server is draining *)
 
 (* ------------------------------------------------------------------ *)
@@ -163,6 +190,7 @@ let encode_request (r : request) : string =
     add_bool buf c.cr_baseline;
     add_str buf c.cr_source
   | Stats -> Buffer.add_char buf 'S'
+  | Ping -> Buffer.add_char buf 'P'
   | Shutdown -> Buffer.add_char buf 'Q');
   Buffer.contents buf
 
@@ -177,6 +205,7 @@ let decode_request (payload : string) : request =
       let cr_source = get_str c "compile source" in
       Compile { cr_label; cr_source; cr_check; cr_baseline }
     | 'S' -> Stats
+    | 'P' -> Ping
     | 'Q' -> Shutdown
     | t -> raise (Malformed (Printf.sprintf "unknown request tag %C" t))
   in
@@ -203,6 +232,11 @@ let encode_response (r : response) : string =
   | Error_r msg ->
     Buffer.add_char buf 'E';
     add_str buf msg
+  | Rejected msg ->
+    Buffer.add_char buf 'J';
+    add_str buf msg
+  | Busy -> Buffer.add_char buf 'Y'
+  | Pong -> Buffer.add_char buf 'p'
   | Bye -> Buffer.add_char buf 'B');
   Buffer.contents buf
 
@@ -225,6 +259,9 @@ let decode_response (payload : string) : response =
           co_shared_hits; co_shared_lookups; co_wall_ms; co_check_divergences }
     | 'T' -> Stats_reply (get_str c "stats json")
     | 'E' -> Error_r (get_str c "error message")
+    | 'J' -> Rejected (get_str c "rejection message")
+    | 'Y' -> Busy
+    | 'p' -> Pong
     | 'B' -> Bye
     | t -> raise (Malformed (Printf.sprintf "unknown response tag %C" t))
   in
@@ -234,34 +271,73 @@ let decode_response (payload : string) : response =
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
 
+let header_len = 8
+(** 4-byte payload length + 4-byte FNV-1a payload checksum. *)
+
+(** 32-bit FNV-1a over [s] — cheap, order-sensitive, and sensitive to
+    any single bit flip; the frame integrity check, not a cryptographic
+    authenticator (the store's trust model is {!Store}'s concern). *)
+let fnv32 (s : string) : int =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+(* the checksum is a full 32-bit value, so it cannot go through
+   [add_u32] (whose range check is for payload lengths) *)
+let add_raw32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
 (** [frame payload]: the bytes to put on the wire. *)
 let frame (payload : string) : string =
-  let buf = Buffer.create (String.length payload + 4) in
+  let buf = Buffer.create (String.length payload + header_len) in
   add_u32 buf (String.length payload);
+  add_raw32 buf (fnv32 payload);
   Buffer.add_string buf payload;
   Buffer.contents buf
 
 (** [peel buf]: if [buf] starts with a complete frame, remove and
     return its payload; [None] while bytes are still missing.  Raises
-    {!Malformed} on an oversized length prefix — the connection's
-    framing is unrecoverable from that point. *)
+    {!Malformed} on an oversized length prefix or a checksum mismatch —
+    the connection's framing is unrecoverable from that point. *)
 let peel (buf : Buffer.t) : string option =
   let len = Buffer.length buf in
-  if len < 4 then None
+  if len < header_len then None
   else begin
     let b i = Char.code (Buffer.nth buf i) in
     let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
     if n > max_frame then
       raise (Malformed (Printf.sprintf "frame length %d exceeds limit" n));
-    if len < 4 + n then None
+    let ck = (b 4 lsl 24) lor (b 5 lsl 16) lor (b 6 lsl 8) lor b 7 in
+    if len < header_len + n then None
     else begin
-      let payload = Buffer.sub buf 4 n in
-      let rest = Buffer.sub buf (4 + n) (len - 4 - n) in
+      let payload = Buffer.sub buf header_len n in
+      if fnv32 payload <> ck then
+        raise (Malformed "frame checksum mismatch");
+      let rest =
+        Buffer.sub buf (header_len + n) (len - header_len - n)
+      in
       Buffer.clear buf;
       Buffer.add_string buf rest;
       Some payload
     end
   end
+
+(** [has_frame buf]: true when {!peel} would make progress — a complete
+    frame is buffered, or the header is already provably malformed.
+    The daemon's select loop polls this to keep processing pipelined
+    frames that arrived in one read. *)
+let has_frame (buf : Buffer.t) : bool =
+  let len = Buffer.length buf in
+  len >= header_len
+  &&
+  let b i = Char.code (Buffer.nth buf i) in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  n > max_frame || len >= header_len + n
 
 (* ------------------------------------------------------------------ *)
 (* Blocking I/O helpers (client side and tests)                        *)
@@ -282,14 +358,34 @@ let send fd (payload : string) = write_all fd (frame payload)
 (** Receive one complete frame from [fd] (blocking); [None] on orderly
     EOF at a frame boundary.  [buf] is the connection's carry-over
     buffer: bytes of a following frame that arrive in the same read are
-    kept there for the next call. *)
-let recv fd (buf : Buffer.t) : string option =
+    kept there for the next call.
+
+    [read] is the transport seam ({!Serve.Chaosnet} substitutes a
+    fault-injecting reader); [deadline] is an absolute
+    [Unix.gettimeofday] instant after which {!Timeout} raises instead
+    of blocking forever on a stalled or dead daemon. *)
+let recv ?(read = Unix.read) ?deadline fd (buf : Buffer.t) : string option =
   let chunk = Bytes.create 4096 in
+  let wait_readable () =
+    match deadline with
+    | None -> ()
+    | Some d ->
+      let rec sel () =
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0.0 then raise Timeout;
+        match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> raise Timeout
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> sel ()
+      in
+      sel ()
+  in
   let rec loop () =
     match peel buf with
     | Some payload -> Some payload
     | None -> (
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      wait_readable ();
+      match read fd chunk 0 (Bytes.length chunk) with
       | 0 ->
         if Buffer.length buf = 0 then None
         else raise (Malformed "connection closed mid-frame")

@@ -205,6 +205,17 @@ let entry_count t =
   Mutex.unlock t.m;
   n
 
+(** Entries recovered from disk when the store was opened — what a
+    daemon restart actually inherited (the [restart] log event and the
+    crash-recovery tests read this). *)
+let loaded_count t = t.n_loaded
+
+(** Entries or files dropped by the integrity checks at open.  Zero
+    means the on-disk store passed every digest — the crash-safety
+    contract after an atomic-flush-only history (a torn write is
+    impossible: flushes go through tmp+rename). *)
+let corrupt_count t = t.n_corrupt
+
 (* ------------------------------------------------------------------ *)
 (* Flush                                                               *)
 

@@ -58,6 +58,28 @@ let parse_path raw : (string, string) result =
   let t = String.trim raw in
   if t = "" then Error "expected a non-empty path" else Ok t
 
+(** [parse_count raw]: a positive integer, unclamped.  Used for the
+    daemon's admission and flush-cadence knobs ([POLARIS_MAX_SESSIONS],
+    [POLARIS_FLUSH_EVERY]); zero would mean "admit nothing" / "flush on
+    every request boundary including none", which is never what a
+    misconfigured deployment wants silently. *)
+let parse_count raw : (int, string) result =
+  match int_of_string_opt (String.trim raw) with
+  | None -> Error (Printf.sprintf "expected an integer, got %S" raw)
+  | Some n when n < 1 -> Error (Printf.sprintf "expected a count >= 1, got %d" n)
+  | Some n -> Ok n
+
+(** [parse_seconds raw]: a strictly positive duration in seconds
+    (fractions allowed).  Used for [POLARIS_IDLE_TIMEOUT_S] and
+    [POLARIS_FLUSH_INTERVAL_S]; zero and negative values are rejected —
+    a zero idle timeout would evict every session at the first poll. *)
+let parse_seconds raw : (float, string) result =
+  match float_of_string_opt (String.trim raw) with
+  | None -> Error (Printf.sprintf "expected a duration in seconds, got %S" raw)
+  | Some s when not (Float.is_finite s) || s <= 0.0 ->
+    Error (Printf.sprintf "expected a duration > 0, got %s" (String.trim raw))
+  | Some s -> Ok s
+
 let read var ~default parse =
   match Sys.getenv_opt var with
   | None -> default
@@ -93,3 +115,24 @@ let max_cache_mb : int = read "POLARIS_MAX_CACHE_MB" ~default:64 parse_mb
 (** Parsed [POLARIS_SOCKET]: unix-domain socket path of the compile
     daemon ([None] = the CLI's default path). *)
 let socket : string option = read_opt "POLARIS_SOCKET" parse_path
+
+(** Parsed [POLARIS_MAX_SESSIONS]: the daemon's concurrent-session
+    admission cap; connections beyond it are shed with a [Busy]
+    response (default 64). *)
+let max_sessions : int = read "POLARIS_MAX_SESSIONS" ~default:64 parse_count
+
+(** Parsed [POLARIS_IDLE_TIMEOUT_S]: seconds of per-connection
+    inactivity after which the daemon evicts the session (default
+    600 s). *)
+let idle_timeout_s : float =
+  read "POLARIS_IDLE_TIMEOUT_S" ~default:600.0 parse_seconds
+
+(** Parsed [POLARIS_FLUSH_EVERY]: flush the persistent store to disk
+    after this many compile requests, bounding what a SIGKILL can lose
+    (default 64). *)
+let flush_every : int = read "POLARIS_FLUSH_EVERY" ~default:64 parse_count
+
+(** Parsed [POLARIS_FLUSH_INTERVAL_S]: also flush the persistent store
+    after this many seconds with unflushed work (default 30 s). *)
+let flush_interval_s : float =
+  read "POLARIS_FLUSH_INTERVAL_S" ~default:30.0 parse_seconds

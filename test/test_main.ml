@@ -21,4 +21,5 @@ let () =
       ("cache", Test_cache.tests);
       ("pool", Test_pool.tests);
       ("serve", Test_serve.tests);
+      ("chaosnet", Test_chaosnet.tests);
       ("props", Test_props.tests) ]

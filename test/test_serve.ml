@@ -45,7 +45,7 @@ let test_protocol_request_roundtrip () =
           cr_baseline = false };
       Serve.Protocol.Compile
         { cr_label = ""; cr_source = ""; cr_check = false; cr_baseline = true };
-      Serve.Protocol.Stats; Serve.Protocol.Shutdown ]
+      Serve.Protocol.Stats; Serve.Protocol.Ping; Serve.Protocol.Shutdown ]
   in
   List.iter
     (fun r ->
@@ -61,7 +61,8 @@ let test_protocol_response_roundtrip () =
           co_shared_lookups = 21; co_wall_ms = 1.25;
           co_check_divergences = [ "output differs" ] };
       Serve.Protocol.Stats_reply "{\"requests\":3}";
-      Serve.Protocol.Error_r "nope"; Serve.Protocol.Bye ]
+      Serve.Protocol.Error_r "nope"; Serve.Protocol.Rejected "bad frame";
+      Serve.Protocol.Busy; Serve.Protocol.Pong; Serve.Protocol.Bye ]
   in
   List.iter
     (fun r ->
@@ -89,6 +90,32 @@ let test_protocol_rejects_malformed () =
   Buffer.add_string buf "\255\255\255\255rest";
   Alcotest.(check bool) "oversized frame length" true
     (malformed (fun () -> Serve.Protocol.peel buf))
+
+(* the FNV-1a frame checksum: any single corrupted byte anywhere in a
+   frame must be detected before the payload is decoded *)
+let test_protocol_checksum_detects_flips () =
+  let payload = Serve.Protocol.encode_request Serve.Protocol.Stats in
+  let wire = Serve.Protocol.frame payload in
+  for pos = 0 to String.length wire - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string wire in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      let buf = Buffer.create 64 in
+      Buffer.add_bytes buf b;
+      (* acceptable: checksum mismatch (Malformed) or a flipped length
+         making the frame look incomplete (None).  Never a payload. *)
+      match Serve.Protocol.peel buf with
+      | Some _ ->
+        Alcotest.fail
+          (Printf.sprintf "flip at byte %d bit %d passed the checksum" pos bit)
+      | None | (exception Serve.Protocol.Malformed _) -> ()
+    done
+  done;
+  (* the clean frame still peels *)
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf wire;
+  Alcotest.(check bool) "clean frame peels" true
+    (Serve.Protocol.peel buf = Some payload)
 
 let test_protocol_peel_reassembles () =
   let p1 = Serve.Protocol.encode_request Serve.Protocol.Stats in
@@ -278,14 +305,16 @@ let test_local_compile_path_contains_errors () =
 (* ------------------------------------------------------------------ *)
 (* Daemon end to end                                                   *)
 
-let start_daemon ?(signals = false) ~socket ~store_dir () =
+let start_daemon ?(signals = false) ?(tweak = fun c -> c) ~socket ~store_dir
+    () =
   let stop = Atomic.make false in
   let ready = Atomic.make false in
   let cfg =
-    { (Serve.Daemon.default_cfg ()) with
-      d_socket = socket;
-      d_store_dir = store_dir;
-      d_poll_s = 0.02 }
+    tweak
+      { (Serve.Daemon.default_cfg ()) with
+        d_socket = socket;
+        d_store_dir = store_dir;
+        d_poll_s = 0.02 }
   in
   let d =
     Domain.spawn (fun () ->
@@ -342,8 +371,8 @@ let test_daemon_contains_malformed_session () =
   | Ok c ->
     Serve.Protocol.send c.Serve.Client.fd "Zjunk";
     (match Serve.Client.recv c with
-    | Ok (Serve.Protocol.Error_r _) -> ()
-    | Ok _ -> Alcotest.fail "expected Error_r for a malformed request"
+    | Ok (Serve.Protocol.Rejected _) -> ()
+    | Ok _ -> Alcotest.fail "expected Rejected for a malformed request"
     | Error m -> Alcotest.fail ("recv: " ^ m));
     (* the daemon closed this session after the protocol violation *)
     (match Serve.Client.recv c with
@@ -445,10 +474,355 @@ let test_daemon_store_warms_next_daemon () =
   rm_rf_dir store_dir;
   Util.Cachectl.clear_all ()
 
+(* ------------------------------------------------------------------ *)
+(* Overload protection                                                 *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else go (i + 1) (if String.sub hay i nn = needle then acc + 1 else acc)
+  in
+  if nn = 0 then 0 else go 0 0
+
+let rec wait_for ~deadline f =
+  f ()
+  || Unix.gettimeofday () < deadline
+     && begin
+          Unix.sleepf 0.05;
+          wait_for ~deadline f
+        end
+
+(* the head-of-line pin: a session that sends one byte of a frame and
+   stalls forever must not delay anyone else beyond the poll interval *)
+let test_daemon_stalled_client_no_hol () =
+  let socket = tmp_name "stall.sock" in
+  Util.Cachectl.clear_all ();
+  let d, stop = start_daemon ~socket ~store_dir:None () in
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok a ->
+    ignore (Unix.write_substring a.Serve.Client.fd "\000" 0 1);
+    (* warm the caches once so the timed compile measures the server
+       loop, not a cold analysis *)
+    (match Serve.Client.connect socket with
+    | Error m -> Alcotest.fail m
+    | Ok w ->
+      (match Serve.Client.compile_source w ~label:"warmup" smoke_source with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      Serve.Client.close w);
+    (match Serve.Client.connect socket with
+    | Error m -> Alcotest.fail m
+    | Ok b ->
+      let t0 = Unix.gettimeofday () in
+      (match Serve.Client.compile_source b ~label:"b" smoke_source with
+      | Ok r ->
+        Alcotest.(check int) "B compiled behind the stall" 2
+          (List.length r.co_verdicts)
+      | Error m -> Alcotest.fail m);
+      let dt = Unix.gettimeofday () -. t0 in
+      (* generous pin: the 20ms poll plus a warm compile is well under
+         a second; blocking on the stalled reader would hang forever *)
+      Alcotest.(check bool)
+        (Printf.sprintf "no head-of-line blocking (%.0f ms)" (1000.0 *. dt))
+        true (dt < 2.0);
+      Serve.Client.close b);
+    Serve.Client.close a);
+  Atomic.set stop true;
+  let report = Domain.join d in
+  Alcotest.(check bool) "graceful" true report.Serve.Daemon.r_graceful;
+  Util.Cachectl.clear_all ()
+
+(* a client that pipelines hundreds of compiles and never reads a byte
+   must be evicted when its bounded write queue overflows — not hold
+   its response bytes forever *)
+let test_daemon_evicts_slow_reader () =
+  let socket = tmp_name "slowreader.sock" in
+  Util.Cachectl.clear_all ();
+  let d, stop =
+    start_daemon ~socket ~store_dir:None
+      ~tweak:(fun c ->
+        { c with
+          Serve.Daemon.d_max_wbuf = 8 * 1024;
+          d_sndbuf = Some 4096;
+          d_max_pipeline = 8 })
+      ()
+  in
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (try
+       for i = 1 to 400 do
+         Serve.Client.send c
+           (Serve.Protocol.Compile
+              { cr_label = Printf.sprintf "r%d" i; cr_source = smoke_source;
+                cr_check = false; cr_baseline = false })
+       done
+     with Unix.Unix_error _ | Serve.Protocol.Malformed _ ->
+       (* the daemon evicted us mid-send: exactly the point *)
+       ());
+    (* observe the eviction from a second session's stats *)
+    let evicted () =
+      match Serve.Client.connect socket with
+      | Error _ -> false
+      | Ok s ->
+        Fun.protect ~finally:(fun () -> Serve.Client.close s) @@ fun () ->
+        (match Serve.Client.stats s with
+        | Ok json ->
+          contains json "\"evicted_slow\":"
+          && not (contains json "\"evicted_slow\":0,")
+        | Error _ -> false)
+    in
+    Alcotest.(check bool) "slow reader evicted" true
+      (wait_for ~deadline:(Unix.gettimeofday () +. 30.0) evicted);
+    Serve.Client.close c);
+  Atomic.set stop true;
+  let report = Domain.join d in
+  Alcotest.(check bool) "eviction counted" true
+    (report.Serve.Daemon.r_evicted_slow >= 1);
+  Alcotest.(check bool) "pending bytes were bounded and observed" true
+    (report.Serve.Daemon.r_max_pending > 0);
+  Util.Cachectl.clear_all ()
+
+(* at the admission cap a new connection gets one Busy frame and is
+   closed; once a session leaves, admission resumes *)
+let test_daemon_sheds_at_session_cap () =
+  let socket = tmp_name "busy.sock" in
+  Util.Cachectl.clear_all ();
+  let d, stop =
+    start_daemon ~socket ~store_dir:None
+      ~tweak:(fun c -> { c with Serve.Daemon.d_max_sessions = 1 })
+      ()
+  in
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok a ->
+    (* the ping guarantees A is accepted and counted before B arrives *)
+    (match Serve.Client.ping a with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail ("ping: " ^ m));
+    (match Serve.Client.connect socket with
+    | Error m -> Alcotest.fail m
+    | Ok b ->
+      (match Serve.Client.recv b with
+      | Ok Serve.Protocol.Busy -> ()
+      | Ok _ -> Alcotest.fail "expected Busy at the session cap"
+      | Error m -> Alcotest.fail ("recv: " ^ m));
+      (* nothing follows the shed: the connection is closed *)
+      (match Serve.Client.recv b with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "shed connection must be closed");
+      Serve.Client.close b);
+    Serve.Client.close a;
+    (* with A gone, a new session is admitted again (the daemon notices
+       the close on its next poll) *)
+    let admitted () =
+      match Serve.Client.connect socket with
+      | Error _ -> false
+      | Ok c ->
+        Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+        Serve.Client.ping c = Ok ()
+    in
+    Alcotest.(check bool) "admission resumes after A leaves" true
+      (wait_for ~deadline:(Unix.gettimeofday () +. 10.0) admitted));
+  Atomic.set stop true;
+  let report = Domain.join d in
+  Alcotest.(check bool) "shed counted" true (report.Serve.Daemon.r_shed >= 1);
+  Util.Cachectl.clear_all ()
+
+let test_daemon_idle_timeout () =
+  let socket = tmp_name "idle.sock" in
+  Util.Cachectl.clear_all ();
+  let d, stop =
+    start_daemon ~socket ~store_dir:None
+      ~tweak:(fun c -> { c with Serve.Daemon.d_idle_timeout_s = 0.15 })
+      ()
+  in
+  (match Serve.Client.connect ~deadline_s:10.0 socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.ping c with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail ("ping: " ^ m));
+    (* go quiet past the timeout: the daemon must hang up on us *)
+    (match Serve.Client.recv c with
+    | Error _ -> ()  (* EOF: evicted *)
+    | Ok _ -> Alcotest.fail "idle session got an unsolicited response");
+    Serve.Client.close c);
+  Atomic.set stop true;
+  let report = Domain.join d in
+  Alcotest.(check bool) "idle eviction counted" true
+    (report.Serve.Daemon.r_evicted_idle >= 1);
+  Util.Cachectl.clear_all ()
+
+(* ------------------------------------------------------------------ *)
+(* Single-instance discipline and crash recovery                       *)
+
+let test_daemon_pidfile_single_instance () =
+  let socket = tmp_name "pidfile.sock" in
+  Util.Cachectl.clear_all ();
+  let d, stop = start_daemon ~socket ~store_dir:None () in
+  (* a second daemon must refuse to stomp the live one's socket *)
+  (match
+     Serve.Daemon.run { (Serve.Daemon.default_cfg ()) with d_socket = socket }
+   with
+  | _ -> Alcotest.fail "second daemon must refuse a live socket"
+  | exception Serve.Daemon.Already_running (pid, s) ->
+    Alcotest.(check int) "pid names the owner" (Unix.getpid ()) pid;
+    Alcotest.(check string) "socket named" socket s);
+  Atomic.set stop true;
+  ignore (Domain.join d);
+  Alcotest.(check bool) "pidfile removed on clean exit" false
+    (Sys.file_exists (socket ^ ".pid"));
+  (* a stale pidfile — the SIGKILL leftover — must be recovered, not
+     refused *)
+  let oc = open_out (socket ^ ".pid") in
+  output_string oc "4194303\n";
+  close_out oc;
+  Alcotest.(check bool) "dead pid probes stale" true
+    (match Serve.Daemon.probe ~socket with
+    | Serve.Daemon.Stale _ -> true
+    | _ -> false);
+  let d2, stop2 = start_daemon ~socket ~store_dir:None () in
+  (match Serve.Daemon.probe ~socket with
+  | Serve.Daemon.Live pid ->
+    Alcotest.(check int) "recovered and live" (Unix.getpid ()) pid
+  | _ -> Alcotest.fail "expected a live pidfile after recovery");
+  Atomic.set stop2 true;
+  ignore (Domain.join d2);
+  Util.Cachectl.clear_all ()
+
+(* the --log file must be appended across daemon lifetimes, and every
+   startup must emit a restart event carrying the recovered entry count *)
+let test_daemon_log_appends_restart_event () =
+  let socket = tmp_name "logappend.sock" in
+  let store_dir = tmp_name "logappend-store" in
+  let log = tmp_name "logappend.jsonl" in
+  rm_rf_dir store_dir;
+  if Sys.file_exists log then Sys.remove log;
+  Util.Cachectl.clear_all ();
+  let tweak c = { c with Serve.Daemon.d_log = Some log } in
+  let d1, stop1 = start_daemon ~tweak ~socket ~store_dir:(Some store_dir) () in
+  (match Serve.Client.connect socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.compile_source c ~label:"first" smoke_source with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m);
+    Serve.Client.close c);
+  Atomic.set stop1 true;
+  ignore (Domain.join d1);
+  (* second lifetime on the same store and the same log *)
+  Util.Cachectl.clear_all ();
+  let d2, stop2 = start_daemon ~tweak ~socket ~store_dir:(Some store_dir) () in
+  Atomic.set stop2 true;
+  ignore (Domain.join d2);
+  let ic = open_in log in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check int) "two restart events (append, not truncate)" 2
+    (count_occurrences text "\"event\":\"restart\"");
+  Alcotest.(check int) "both lifetimes logged listening" 2
+    (count_occurrences text "\"event\":\"listening\"");
+  (* the second restart recovered the first lifetime's flushed facts *)
+  let after_second =
+    let needle = "\"event\":\"restart\"" in
+    let nn = String.length needle in
+    let last = ref 0 in
+    for i = 0 to String.length text - nn do
+      if String.sub text i nn = needle then last := i
+    done;
+    String.sub text !last (String.length text - !last)
+  in
+  Alcotest.(check bool) "second restart recovered entries" true
+    (contains after_second "\"recovered_entries\":"
+    && not (contains after_second "\"recovered_entries\":0,"));
+  Sys.remove log;
+  rm_rf_dir store_dir;
+  Util.Cachectl.clear_all ()
+
+(* SIGKILL mid-run: spawn the real binary, kill -9 it, restart it on
+   the same store.  With --flush-every 1 the store is flushed before
+   every reply, so everything a client saw answered survives; the
+   restarted daemon must serve warm hits from an integrity-clean store.
+   (A subprocess, not a fork: the OCaml 5 runtime with live worker
+   domains cannot safely fork, and the store trusts only files written
+   by the same executable.) *)
+let polaris_exe = "../bin/polaris_cli.exe"
+
+let spawn_daemon_proc ~socket ~store_dir extra =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let argv =
+    Array.of_list
+      ([ polaris_exe; "daemon"; "--socket"; socket; "--store"; store_dir;
+         "-j"; "1" ]
+      @ extra)
+  in
+  let pid = Unix.create_process polaris_exe argv null null null in
+  Unix.close null;
+  pid
+
+let test_daemon_sigkill_recovery () =
+  let socket = tmp_name "sigkill.sock" in
+  let store_dir = tmp_name "sigkill-store" in
+  rm_rf_dir store_dir;
+  (if Sys.file_exists socket then Sys.remove socket);
+  (if Sys.file_exists (socket ^ ".pid") then Sys.remove (socket ^ ".pid"));
+  let pid1 = spawn_daemon_proc ~socket ~store_dir [ "--flush-every"; "1" ] in
+  (match Serve.Client.connect ~wait_s:30.0 socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.compile_source c ~label:"one" smoke_source with
+    | Ok r -> Alcotest.(check int) "compiled before the crash" 2
+                (List.length r.co_verdicts)
+    | Error m -> Alcotest.fail m);
+    Serve.Client.close c);
+  (* the reply above is proof its facts were flushed (--flush-every 1
+     flushes before the response is queued).  Now crash hard. *)
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  Alcotest.(check bool) "pidfile left behind by SIGKILL" true
+    (Sys.file_exists (socket ^ ".pid"));
+  Alcotest.(check bool) "store file survived" true
+    (Sys.file_exists (Filename.concat store_dir "analysis.store"));
+  (* restart on the same socket and store: the stale pidfile and socket
+     are recovered, the store loads clean, and the compile is warm *)
+  let pid2 = spawn_daemon_proc ~socket ~store_dir [] in
+  (match Serve.Client.connect ~wait_s:30.0 socket with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (match Serve.Client.compile_source c ~label:"warm" smoke_source with
+    | Ok r ->
+      Alcotest.(check bool) "restarted daemon serves warm hits" true
+        (r.co_shared_lookups > 0
+        && float_of_int r.co_shared_hits
+           >= 0.5 *. float_of_int r.co_shared_lookups)
+    | Error m -> Alcotest.fail m);
+    (match Serve.Client.stats c with
+    | Ok json ->
+      Alcotest.(check bool) "recovered store passed every integrity check"
+        true
+        (contains json "\"corrupt_dropped\":0")
+    | Error m -> Alcotest.fail ("stats: " ^ m));
+    (match Serve.Client.shutdown c with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail ("shutdown: " ^ m));
+    Serve.Client.close c);
+  ignore (Unix.waitpid [] pid2);
+  rm_rf_dir store_dir
+
 let tests =
   [ ("protocol request roundtrip", `Quick, test_protocol_request_roundtrip);
     ("protocol response roundtrip", `Quick, test_protocol_response_roundtrip);
     ("protocol rejects malformed", `Quick, test_protocol_rejects_malformed);
+    ("protocol checksum detects every bit flip", `Quick,
+     test_protocol_checksum_detects_flips);
     ("protocol peel reassembles partial frames", `Quick,
      test_protocol_peel_reassembles);
     ("store roundtrip through disk", `Quick, test_store_roundtrip);
@@ -464,4 +838,17 @@ let tests =
     ("daemon drains in-flight requests on SIGTERM", `Quick,
      test_daemon_sigterm_drains);
     ("daemon store warms the next daemon", `Quick,
-     test_daemon_store_warms_next_daemon) ]
+     test_daemon_store_warms_next_daemon);
+    ("daemon survives a stalled client (no head-of-line)", `Quick,
+     test_daemon_stalled_client_no_hol);
+    ("daemon evicts a slow reader at the write-queue bound", `Quick,
+     test_daemon_evicts_slow_reader);
+    ("daemon sheds Busy at the session cap", `Quick,
+     test_daemon_sheds_at_session_cap);
+    ("daemon evicts idle sessions", `Quick, test_daemon_idle_timeout);
+    ("daemon pidfile: refuse live, recover stale", `Quick,
+     test_daemon_pidfile_single_instance);
+    ("daemon log appends and marks restarts", `Quick,
+     test_daemon_log_appends_restart_event);
+    ("daemon SIGKILL: restart recovers the flushed store", `Quick,
+     test_daemon_sigkill_recovery) ]

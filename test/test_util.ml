@@ -147,6 +147,35 @@ let test_env_parse_mb () =
   Alcotest.(check bool) "non-numeric rejected" true (rejected "big");
   Alcotest.(check bool) "empty rejected" true (rejected "")
 
+(* the daemon self-protection knobs: POLARIS_MAX_SESSIONS /
+   POLARIS_FLUSH_EVERY (counts) and POLARIS_IDLE_TIMEOUT_S /
+   POLARIS_FLUSH_INTERVAL_S (durations) *)
+let test_env_parse_count () =
+  let rejected s =
+    match Env.parse_count s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "plain" true (Env.parse_count "64" = Ok 64);
+  Alcotest.(check bool) "one is fine" true (Env.parse_count "1" = Ok 1);
+  Alcotest.(check bool) "unclamped" true (Env.parse_count "100000" = Ok 100000);
+  Alcotest.(check bool) "zero rejected" true (rejected "0");
+  Alcotest.(check bool) "negative rejected" true (rejected "-3");
+  Alcotest.(check bool) "non-numeric rejected" true (rejected "many");
+  Alcotest.(check bool) "empty rejected" true (rejected "")
+
+let test_env_parse_seconds () =
+  let rejected s =
+    match Env.parse_seconds s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "integer seconds" true (Env.parse_seconds "30" = Ok 30.0);
+  Alcotest.(check bool) "fractional seconds" true
+    (Env.parse_seconds "0.25" = Ok 0.25);
+  Alcotest.(check bool) "zero rejected (would evict everyone)" true
+    (rejected "0");
+  Alcotest.(check bool) "negative rejected" true (rejected "-1.5");
+  Alcotest.(check bool) "nan rejected" true (rejected "nan");
+  Alcotest.(check bool) "inf rejected" true (rejected "inf");
+  Alcotest.(check bool) "non-numeric rejected" true (rejected "soon")
+
 let test_env_parse_path () =
   Alcotest.(check bool) "plain path" true
     (Env.parse_path "/tmp/cache" = Ok "/tmp/cache");
@@ -161,6 +190,8 @@ let tests =
     ("env jobs parsing", `Quick, test_env_parse_jobs);
     ("env flag parsing", `Quick, test_env_parse_flag);
     ("env cache-size parsing", `Quick, test_env_parse_mb);
+    ("env count parsing", `Quick, test_env_parse_count);
+    ("env seconds parsing", `Quick, test_env_parse_seconds);
     ("env path parsing", `Quick, test_env_parse_path);
     ("rat zero denominator", `Quick, test_make_zero_den);
     ("rat arithmetic", `Quick, test_arith);
