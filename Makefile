@@ -38,7 +38,8 @@ perf: build
 # Multicore compilation: compiles the 16-code suite N times at
 # -j 1/2/4/8, asserts that output, verdicts and incidents are
 # byte-identical at every job count, prints the wall-clock scaling
-# table, and writes BENCH_scale.json.
+# table with per-pass wall time and the work-stealing scheduler's
+# batch/chunk/steal counters, and writes BENCH_scale.json (committed).
 scale: build
 	dune exec bench/main.exe -- scale 3
 
@@ -51,10 +52,12 @@ incremental: build
 	dune exec bench/main.exe -- incremental
 
 # Compile daemon: replays 4 concurrent client sessions over the 16-code
-# suite against a real daemon + unix socket, twice — cold (empty store)
-# and warm (daemon restarted on the persisted store).  Writes
-# BENCH_daemon.json and exits non-zero if any response differs from a
-# from-scratch compile or the warm shared-cache hit rate is below 50%.
+# suite against a real daemon + unix socket, three times — cold (empty
+# store), warm (daemon restarted on the persisted store) and conc (cold
+# again under --max-inflight 4, cross-request concurrency vs the
+# serialized cold baseline).  Writes BENCH_daemon.json and exits
+# non-zero if any response differs from a from-scratch compile or the
+# warm shared-cache hit rate is below 50%.
 daemon: build
 	dune exec bench/main.exe -- daemon 4
 

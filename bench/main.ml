@@ -605,8 +605,8 @@ let perf ?(n = 5) () =
    the annotated output source, the per-loop verdicts (loop_sid
    excluded: statement ids depend on allocation order across domains
    and carry no meaning beyond uniqueness) and the incident list *)
-let scale_compile cfg (source : string) =
-  let t = Core.Pipeline.compile cfg source in
+let scale_compile ?observer cfg (source : string) =
+  let t = Core.Pipeline.compile ?observer cfg source in
   ( Core.Pipeline.output_source t,
     List.map
       (fun (l : Core.Pipeline.loop_result) ->
@@ -630,25 +630,42 @@ let scale ?(n = 3) () =
       (fun jobs ->
         Util.Pool.with_jobs jobs (fun () ->
             Util.Cachectl.clear_all ();
+            (* per-pass wall clock through the pipeline observer (the
+               first event, "parse", absorbs frontend + setup time) and
+               the work-stealing scheduler's own telemetry *)
+            let phases : (string * float ref) list ref = ref [] in
+            let sched0 = Util.Pool.counters () in
             let t0 = Unix.gettimeofday () in
             let sigs = ref [] in
             for iter = 1 to n do
               List.iter
                 (fun (c : Suite.Code.t) ->
-                  let s = scale_compile cfg c.source in
+                  let last = ref (Unix.gettimeofday ()) in
+                  let observer p _ =
+                    let now = Unix.gettimeofday () in
+                    (match List.assoc_opt p !phases with
+                    | Some r -> r := !r +. (now -. !last)
+                    | None -> phases := !phases @ [ (p, ref (now -. !last)) ]);
+                    last := now
+                  in
+                  let s = scale_compile ~observer cfg c.source in
                   if iter = 1 then sigs := (c.name, s) :: !sigs)
                 Suite.Registry.all
             done;
             let wall = Unix.gettimeofday () -. t0 in
-            (jobs, wall, List.rev !sigs)))
+            let sched =
+              Util.Pool.counters_delta ~base:sched0 (Util.Pool.counters ())
+            in
+            let phases = List.map (fun (p, r) -> (p, !r)) !phases in
+            (jobs, wall, List.rev !sigs, phases, sched)))
       job_counts
   in
-  let _, wall1, sigs1 =
-    List.find (fun (jobs, _, _) -> jobs = 1) results
+  let _, wall1, sigs1, _, _ =
+    List.find (fun (jobs, _, _, _, _) -> jobs = 1) results
   in
   let divergences = ref [] in
   List.iter
-    (fun (jobs, _, sigs) ->
+    (fun (jobs, _, sigs, _, _) ->
       if jobs <> 1 then
         List.iter
           (fun (name, s) ->
@@ -664,12 +681,30 @@ let scale ?(n = 3) () =
         name jobs)
     !divergences;
   let identical = !divergences = [] in
-  Printf.printf "%5s | %10s %8s\n" "jobs" "wall" "speedup";
-  Printf.printf "%s\n" (String.make 28 '-');
+  Printf.printf "%5s | %10s %8s | %7s %7s %7s %7s %7s\n" "jobs" "wall"
+    "speedup" "batches" "inline" "tasks" "chunks" "steals";
+  Printf.printf "%s\n" (String.make 76 '-');
   List.iter
-    (fun (jobs, wall, _) ->
-      Printf.printf "%5d | %9.2fs %7.2fx\n" jobs wall (wall1 /. wall))
+    (fun (jobs, wall, _, _, (s : Util.Pool.counters)) ->
+      Printf.printf "%5d | %9.2fs %7.2fx | %7d %7d %7d %7d %7d\n" jobs wall
+        (wall1 /. wall) s.c_batches s.c_inline s.c_tasks s.c_chunks s.c_steals)
     results;
+  (* where the time goes, per pass, at the extremes of the -j range *)
+  let phase_row jobs =
+    let _, _, _, phases, _ =
+      List.find (fun (j, _, _, _, _) -> j = jobs) results
+    in
+    phases
+  in
+  let p1 = phase_row 1 and p8 = phase_row (List.hd (List.rev job_counts)) in
+  Printf.printf "\n%-14s | %10s %10s\n" "phase" "-j 1"
+    (Printf.sprintf "-j %d" (List.hd (List.rev job_counts)));
+  Printf.printf "%s\n" (String.make 40 '-');
+  List.iter
+    (fun (p, w1) ->
+      let w8 = Option.value ~default:0.0 (List.assoc_opt p p8) in
+      Printf.printf "%-14s | %9.2fs %9.2fs\n" p w1 w8)
+    p1;
   Printf.printf "\nhost cores (recommended domain count): %d\n"
     (Domain.recommended_domain_count ());
   Printf.printf "outputs/verdicts/incidents identical across -j: %b\n" identical;
@@ -682,11 +717,25 @@ let scale ?(n = 3) () =
         ( "runs",
           arr
             (List.map
-               (fun (jobs, wall, _) ->
+               (fun (jobs, wall, _, phases, (s : Util.Pool.counters)) ->
                  obj
                    [ ("jobs", int jobs);
                      ("wall_s", float wall);
-                     ("speedup", float (wall1 /. wall)) ])
+                     ("speedup", float (wall1 /. wall));
+                     ( "phases",
+                       arr
+                         (List.map
+                            (fun (p, w) ->
+                              obj
+                                [ ("pass", str p); ("wall_s", float w) ])
+                            phases) );
+                     ( "scheduler",
+                       obj
+                         [ ("batches", int s.c_batches);
+                           ("inline", int s.c_inline);
+                           ("tasks", int s.c_tasks);
+                           ("chunks", int s.c_chunks);
+                           ("steals", int s.c_steals) ] ) ])
                results) );
         ("identical_output", bool identical) ]
   in
@@ -899,13 +948,14 @@ let daemon_session ~socket order =
 
 (* one daemon lifetime serving one full trace; returns the replies of
    every session plus the phase wall time *)
-let daemon_phase ~sessions ~socket ~store_dir () =
+let daemon_phase ?(max_inflight = 1) ~sessions ~socket ~store_dir () =
   let stop = Atomic.make false in
   let ready = Atomic.make false in
   let cfg =
     { (Serve.Daemon.default_cfg ()) with
       d_socket = socket;
       d_store_dir = Some store_dir;
+      d_max_inflight = max_inflight;
       d_poll_s = 0.02 }
   in
   let daemon =
@@ -983,6 +1033,18 @@ let daemon_bench ?(sessions = 4) ?(min_warm_rate = 0.5) () =
   let warm_replies, warm_wall, warm_report =
     daemon_phase ~sessions ~socket ~store_dir ()
   in
+  (* concurrent dispatch: the same trace cold again, but with
+     --max-inflight 4 so compiles from different sessions overlap; the
+     serialized cold phase above is its baseline *)
+  let conc_inflight = 4 in
+  let conc_store = Filename.concat dir "store-conc" in
+  let conc_file = Filename.concat conc_store "analysis.store" in
+  if Sys.file_exists conc_file then Sys.remove conc_file;
+  Util.Cachectl.clear_all ();
+  let conc_replies, conc_wall, _ =
+    daemon_phase ~max_inflight:conc_inflight ~sessions ~socket
+      ~store_dir:conc_store ()
+  in
   (* byte-identity: every response of both phases against a from-scratch
      compile of the same code (scratch clears the shared caches, so it
      runs only after the daemons are down) *)
@@ -1015,6 +1077,7 @@ let daemon_bench ?(sessions = 4) ?(min_warm_rate = 0.5) () =
   in
   check_phase "cold" cold_replies;
   check_phase "warm" warm_replies;
+  check_phase "conc" conc_replies;
   let divergences = List.rev !divergences in
   List.iter (fun d -> Printf.eprintf "daemon bench: DIVERGENCE %s\n" d)
     divergences;
@@ -1026,6 +1089,10 @@ let daemon_bench ?(sessions = 4) ?(min_warm_rate = 0.5) () =
         warm_lookups, warm_rate ) =
     phase_metrics warm_replies warm_wall
   in
+  let ( conc_n, _, conc_rps, conc_p50, conc_p95, conc_mean, _, _, conc_rate )
+      =
+    phase_metrics conc_replies conc_wall
+  in
   Printf.printf "%-6s | %4s %8s %8s | %9s %9s %9s | %s\n" "phase" "reqs"
     "wall" "req/s" "p50" "p95" "mean" "shared reuse";
   Printf.printf "%s\n" (String.make 78 '-');
@@ -1035,10 +1102,19 @@ let daemon_bench ?(sessions = 4) ?(min_warm_rate = 0.5) () =
   Printf.printf "%-6s | %4d %7.2fs %8.1f | %7.2fms %7.2fms %7.2fms | %5.1f%% (%d/%d)\n"
     "warm" warm_n warm_wall warm_rps warm_p50 warm_p95 warm_mean
     (100.0 *. warm_rate) warm_hits warm_lookups;
+  Printf.printf "%-6s | %4d %7.2fs %8.1f | %7.2fms %7.2fms %7.2fms | %5.1f%%\n"
+    "conc" conc_n conc_wall conc_rps conc_p50 conc_p95 conc_mean
+    (100.0 *. conc_rate);
   Printf.printf
     "\nwarm shared-cache hit rate %.1f%% (floor %.0f%%), responses \
      byte-identical to scratch: %b\n"
     (100.0 *. warm_rate) (100.0 *. min_warm_rate) (divergences = []);
+  Printf.printf
+    "concurrent dispatch (--max-inflight %d) vs serialized cold: %.2fx on \
+     %d core(s)\n"
+    conc_inflight
+    (if conc_wall > 0.0 then cold_wall /. conc_wall else 0.0)
+    (Domain.recommended_domain_count ());
   let ok = divergences = [] && warm_rate >= min_warm_rate in
   let json =
     let open Valid.Trace.Json in
@@ -1065,6 +1141,14 @@ let daemon_bench ?(sessions = 4) ?(min_warm_rate = 0.5) () =
           phase
             ( warm_n, warm_wall, warm_rps, warm_p50, warm_p95, warm_mean,
               warm_hits, warm_lookups, warm_rate ) );
+        ( "concurrent",
+          phase
+            ( conc_n, conc_wall, conc_rps, conc_p50, conc_p95, conc_mean, 0,
+              0, conc_rate ) );
+        ("concurrent_max_inflight", int conc_inflight);
+        ( "concurrent_speedup_vs_cold",
+          float (if conc_wall > 0.0 then cold_wall /. conc_wall else 0.0) );
+        ("host_cores", int (Domain.recommended_domain_count ()));
         ("min_warm_hit_rate", float min_warm_rate);
         ("warm_server_stats", warm_report.Serve.Daemon.r_stats_json);
         ("divergences", arr (List.map str divergences));

@@ -89,6 +89,32 @@ let jobs_flag =
            (default \\$(b,POLARIS_JOBS) or 1).  Output is byte-identical at \
            every N.")
 
+(* --chunk rides along with -j everywhere; both go through the same
+   validated Util.Env parses the environment variables use, so a typo
+   fails loudly instead of silently degrading the schedule *)
+let chunk_conv =
+  let parse s =
+    match Util.Env.parse_chunk s with
+    | Ok n -> Ok n
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Fmt.int)
+
+let chunk_flag =
+  Arg.(
+    value
+    & opt (some chunk_conv) (Util.Pool.chunk ())
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Pin the work-stealing pool's batch size to N tasks per chunk \
+           (default \\$(b,POLARIS_CHUNK), or unset: the batcher's cost \
+           model decides).  A wall-clock knob only: output is \
+           byte-identical at every N.")
+
+let setup_pool jobs chunk =
+  Util.Pool.set_jobs jobs;
+  Util.Pool.set_chunk chunk
+
 (* fail-safe contract: a compilation that contained pass faults still
    produced a correct (possibly less optimized) program, but the caller
    must be able to tell — exit 2, distinct from hard failures (exit 1) *)
@@ -129,9 +155,9 @@ let compile_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the transformed source")
   in
-  let run file baseline quiet strict jobs explain_reuse =
+  let run file baseline quiet strict jobs chunk explain_reuse =
     with_errors (fun () ->
-        Util.Pool.set_jobs jobs;
+        setup_pool jobs chunk;
         let file = required_file file in
         let t =
           Core.Pipeline.compile ~strict (config_of ~baseline ~procs:8)
@@ -146,7 +172,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Restructure a Fortran program and print it")
     Term.(
       const run $ file_pos $ baseline $ quiet $ strict_flag $ jobs_flag
-      $ explain_reuse_flag)
+      $ chunk_flag $ explain_reuse_flag)
 
 (* ----- run ----- *)
 
@@ -157,9 +183,9 @@ let run_cmd =
   let procs =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
-  let go file baseline procs strict jobs =
+  let go file baseline procs strict jobs chunk =
     with_errors (fun () ->
-        Util.Pool.set_jobs jobs;
+        setup_pool jobs chunk;
         let file = required_file file in
         let cfg = config_of ~baseline ~procs in
         let t, r = Core.Simulate.compile_and_run ~strict cfg (read_file file) in
@@ -172,7 +198,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated multiprocessor")
-    Term.(const go $ file_pos $ baseline $ procs $ strict_flag $ jobs_flag)
+    Term.(
+      const go $ file_pos $ baseline $ procs $ strict_flag $ jobs_flag
+      $ chunk_flag)
 
 (* ----- suite ----- *)
 
@@ -183,9 +211,9 @@ let suite_cmd =
   let procs =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
-  let go code_name procs jobs =
+  let go code_name procs jobs chunk =
     with_errors (fun () ->
-        Util.Pool.set_jobs jobs;
+        setup_pool jobs chunk;
         match code_name with
         | None ->
           Fmt.pr "%-8s %-8s %s@." "name" "origin" "description";
@@ -216,7 +244,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"List or run the evaluation-suite codes")
-    Term.(const go $ code_name $ procs $ jobs_flag)
+    Term.(const go $ code_name $ procs $ jobs_flag $ chunk_flag)
 
 (* ----- validate ----- *)
 
@@ -287,9 +315,10 @@ let validate_cmd =
          & info [ "trace" ] ~docv:"OUT.json"
              ~doc:"Write the flight-recorder + validation report as JSON")
   in
-  let go file suite baseline_only polaris_only ulp seeds procs trace_out jobs =
+  let go file suite baseline_only polaris_only ulp seeds procs trace_out jobs
+      chunk =
     with_errors (fun () ->
-        Util.Pool.set_jobs jobs;
+        setup_pool jobs chunk;
         let cmp = { Valid.Oracle.ulp_tol = ulp } in
         let seeds = parse_int_list ~what:"seed" seeds in
         let procs_list = parse_int_list ~what:"processor" procs in
@@ -351,7 +380,7 @@ let validate_cmd =
        ~doc:"Translation-validate the pipeline by differential execution")
     Term.(
       const go $ file_pos $ suite $ baseline_only $ polaris_only $ ulp $ seeds
-      $ procs $ trace_out $ jobs_flag)
+      $ procs $ trace_out $ jobs_flag $ chunk_flag)
 
 (* ----- serve ----- *)
 
@@ -384,9 +413,9 @@ let serve_cmd =
       value & flag
       & info [ "emit" ] ~doc:"Print each compile's transformed source")
   in
-  let go files baseline check emit strict jobs explain_reuse =
+  let go files baseline check emit strict jobs chunk explain_reuse =
     with_errors (fun () ->
-        Util.Pool.set_jobs jobs;
+        setup_pool jobs chunk;
         let paths =
           if files <> [] then files
           else
@@ -459,7 +488,7 @@ let serve_cmd =
           process, reusing every analysis whose program unit is unchanged")
     Term.(
       const go $ files $ baseline $ check $ emit $ strict_flag $ jobs_flag
-      $ explain_reuse_flag)
+      $ chunk_flag $ explain_reuse_flag)
 
 (* ----- daemon ----- *)
 
@@ -566,9 +595,30 @@ let daemon_cmd =
             "Pipelined requests executed per connection per loop turn; an \
              aggressive pipeliner round-robins with the other sessions")
   in
+  let max_inflight =
+    let inflight_conv =
+      let parse s =
+        match Util.Env.parse_inflight s with
+        | Ok n -> Ok n
+        | Error m -> Error (`Msg m)
+      in
+      Arg.conv (parse, Fmt.int)
+    in
+    Arg.(
+      value
+      & opt inflight_conv Util.Env.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Compile requests from different sessions executed concurrently \
+             (default \\$(b,POLARIS_MAX_INFLIGHT) or 1).  Responses stay \
+             byte-identical and in per-session order at every N; 1 is the \
+             classic serial loop.")
+  in
   let go socket store max_mb baseline budget_steps deadline log max_sessions
-      idle_timeout flush_every flush_interval max_pipeline jobs =
+      idle_timeout flush_every flush_interval max_pipeline max_inflight jobs
+      chunk =
     with_errors (fun () ->
+        Util.Pool.set_chunk chunk;
         let cfg =
           { (Serve.Daemon.default_cfg ()) with
             d_socket = socket;
@@ -576,6 +626,7 @@ let daemon_cmd =
             d_max_cache_mb = max_mb;
             d_baseline = baseline;
             d_jobs = jobs;
+            d_max_inflight = max_inflight;
             d_budget_steps = budget_steps;
             d_deadline_s = deadline;
             d_log = log;
@@ -594,6 +645,9 @@ let daemon_cmd =
               | None -> Fmt.pr "persistent store: disabled@.");
               Fmt.pr "admission: %d session(s), idle timeout %.0fs@."
                 max_sessions idle_timeout;
+              if max_inflight > 1 then
+                Fmt.pr "concurrency: up to %d compile(s) in flight@."
+                  max_inflight;
               Fmt.pr "stop with SIGINT/SIGTERM or `polaris client --shutdown'@.")
             cfg
         in
@@ -613,7 +667,8 @@ let daemon_cmd =
     Term.(
       const go $ socket_flag $ store $ max_mb $ baseline $ budget_steps
       $ deadline $ log $ max_sessions $ idle_timeout $ flush_every
-      $ flush_interval $ max_pipeline $ jobs_flag)
+      $ flush_interval $ max_pipeline $ max_inflight $ jobs_flag
+      $ chunk_flag)
 
 (* ----- client ----- *)
 
@@ -785,9 +840,9 @@ let chaos_cmd =
       & info [ "out" ] ~docv:"OUT.json"
           ~doc:"Write the sweep report (failures, incidents) as JSON")
   in
-  let go seeds first_seed out jobs =
+  let go seeds first_seed out jobs chunk =
     with_errors (fun () ->
-        Util.Pool.set_jobs jobs;
+        setup_pool jobs chunk;
         let sources = Valid.Chaos.default_sources () in
         let sweep =
           Valid.Chaos.run_sweep ~procs_list:[ 4 ] ~first_seed ~n:seeds sources
@@ -809,7 +864,7 @@ let chaos_cmd =
          "Fault-injection sweep: seeded exceptions, IR corruptions and \
           budget exhaustion must all be contained, attributed and \
           oracle-equivalent")
-    Term.(const go $ seeds $ first_seed $ out $ jobs_flag)
+    Term.(const go $ seeds $ first_seed $ out $ jobs_flag $ chunk_flag)
 
 let () =
   let doc = "Polaris-style automatic parallelizer (ICPP'96 reproduction)" in

@@ -7,13 +7,15 @@
     skeleton with the weaker capability set.
 
     {b Fail-safe contract} (paper §2: a restructurer must never
-    miscompile).  Every pass runs inside a fault-containment guard: the
-    units the pass is about to mutate are snapshotted copy-on-write
-    (deep-copied wholesale under [strict] or a chaos [fault_hook]), the
-    pass result is re-checked with {!Fir.Consistency}, and any exception
-    or consistency violation rolls the program back to the snapshot,
-    disables the guilty capability for the rest of the run, and appends
-    an {!incident} record.  [run]/[compile] therefore never raise past
+    miscompile).  Every pass runs inside a fault-containment guard: a
+    unit is snapshotted copy-on-write at its {e first} mutation across
+    the whole pipeline (deep-copied wholesale per pass under [strict]
+    or a chaos [fault_hook]), the pass result is re-checked with
+    {!Fir.Consistency}, and any exception or consistency violation
+    rolls the program back — restoring the first-touch snapshots and
+    replaying the passes that already succeeded — disables the guilty
+    capability for the rest of the run, and appends an {!incident}
+    record.  [run]/[compile] therefore never raise past
     parse errors (unless [strict] is set): the worst possible output is
     the original program compiled serially, plus a non-empty
     [incidents] list. *)
@@ -92,16 +94,31 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
   let disabled = ref [] in
   let enabled cap = not (List.mem cap !disabled) in
   (* Snapshot strategy.  Under [strict] or an installed [fault_hook]
-     (chaos runs) the guard deep-copies the whole program and re-checks
-     every unit: injected faults corrupt arbitrary units behind the
-     passes' backs, so nothing weaker is sound.  Otherwise the guard is
-     copy-on-write: passes announce each unit they are about to mutate
-     through the {!Fir.Program.touch} seam, and the guard snapshots,
-     re-checks and (on a fault) rolls back only those units.  Unchanged
-     units are shared, not copied — the guard's cost scales with what a
-     pass actually touches (the parallelize pass, which only writes
-     loop-decision fields, touches nothing). *)
+     (chaos runs) the guard deep-copies the whole program per pass and
+     re-checks every unit: injected faults corrupt arbitrary units
+     behind the passes' backs, so nothing weaker is sound.  Otherwise
+     the guard is copy-on-write with {e pipeline-level} snapshot
+     elision: passes announce each unit they are about to mutate
+     through the {!Fir.Program.touch} seam, and the guard deep-copies a
+     unit only on its {e first} touch in the whole pipeline run (the
+     [pristine] map below) — a unit rewritten by four passes is copied
+     once, not four times.  Per pass the guard tracks only the touched
+     units' identities for the post-pass consistency re-check.  On a
+     fault the guard rolls every pristine-snapshotted unit back to its
+     pre-pipeline state and deterministically {e replays} the passes
+     that already succeeded (the [completed] thunks), reproducing the
+     state the per-pass scheme would have restored directly; the
+     observer and the reuse ledger are not re-fired during replay.
+     Replay is fault-free by construction — it re-runs deterministic
+     passes on the same pre-pipeline state they succeeded on — but if
+     it ever diverges the program is reset to its parse state, which
+     still satisfies the fail-safe contract. *)
   let full_guard = strict || fault_hook <> None in
+  (* (live unit, deep copy at its first-ever touch) — grows monotonically
+     across passes; the rollback baseline for the COW guard *)
+  let pristine : (Fir.Punit.t * Fir.Punit.t) list ref = ref [] in
+  (* replay thunks of the guarded passes that succeeded, newest first *)
+  let completed : (unit -> unit) list ref = ref [] in
   (* run one pass under the containment guard; [disables] is the
      capability to switch off if the pass faults (its later runs are
      skipped — e.g. a crashed first propagation round disables the
@@ -119,15 +136,16 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
     let tracked = Analysis.Manager.tracked () in
     let cache_base = Util.Cachectl.snapshot () in
     let inval_base = Analysis.Manager.invalidation_snapshot () in
-    let dirty : (Fir.Punit.t * Fir.Punit.t) list ref = ref [] in
+    let dirty : Fir.Punit.t list ref = ref [] in
     let snapshot =
       if full_guard then Some (Fir.Program.copy program)
       else begin
         Fir.Program.set_touch_hook program
           (Some
              (fun u ->
-               if not (List.exists (fun (live, _) -> live == u) !dirty) then
-                 dirty := (u, Fir.Punit.copy u) :: !dirty));
+               if not (List.memq u !dirty) then dirty := u :: !dirty;
+               if not (List.exists (fun (live, _) -> live == u) !pristine)
+               then pristine := (u, Fir.Punit.copy u) :: !pristine));
         None
       end
     in
@@ -146,7 +164,7 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
                iteration would *)
             ignore
               (Util.Pool.map
-                 (fun (live, _) -> Fir.Consistency.check_unit live)
+                 (fun live -> Fir.Consistency.check_unit live)
                  !dirty
                 : unit list));
           v)
@@ -168,25 +186,55 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
             |> List.filter (fun (_, n) -> n > 0) }
         :: !reuse;
       obs pass;
+      if not full_guard then completed := (fun () -> ignore (f ())) :: !completed;
       Some v
     | exception e ->
       if strict then raise e;
       let reason =
-        match e with
-        | Fir.Consistency.Violation m ->
-          "post-pass IR consistency violation: " ^ m
-        | e -> Printexc.to_string e
+        ref
+          (match e with
+          | Fir.Consistency.Violation m ->
+            "post-pass IR consistency violation: " ^ m
+          | e -> Printexc.to_string e)
       in
       (match snapshot with
       | Some s -> Fir.Program.restore ~from:s program
       | None ->
-        List.iter (fun (live, snap) -> Fir.Punit.restore ~from:snap live) !dirty);
+        (* COW rollback: reset every ever-touched unit to its
+           pre-pipeline snapshot, then replay the already-succeeded
+           passes in order to rebuild the state this pass started from.
+           Replay mutations bump unit versions through the touch seam
+           and the generation bump below retires cross-pass cache
+           entries, so no cache can serve facts about the discarded
+           intermediate states. *)
+        List.iter (fun (live, snap) -> Fir.Punit.restore ~from:snap live)
+          !pristine;
+        Util.Cachectl.bump_generation ();
+        (try
+           List.iter
+             (fun replay ->
+               replay ();
+               Util.Cachectl.bump_generation ())
+             (List.rev !completed)
+         with re ->
+           (* A deterministic pass that succeeded before diverged on
+              replay — should be impossible.  Fall back to the parse
+              state (fail-safe: worst output is the original program). *)
+           List.iter (fun (live, snap) -> Fir.Punit.restore ~from:snap live)
+             !pristine;
+           completed := [];
+           reason :=
+             !reason
+             ^ Printf.sprintf
+                 " (replay of prior passes failed: %s; program reset to \
+                  parse state)"
+                 (Printexc.to_string re)));
       (* rollback rewrote the program too (fresh statement ids): stale
          hits after an incident must be impossible *)
       Util.Cachectl.bump_generation ();
       Option.iter (fun c -> disabled := c :: !disabled) disables;
       incidents :=
-        { inc_pass = pass; inc_reason = reason; inc_rolled_back = true;
+        { inc_pass = pass; inc_reason = !reason; inc_rolled_back = true;
           inc_disabled = disables }
         :: !incidents;
       None

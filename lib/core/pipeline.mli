@@ -6,14 +6,15 @@
     reduction/dependence/privatization analysis.
 
     {b Fail-safe contract.}  Every pass runs inside a fault-containment
-    guard: the units the pass touches are snapshotted copy-on-write
-    (through the {!Fir.Program.touch} seam; under [strict] or a
-    [fault_hook] the whole program is deep-copied instead), the result
-    is re-checked with {!Fir.Consistency} (dirty units only, or the
-    whole program under the full guard), and any exception or
-    consistency violation rolls the program back to the snapshot,
-    disables the guilty capability for the rest of the run, and appends
-    an {!incident} record.  [run]/[compile] never raise past parse
+    guard: a unit is snapshotted copy-on-write at its first mutation in
+    the whole pipeline run (through the {!Fir.Program.touch} seam;
+    under [strict] or a [fault_hook] the whole program is deep-copied
+    per pass instead), the result is re-checked with {!Fir.Consistency}
+    (dirty units only, or the whole program under the full guard), and
+    any exception or consistency violation rolls the program back —
+    first-touch snapshots restored and the already-succeeded passes
+    replayed — disables the guilty capability for the rest of the run,
+    and appends an {!incident} record.  [run]/[compile] never raise past parse
     errors (unless [strict] is set): the worst possible output is the
     original program compiled serially, plus a non-empty incident
     list.

@@ -47,9 +47,6 @@ let reset_counters () =
   counters.linear_failed <- 0;
   counters.unknown <- 0
 
-(** A copy of the live counters (safe to keep across {!reset_counters}). *)
-let counters_snapshot () = { counters with range_proved = counters.range_proved }
-
 let index_name (l : Loops.loop) =
   match l.index with Atom.Avar v -> v | Atom.Aopaque _ -> "?"
 
@@ -78,19 +75,56 @@ let wall_snapshot () = !wall_in_deps
 
 type tally = { t_counters : counters; mutable t_wall : float }
 
+let fresh_tally () =
+  { t_counters =
+      { range_proved = 0; range_failed = 0; linear_proved = 0;
+        linear_failed = 0; unknown = 0 };
+    t_wall = 0.0 }
+
 let tally_key : tally option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-(* the counters record to charge from the current context *)
+(* Per-request isolation (the daemon's concurrent compile workers).
+   [isolate] parks a second, longer-lived tally in domain-local storage
+   for the whole request: every counter update and snapshot inside it
+   reads/writes the private record, so two requests compiling
+   concurrently in different domains each observe exactly their own
+   dependence-test outcome deltas — byte-identical to running the same
+   request alone.  The private tally folds into the process-wide
+   counters (under a mutex) when the request ends, keeping the
+   process-lifetime telemetry whole. *)
+let isolated_key : tally option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let global_m = Mutex.create ()
+
+(* the counters record to charge from the current context: a
+   [collecting] task tally first, then a per-request [isolate] tally,
+   then the process-wide record *)
 let live_counters () =
   match !(Domain.DLS.get tally_key) with
   | Some t -> t.t_counters
-  | None -> counters
+  | None -> (
+    match !(Domain.DLS.get isolated_key) with
+    | Some t -> t.t_counters
+    | None -> counters)
+
+(** A copy of the counters of the current context (safe to keep across
+    {!reset_counters}): inside {!isolate} the request's private record,
+    the process-wide record otherwise.  {!Core.Incremental} brackets a
+    compile with two snapshots and reports the delta, so under
+    [isolate] the delta covers exactly that one compile. *)
+let counters_snapshot () =
+  let c = live_counters () in
+  { c with range_proved = c.range_proved }
 
 let add_wall dt =
   match !(Domain.DLS.get tally_key) with
   | Some t -> t.t_wall <- t.t_wall +. dt
-  | None -> wall_in_deps := !wall_in_deps +. dt
+  | None -> (
+    match !(Domain.DLS.get isolated_key) with
+    | Some t -> t.t_wall <- t.t_wall +. dt
+    | None -> wall_in_deps := !wall_in_deps +. dt)
 
 (** Run [f] with counter and wall updates diverted into a fresh private
     tally; returns [f]'s outcome (exceptions are captured, not raised —
@@ -98,12 +132,7 @@ let add_wall dt =
     with the tally. *)
 let collecting (f : unit -> 'a) :
     ('a, exn * Printexc.raw_backtrace) result * tally =
-  let t =
-    { t_counters =
-        { range_proved = 0; range_failed = 0; linear_proved = 0;
-          linear_failed = 0; unknown = 0 };
-      t_wall = 0.0 }
-  in
+  let t = fresh_tally () in
   let cell = Domain.DLS.get tally_key in
   cell := Some t;
   let outcome =
@@ -114,15 +143,43 @@ let collecting (f : unit -> 'a) :
   cell := None;
   (outcome, t)
 
-(** Fold a {!collecting} tally into the global counters and wall clock
-    (submitting domain only, in program order). *)
+let fold_into (dst : counters) (src : counters) =
+  dst.range_proved <- dst.range_proved + src.range_proved;
+  dst.range_failed <- dst.range_failed + src.range_failed;
+  dst.linear_proved <- dst.linear_proved + src.linear_proved;
+  dst.linear_failed <- dst.linear_failed + src.linear_failed;
+  dst.unknown <- dst.unknown + src.unknown
+
+(** Fold a {!collecting} tally into the enclosing context — the
+    per-request {!isolate} tally when one is active, the process-wide
+    counters and wall clock otherwise (submitting domain only, in
+    program order). *)
 let apply_tally (t : tally) =
-  counters.range_proved <- counters.range_proved + t.t_counters.range_proved;
-  counters.range_failed <- counters.range_failed + t.t_counters.range_failed;
-  counters.linear_proved <- counters.linear_proved + t.t_counters.linear_proved;
-  counters.linear_failed <- counters.linear_failed + t.t_counters.linear_failed;
-  counters.unknown <- counters.unknown + t.t_counters.unknown;
-  wall_in_deps := !wall_in_deps +. t.t_wall
+  match !(Domain.DLS.get isolated_key) with
+  | Some iso ->
+    fold_into iso.t_counters t.t_counters;
+    iso.t_wall <- iso.t_wall +. t.t_wall
+  | None ->
+    fold_into counters t.t_counters;
+    wall_in_deps := !wall_in_deps +. t.t_wall
+
+(** Run [f] as an isolated request: counter and wall snapshots inside
+    [f] observe only this request's own dependence-test activity, no
+    matter what other domains are doing.  On exit (exceptions included)
+    the private tally folds into the process-wide records under a
+    mutex, so lifetime telemetry still adds up. *)
+let isolate (f : unit -> 'a) : 'a =
+  let t = fresh_tally () in
+  let cell = Domain.DLS.get isolated_key in
+  let saved = !cell in
+  cell := Some t;
+  Fun.protect
+    ~finally:(fun () ->
+      cell := saved;
+      Mutex.protect global_m (fun () ->
+          fold_into counters t.t_counters;
+          wall_in_deps := !wall_in_deps +. t.t_wall))
+    f
 
 let record method_ verdict =
   let c = live_counters () in
@@ -183,16 +240,36 @@ let default_budget_steps = 200_000
 let budget_factory : (unit -> Util.Budget.t) ref =
   ref (fun () -> Util.Budget.create ~steps:default_budget_steps ())
 
+(* Inside {!isolate} the factory lives in domain-local storage: two
+   requests installing budgets concurrently must not see (or restore)
+   each other's factories through the process-wide ref. *)
+let budget_override_key : (unit -> Util.Budget.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_budget_factory () =
+  match !(Domain.DLS.get budget_override_key) with
+  | Some f -> f
+  | None -> !budget_factory
+
 (** Run [f] with budgets drawn as [steps] of fuel plus an optional
     deadline; restores the previous factory on exit. *)
 let with_budget ?steps ?deadline_s f =
-  let saved = !budget_factory in
-  budget_factory :=
-    (fun () ->
-      Util.Budget.create
-        ~steps:(Option.value steps ~default:default_budget_steps)
-        ?deadline_s ());
-  Fun.protect ~finally:(fun () -> budget_factory := saved) f
+  let factory () =
+    Util.Budget.create
+      ~steps:(Option.value steps ~default:default_budget_steps)
+      ?deadline_s ()
+  in
+  if Option.is_some !(Domain.DLS.get isolated_key) then begin
+    let cell = Domain.DLS.get budget_override_key in
+    let saved = !cell in
+    cell := Some factory;
+    Fun.protect ~finally:(fun () -> cell := saved) f
+  end
+  else begin
+    let saved = !budget_factory in
+    budget_factory := factory;
+    Fun.protect ~finally:(fun () -> budget_factory := saved) f
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Access-pair enumeration                                             *)
@@ -358,7 +435,9 @@ let array_deps ?budget ~(method_ : method_) ~(symtab : Fir.Symtab.t)
     ~finally:(fun () -> add_wall (Unix.gettimeofday () -. t0))
   @@ fun () ->
   !verdict_hook (index_name target);
-  let budget = match budget with Some b -> b | None -> !budget_factory () in
+  let budget =
+    match budget with Some b -> b | None -> current_budget_factory () ()
+  in
   let body = target.dloop.body in
   let assigned_scalars =
     List.filter

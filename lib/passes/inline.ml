@@ -19,11 +19,18 @@ open Ast
 
 type stats = { mutable sites_expanded : int; mutable sites_skipped : int }
 
-let temp_counter = ref 0
+(* Copy-in temporary numbering.  Domain-local (the daemon compiles
+   concurrent requests in separate domains) and reset at the start of
+   every {!run}, so the ITMP names a compile emits are a pure function
+   of its own source — identical across processes, requests and job
+   counts. *)
+let temp_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_temp () =
-  incr temp_counter;
-  Fmt.str "ITMP%d" !temp_counter
+  let c = Domain.DLS.get temp_counter in
+  incr c;
+  Fmt.str "ITMP%d" !c
 
 (* ------------------------------------------------------------------ *)
 (* Templates (site-independent preparation)                            *)
@@ -151,8 +158,9 @@ let max_label (u : Punit.t) =
 
 (* label allocation must be monotonic across the sites expanded in one
    rewrite round (the caller body is only swapped in afterwards), or two
-   inlined bodies would share an exit label *)
-let label_floor = ref 0
+   inlined bodies would share an exit label; domain-local for the same
+   reason as [temp_counter] *)
+let label_floor : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 (* expand one call site; returns the replacement statements *)
 let expand_site (caller : Punit.t) (tmpl : template) (args : expr list) :
@@ -251,10 +259,9 @@ let expand_site (caller : Punit.t) (tmpl : template) (args : expr list) :
   in
   let body = Stmt.map_block_exprs rewrite_one callee.pu_body in
   (* label renumbering *)
-  let base_label =
-    ((max (max_label caller) !label_floor / 1000) + 1) * 1000
-  in
-  label_floor := base_label + 999;
+  let floor = Domain.DLS.get label_floor in
+  let base_label = ((max (max_label caller) !floor / 1000) + 1) * 1000 in
+  floor := base_label + 999;
   let relabel l = l + base_label in
   let rec renumber (b : block) =
     List.map
@@ -328,7 +335,7 @@ let has_function_calls (p : Program.t) (u : Punit.t) =
     sites.  Returns expansion statistics. *)
 let expand_unit ?(max_rounds = 12) (p : Program.t) (u : Punit.t) : stats =
   let stats = { sites_expanded = 0; sites_skipped = 0 } in
-  label_floor := max_label u;
+  Domain.DLS.get label_floor := max_label u;
   let templates : (string, template) Hashtbl.t = Hashtbl.create 8 in
   let template_for name =
     match Hashtbl.find_opt templates name with
@@ -398,6 +405,7 @@ let consumes = [ "fir.intern" ]
 (** Expand subroutine calls in every unit of the program (each unit is
     its own "top-level routine" in the paper's sense). *)
 let run (p : Program.t) : stats =
+  Domain.DLS.get temp_counter := 0;
   let total = { sites_expanded = 0; sites_skipped = 0 } in
   List.iter
     (fun u ->

@@ -340,7 +340,12 @@ let run ~mode (p : Program.t) : (string * loop_report list) list =
         units
     in
     let outcomes =
+      (* weight: nest depth + statements in the innermost body — a
+         cheap proxy for access-pair count, so the batcher packs many
+         small nests per chunk but never lumps two big ones together *)
       Util.Pool.map
+        ~weight:(fun ((_ : Punit.t), (nest : Loops.nest)) ->
+          List.length nest.loops + Stmt.fold (fun n _ -> n + 1) 0 nest.body)
         (fun ((u : Punit.t), nest) ->
           Dep.Driver.collecting (fun () ->
               let target = Loops.innermost nest in

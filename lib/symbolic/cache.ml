@@ -19,16 +19,19 @@
       exhaustion are never cached — they recompute honestly, exactly as
       the uncached compiler would.
 
-    {b Domain safety.}  During a parallel phase ({!Util.Pool.map}) the
-    shared table is treated as {e read-only}: a task (identified by its
-    {!Util.Pool.slot}) records misses in a private per-slot shard table
-    and looks keys up shared-then-shard.  When the batch ends the pool
-    calls {!Util.Cachectl.merge_shards} at a sequential point and the
-    shards drain into the shared store (first slot wins on duplicate
-    keys; values for equal keys are equal by the purity discipline, so
-    the choice is invisible).  The only cross-domain nondeterminism is
-    {e which} lookups hit — and hits and misses yield identical values
-    and identical budget decisions, so only wall time can differ.
+    {b Domain safety.}  During a parallel phase ({!Util.Pool.map}, or
+    the daemon's pinned compile workers) the shared table is treated as
+    {e read-only}: a task (identified by its {!Util.Pool.slot}) records
+    misses in a private per-slot shard table and looks keys up
+    {e shard-first}, falling back to the read-mostly shared tier.  When
+    the batch ends the pool calls {!Util.Cachectl.merge_shards} at a
+    sequential point and the shards are promoted into the shared store
+    ([Hashtbl.replace]: a shard entry supersedes a shared one — values
+    for equal keys are equal by the purity discipline, and validated
+    caches prefer the fresher entry; either way the choice is
+    invisible).  The only cross-domain nondeterminism is {e which}
+    lookups hit — and hits and misses yield identical values and
+    identical budget decisions, so only wall time can differ.
 
     All lookups are gated on {!Util.Cachectl.enabled}; in
     {!Util.Cachectl.debug} mode every hit is cross-checked against a
@@ -72,10 +75,7 @@ let create ~name ?(persist = false) ?(equal_result = fun a b -> a = b) () =
     Array.iter
       (function
         | None -> ()
-        | Some sh ->
-          Hashtbl.iter
-            (fun k v -> if not (Hashtbl.mem table k) then Hashtbl.add table k v)
-            sh)
+        | Some sh -> Hashtbl.iter (fun k v -> Hashtbl.replace table k v) sh)
       shards;
     clear_shards ()
   in
@@ -129,20 +129,30 @@ let backing_find c key =
           Some v
         | exception _ -> None))
 
+(* Shard-first: a slotted task consults its private shard before the
+   shared tier.  The shard holds exactly what this slot wrote since the
+   last merge — the hottest entries for the work it is doing — and for
+   validated caches it holds the {e fresh} recomputation of any entry
+   whose shared copy went stale (shared-first would re-fail the stale
+   entry's probe on every lookup and recompute forever within the
+   phase).  The shared tier is the read-mostly second level, promoted
+   from the shards at batch boundaries. *)
 let find_opt c key =
-  match Hashtbl.find_opt c.table key with
-  | Some _ as r -> r
-  | None -> (
+  let shared () =
+    match Hashtbl.find_opt c.table key with
+    | Some _ as r -> r
+    | None -> backing_find c key
+  in
+  match Pool.slot () with
+  | None -> shared ()
+  | Some i -> (
     match
-      match Pool.slot () with
+      match c.shards.(i) with
+      | Some t -> Hashtbl.find_opt t key
       | None -> None
-      | Some i -> (
-        match c.shards.(i) with
-        | Some t -> Hashtbl.find_opt t key
-        | None -> None)
     with
     | Some _ as r -> r
-    | None -> backing_find c key)
+    | None -> shared ())
 
 (* write-through: a freshly computed entry of a persistent cache is
    mirrored to the backing store (the store serializes internally and

@@ -25,41 +25,50 @@ let binomial n k =
 let n_atom = Atom.var "__SUM_N__"
 let n_poly = Poly.of_atom n_atom
 
-(* memoized S_k as a polynomial in n_atom.  This table outlives (and is
-   shared by) the parallel dependence phase, so it is mutex-guarded:
-   the recursive worker assumes the lock is held (a recursive call must
-   not re-lock), the public entry point takes it. *)
-let power_sums : (int, Poly.t) Hashtbl.t = Hashtbl.create 16
+(* Memoized S_0..S_d as an immutable array published through an atomic:
+   readers never take a lock — the common case (the table already holds
+   S_k) is one [Atomic.get] and an array index.  The table outlives
+   (and is shared by) the parallel dependence phase and the daemon's
+   concurrent compile workers, so extension happens under a mutex and
+   republishes a fresh array; a reader racing the publication sees
+   either snapshot, and S_k is a pure function of k, so both agree.
+   S_k for k' <= k is computed bottom-up so the extension loop can read
+   its own snapshot-in-progress. *)
+let power_sums : Poly.t array Atomic.t = Atomic.make [||]
 let power_sums_mutex = Mutex.create ()
 
-let rec power_sum_locked k : Poly.t =
-  match Hashtbl.find_opt power_sums k with
-  | Some p -> p
-  | None ->
-    let p =
-      if k = 0 then Poly.add n_poly Poly.one (* S_0(n) = n + 1 *)
-      else begin
-        let np1_pow = Poly.pow (Poly.add n_poly Poly.one) (k + 1) in
-        let correction =
-          List.fold_left
-            (fun acc j ->
-              Poly.add acc
-                (Poly.scale
-                   (Rat.of_int (binomial (k + 1) j))
-                   (power_sum_locked j)))
-            Poly.zero
-            (List.init k (fun j -> j))
-        in
-        Poly.scale
-          (Rat.make 1 (k + 1))
-          (Poly.sub np1_pow correction)
-      end
+let compute_power_sum (lower : Poly.t array) k : Poly.t =
+  if k = 0 then Poly.add n_poly Poly.one (* S_0(n) = n + 1 *)
+  else begin
+    let np1_pow = Poly.pow (Poly.add n_poly Poly.one) (k + 1) in
+    let correction =
+      List.fold_left
+        (fun acc j ->
+          Poly.add acc
+            (Poly.scale (Rat.of_int (binomial (k + 1) j)) lower.(j)))
+        Poly.zero
+        (List.init k (fun j -> j))
     in
-    Hashtbl.replace power_sums k p;
-    p
+    Poly.scale (Rat.make 1 (k + 1)) (Poly.sub np1_pow correction)
+  end
 
 let power_sum k : Poly.t =
-  Mutex.protect power_sums_mutex (fun () -> power_sum_locked k)
+  let snap = Atomic.get power_sums in
+  if k < Array.length snap then snap.(k)
+  else
+    Mutex.protect power_sums_mutex (fun () ->
+        (* re-read under the lock: another domain may have extended *)
+        let snap = Atomic.get power_sums in
+        if k < Array.length snap then snap.(k)
+        else begin
+          let ext = Array.make (k + 1) Poly.zero in
+          Array.blit snap 0 ext 0 (Array.length snap);
+          for j = Array.length snap to k do
+            ext.(j) <- compute_power_sum ext j
+          done;
+          Atomic.set power_sums ext;
+          ext.(k)
+        end)
 
 (** [sum_powers k hi] = closed form of [sum_{x=0}^{hi} x^k] with [hi] a
     polynomial. *)

@@ -80,6 +80,30 @@ let parse_seconds raw : (float, string) result =
     Error (Printf.sprintf "expected a duration > 0, got %s" (String.trim raw))
   | Some s -> Ok s
 
+(** [parse_chunk raw]: a task-batch size for the work-stealing pool, in
+    [1 .. 1_000_000].  One chunk is one scheduler transaction, so a
+    chunk of 0 would livelock the batcher and absurd sizes are a typo,
+    not a wish: both are rejected. *)
+let parse_chunk raw : (int, string) result =
+  match int_of_string_opt (String.trim raw) with
+  | None -> Error (Printf.sprintf "expected an integer, got %S" raw)
+  | Some n when n < 1 ->
+    Error (Printf.sprintf "expected a chunk size >= 1, got %d" n)
+  | Some n when n > 1_000_000 ->
+    Error (Printf.sprintf "expected a chunk size <= 1000000, got %d" n)
+  | Some n -> Ok n
+
+(** [parse_inflight raw]: the daemon's concurrent-compile bound, in
+    [1 .. max_jobs].  Each in-flight compile occupies a worker domain
+    with a dedicated cache shard slot, so the job-count ceiling is also
+    the hard ceiling here; larger values clamp like [parse_jobs]. *)
+let parse_inflight raw : (int, string) result =
+  match int_of_string_opt (String.trim raw) with
+  | None -> Error (Printf.sprintf "expected an integer, got %S" raw)
+  | Some n when n < 1 ->
+    Error (Printf.sprintf "expected an in-flight bound >= 1, got %d" n)
+  | Some n -> Ok (if n > max_jobs then max_jobs else n)
+
 let read var ~default parse =
   match Sys.getenv_opt var with
   | None -> default
@@ -93,6 +117,11 @@ let read var ~default parse =
 (** Parsed [POLARIS_JOBS] (default 1: parallelism is opt-in). *)
 let jobs : int = read "POLARIS_JOBS" ~default:1 parse_jobs
 
+(** Parsed [POLARIS_MAX_INFLIGHT]: how many compile requests the
+    daemon may execute concurrently (default 1: requests are
+    serialized, the pre-concurrency behaviour). *)
+let max_inflight : int = read "POLARIS_MAX_INFLIGHT" ~default:1 parse_inflight
+
 (** Parsed [POLARIS_NO_CACHE] (default false: caches on). *)
 let no_cache : bool = read "POLARIS_NO_CACHE" ~default:false parse_flag
 
@@ -103,6 +132,11 @@ let cache_debug : bool = read "POLARIS_CACHE_DEBUG" ~default:false parse_flag
    default is None and a malformed value warns and stays off *)
 let read_opt var parse =
   read var ~default:None (fun raw -> Result.map Option.some (parse raw))
+
+(** Parsed [POLARIS_CHUNK]: fixed task-batch size for the
+    work-stealing pool ([None] = the pool's cost model picks chunk
+    sizes per batch). *)
+let chunk : int option = read_opt "POLARIS_CHUNK" parse_chunk
 
 (** Parsed [POLARIS_CACHE_DIR]: directory of the daemon's persistent
     analysis store ([None] = persistence off). *)

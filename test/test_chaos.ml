@@ -318,9 +318,9 @@ let test_worker_fault_containment () =
     (contains reason "worker boom on K");
   Alcotest.(check bool) "rolled back" true rolled_back;
   let pooled =
-    Util.Pool.with_jobs 4 (fun () -> with_hook signature)
+    Util.Pool.with_jobs 8 (fun () -> with_hook signature)
   in
-  Alcotest.(check bool) "-j4 containment identical to serial" true
+  Alcotest.(check bool) "-j8 containment identical to serial" true
     (serial = pooled)
 
 let test_plan_determinism () =

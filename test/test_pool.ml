@@ -1,14 +1,16 @@
-(* The domain pool: deterministic merge semantics, and end-to-end
-   byte-identity of the whole compiler between -j 1 and -j 4.
+(* The work-stealing domain pool: deterministic merge semantics, exact
+   scheduler telemetry, and end-to-end byte-identity of the whole
+   compiler between -j 1 and -j 8.
 
    The pool's contract is that [Pool.map f xs] is observably
-   [List.map f xs] at any job count: results in input order, earliest
-   failure re-raised.  The fuzz check below is the teeth: 100 random
-   programs through the full Polaris pipeline, comparing the annotated
-   output source, the per-loop verdicts and the incident list between a
-   serial and a 4-domain compile.  (Statement ids are excluded from the
-   comparison everywhere: their values depend on allocation order
-   across domains and carry no meaning beyond uniqueness.) *)
+   [List.map f xs] at any job count and any chunk size: results in
+   input order, earliest failure re-raised.  The fuzz check below is
+   the teeth: 100 random programs through the full Polaris pipeline,
+   comparing the annotated output source, the per-loop verdicts and the
+   incident list between a serial and an 8-domain compile.  (Statement
+   ids are excluded from the comparison everywhere: their values depend
+   on allocation order across domains and carry no meaning beyond
+   uniqueness.) *)
 
 open Util
 
@@ -81,6 +83,63 @@ let test_shutdown_respawn () =
   in
   Alcotest.(check (list int)) "resized pool" [ 10; 20; 30 ] wider
 
+let test_scheduler_counters () =
+  let saved = Pool.chunk () in
+  Fun.protect ~finally:(fun () -> Pool.set_chunk saved) @@ fun () ->
+  (* a pinned chunk of 1 makes the plan exact: 40 tasks -> 40 chunks in
+     one fanned batch, nothing inline *)
+  Pool.set_chunk (Some 1);
+  let base = Pool.counters () in
+  let r =
+    Pool.with_jobs 4 (fun () -> Pool.map (fun i -> i + 1) (List.init 40 Fun.id))
+  in
+  Alcotest.(check (list int)) "fanned results"
+    (List.init 40 (fun i -> i + 1))
+    r;
+  let d = Pool.counters_delta ~base (Pool.counters ()) in
+  Alcotest.(check int) "one fanned batch" 1 d.c_batches;
+  Alcotest.(check int) "no inline batch" 0 d.c_inline;
+  Alcotest.(check int) "every task executed exactly once" 40 d.c_tasks;
+  Alcotest.(check int) "one chunk per task under --chunk 1" 40 d.c_chunks;
+  Alcotest.(check bool) "steal count is sane" true (d.c_steals >= 0);
+  (* a chunk swallowing the whole batch short-circuits to the inline
+     path: no fan-out, no wake-up *)
+  Pool.set_chunk (Some 1000);
+  let base = Pool.counters () in
+  let r =
+    Pool.with_jobs 4 (fun () -> Pool.map (fun i -> i * 2) (List.init 10 Fun.id))
+  in
+  Alcotest.(check (list int)) "inline results"
+    (List.init 10 (fun i -> i * 2))
+    r;
+  let d = Pool.counters_delta ~base (Pool.counters ()) in
+  Alcotest.(check int) "inline batch counted" 1 d.c_inline;
+  Alcotest.(check int) "no fanned batch" 0 d.c_batches
+
+let test_chunk_identity () =
+  (* the chunk size is a scheduling knob only: any pin must produce the
+     same results as the cost model *)
+  let xs = List.init 57 Fun.id in
+  let expect = List.map (fun i -> i * i - i) xs in
+  let saved = Pool.chunk () in
+  Fun.protect ~finally:(fun () -> Pool.set_chunk saved) @@ fun () ->
+  List.iter
+    (fun pin ->
+      Pool.set_chunk pin;
+      let got =
+        Pool.with_jobs 4 (fun () ->
+            Pool.map
+              (fun i ->
+                burn ((i * 7) mod 13);
+                (i * i) - i)
+              xs)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunk %s"
+           (match pin with None -> "auto" | Some c -> string_of_int c))
+        expect got)
+    [ None; Some 1; Some 3; Some 7; Some 1000 ]
+
 let test_jobs_clamping () =
   (* the ambient job count is whatever POLARIS_JOBS says (the whole
      suite runs under =4 in CI): compare against it, don't assume 1 *)
@@ -116,10 +175,10 @@ let test_fuzz_identity () =
     let c0 = Dep.Driver.counters_snapshot () in
     let serial = compile_signature src in
     let c1 = Dep.Driver.counters_snapshot () in
-    let pooled = Pool.with_jobs 4 (fun () -> compile_signature src) in
+    let pooled = Pool.with_jobs 8 (fun () -> compile_signature src) in
     let c2 = Dep.Driver.counters_snapshot () in
     if serial <> pooled then
-      Alcotest.failf "seed %d: -j 4 compile differs from -j 1" seed;
+      Alcotest.failf "seed %d: -j 8 compile differs from -j 1" seed;
     (* the dependence-test counters must advance identically too: the
        tally merge replays them in program order *)
     let delta (a : Dep.Driver.counters) (b : Dep.Driver.counters) =
@@ -128,7 +187,7 @@ let test_fuzz_identity () =
         b.unknown - a.unknown )
     in
     if delta c0 c1 <> delta c1 c2 then
-      Alcotest.failf "seed %d: -j 4 dependence counters differ from -j 1" seed
+      Alcotest.failf "seed %d: -j 8 dependence counters differ from -j 1" seed
   done
 
 let tests =
@@ -139,5 +198,9 @@ let tests =
       test_nested_submit_rejected;
     Alcotest.test_case "shutdown is transparent" `Quick test_shutdown_respawn;
     Alcotest.test_case "job count clamping" `Quick test_jobs_clamping;
-    Alcotest.test_case "-j1 vs -j4 byte-identical (100 fuzz seeds)" `Slow
+    Alcotest.test_case "scheduler counters are exact" `Quick
+      test_scheduler_counters;
+    Alcotest.test_case "chunk size never changes results" `Quick
+      test_chunk_identity;
+    Alcotest.test_case "-j1 vs -j8 byte-identical (100 fuzz seeds)" `Slow
       test_fuzz_identity ]

@@ -817,6 +817,122 @@ let test_daemon_sigkill_recovery () =
   ignore (Unix.waitpid [] pid2);
   rm_rf_dir store_dir
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent dispatch (--max-inflight > 1)                            *)
+
+(* a distinct program per request, so a cross-wired response would be
+   caught by both the label and the compiled output *)
+let inflight_src tag =
+  let n = 8 + (tag mod 5) in
+  Printf.sprintf
+    "      PROGRAM P%d\n\
+     \      INTEGER I\n\
+     \      REAL A(%d), B(%d)\n\
+     \      DO I = 1, %d\n\
+     \        A(I) = I * %d.0\n\
+     \      ENDDO\n\
+     \      DO I = 1, %d\n\
+     \        B(I) = A(I) + 1.0\n\
+     \      ENDDO\n\
+     \      PRINT *, B(1)\n\
+     \      END\n"
+    tag n n n (1 + tag) n
+
+(* run one daemon lifetime at the given inflight bound; [consume] runs
+   against it and returns per-session reply lists *)
+let with_inflight_daemon ~socket ~max_inflight consume =
+  Util.Cachectl.clear_all ();
+  let d, stop =
+    start_daemon ~socket ~store_dir:None
+      ~tweak:(fun c -> { c with Serve.Daemon.d_max_inflight = max_inflight })
+      ()
+  in
+  let r = consume () in
+  Atomic.set stop true;
+  let report = Domain.join d in
+  Util.Cachectl.clear_all ();
+  (r, report)
+
+let test_daemon_concurrent_dispatch () =
+  let socket = tmp_name "inflight.sock" in
+  let nsessions = 3 and nreqs = 4 in
+  let label s i = Printf.sprintf "s%d-r%d" s i in
+  (* every session pipelines all its requests up front, so with
+     --max-inflight 4 compiles from different sessions genuinely
+     overlap; replies are then read back one session at a time *)
+  let drive () =
+    let conns =
+      List.init nsessions (fun s ->
+          match Serve.Client.connect socket with
+          | Ok c -> (s, c)
+          | Error m -> Alcotest.fail m)
+    in
+    List.iter
+      (fun (s, c) ->
+        for i = 0 to nreqs - 1 do
+          Serve.Client.send c
+            (Serve.Protocol.Compile
+               { cr_label = label s i;
+                 cr_source = inflight_src ((s * nreqs) + i);
+                 cr_check = false; cr_baseline = false })
+        done;
+        (* one server-side --check ride-along per session: the barrier
+           must serialize around the in-flight compiles and diverge on
+           nothing *)
+        Serve.Client.send c
+          (Serve.Protocol.Compile
+             { cr_label = label s nreqs;
+               cr_source = inflight_src ((s * nreqs) + 1);
+               cr_check = true; cr_baseline = false }))
+      conns;
+    let replies =
+      List.map
+        (fun (s, c) ->
+          let rs =
+            List.init (nreqs + 1) (fun _ ->
+                match Serve.Client.recv c with
+                | Ok (Serve.Protocol.Compiled r) -> r
+                | Ok _ -> Alcotest.fail "expected a Compiled response"
+                | Error m -> Alcotest.fail ("recv: " ^ m))
+          in
+          Serve.Client.close c;
+          (s, rs))
+        conns
+    in
+    replies
+  in
+  let serial, serial_report = with_inflight_daemon ~socket ~max_inflight:1 drive in
+  let conc, conc_report = with_inflight_daemon ~socket ~max_inflight:4 drive in
+  let total = nsessions * (nreqs + 1) in
+  Alcotest.(check int) "serial daemon served every request" total
+    serial_report.Serve.Daemon.r_requests;
+  Alcotest.(check int) "concurrent daemon served every request" total
+    conc_report.Serve.Daemon.r_requests;
+  List.iter2
+    (fun (s, rs_serial) (s', rs_conc) ->
+      Alcotest.(check int) "same session" s s';
+      List.iteri
+        (fun i
+             ((a : Serve.Protocol.compile_reply),
+              (b : Serve.Protocol.compile_reply)) ->
+          (* per-session responses arrive in request order... *)
+          Alcotest.(check string) "reply order preserved" (label s i)
+            a.co_label;
+          Alcotest.(check string) "reply order preserved under concurrency"
+            (label s i) b.co_label;
+          (* ...and every observable field of the compile is identical
+             between --max-inflight 1 and 4 *)
+          Alcotest.(check string) "output byte-identical" a.co_output
+            b.co_output;
+          Alcotest.(check (list string)) "verdicts identical" a.co_verdicts
+            b.co_verdicts;
+          Alcotest.(check int) "incidents identical" a.co_incidents
+            b.co_incidents;
+          Alcotest.(check (list string)) "no check divergences" []
+            b.co_check_divergences)
+        (List.combine rs_serial rs_conc))
+    serial conc
+
 let tests =
   [ ("protocol request roundtrip", `Quick, test_protocol_request_roundtrip);
     ("protocol response roundtrip", `Quick, test_protocol_response_roundtrip);
@@ -851,4 +967,6 @@ let tests =
     ("daemon log appends and marks restarts", `Quick,
      test_daemon_log_appends_restart_event);
     ("daemon SIGKILL: restart recovers the flushed store", `Quick,
-     test_daemon_sigkill_recovery) ]
+     test_daemon_sigkill_recovery);
+    ("daemon concurrent dispatch: ordered, byte-identical, checked", `Quick,
+     test_daemon_concurrent_dispatch) ]

@@ -176,6 +176,40 @@ let test_env_parse_seconds () =
   Alcotest.(check bool) "inf rejected" true (rejected "inf");
   Alcotest.(check bool) "non-numeric rejected" true (rejected "soon")
 
+(* the scheduling knobs: POLARIS_CHUNK (work-stealing batch size) and
+   POLARIS_MAX_INFLIGHT (daemon concurrent-compile bound) *)
+let test_env_parse_chunk () =
+  let rejected s =
+    match Env.parse_chunk s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "plain" true (Env.parse_chunk "16" = Ok 16);
+  Alcotest.(check bool) "one is fine" true (Env.parse_chunk "1" = Ok 1);
+  Alcotest.(check bool) "whitespace trimmed" true (Env.parse_chunk " 64 " = Ok 64);
+  Alcotest.(check bool) "ceiling accepted" true
+    (Env.parse_chunk "1000000" = Ok 1_000_000);
+  Alcotest.(check bool) "zero rejected (would livelock the batcher)" true
+    (rejected "0");
+  Alcotest.(check bool) "negative rejected" true (rejected "-8");
+  Alcotest.(check bool) "absurd size rejected as a typo" true
+    (rejected "1000001");
+  Alcotest.(check bool) "non-numeric rejected" true (rejected "auto");
+  Alcotest.(check bool) "empty rejected" true (rejected "")
+
+let test_env_parse_inflight () =
+  let rejected s =
+    match Env.parse_inflight s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "plain" true (Env.parse_inflight "1" = Ok 1);
+  Alcotest.(check bool) "whitespace trimmed" true
+    (Env.parse_inflight " 2 " = Ok 2);
+  Alcotest.(check bool) "huge bound clamps to the job ceiling" true
+    (Env.parse_inflight "9999" = Ok Env.max_jobs);
+  Alcotest.(check bool) "zero rejected (the daemon must make progress)" true
+    (rejected "0");
+  Alcotest.(check bool) "negative rejected" true (rejected "-1");
+  Alcotest.(check bool) "non-numeric rejected" true (rejected "all");
+  Alcotest.(check bool) "empty rejected" true (rejected "")
+
 let test_env_parse_path () =
   Alcotest.(check bool) "plain path" true
     (Env.parse_path "/tmp/cache" = Ok "/tmp/cache");
@@ -192,6 +226,8 @@ let tests =
     ("env cache-size parsing", `Quick, test_env_parse_mb);
     ("env count parsing", `Quick, test_env_parse_count);
     ("env seconds parsing", `Quick, test_env_parse_seconds);
+    ("env chunk parsing", `Quick, test_env_parse_chunk);
+    ("env inflight parsing", `Quick, test_env_parse_inflight);
     ("env path parsing", `Quick, test_env_parse_path);
     ("rat zero denominator", `Quick, test_make_zero_den);
     ("rat arithmetic", `Quick, test_arith);
