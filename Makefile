@@ -4,7 +4,7 @@
 # serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
 # faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate chaos check bench perf scale incremental daemon storm chaosnet clean
+.PHONY: all build test validate chaos check bench perf scale runtime incremental daemon storm chaosnet clean
 
 all: build
 
@@ -42,6 +42,16 @@ perf: build
 # batch/chunk/steal counters, and writes BENCH_scale.json (committed).
 scale: build
 	dune exec bench/main.exe -- scale 3
+
+# Real parallel execution: runs the 16-code suite on the serial
+# interpreter and on 1/2/4/8 OCaml domains (Machine.Parexec), prints
+# measured wall-clock speedups, exercises an LRPD success and a forced
+# LRPD failure (checkpoint/rollback/serial re-run), writes
+# BENCH_runtime.json, and exits non-zero if any parallel run diverges
+# from serial (integers exact, floats within the documented real-lane
+# tolerance) or either speculation path fails to execute.
+runtime: build
+	dune exec bench/main.exe -- runtime 3
 
 # Incremental recompilation: one serve-style session — cold-compile the
 # 16-code suite, then one single-unit edit per code with a full-suite

@@ -1487,6 +1487,203 @@ let chaos () =
   Printf.printf "chaos failures: %d (expected 0)\n"
     (List.length sweep.sw_failures + List.length sweep.sw_strict_failures)
 
+(* ------------------------------------------------------------------ *)
+(* Runtime: real execution on OCaml 5 domains — identity + wall clock *)
+
+(* subscripted-subscript loop the compile-time tests can't prove: the
+   parallelizer flags it speculative, so Parexec runs it under LRPD
+   shadows.  [collide] plants one cross-iteration flow dependence, which
+   forces the failure path (checkpoint, restore, serial re-run). *)
+let runtime_spec_src ~collide = Printf.sprintf
+  "      PROGRAM S\n\
+   \      INTEGER N, K, COLL\n\
+   \      PARAMETER (N = 64)\n\
+   \      INTEGER IX(64), JX(64)\n\
+   \      REAL D(128), SRC(128), T\n\
+   \      COLL = %d\n\
+   \      DO K = 1, N\n\
+   \        IX(K) = 2 * K - MOD(K, 2)\n\
+   \        JX(K) = IX(K)\n\
+   \        SRC(K) = 0.5 * K\n\
+   \      END DO\n\
+   \      IF (COLL .EQ. 1) THEN\n\
+   \        JX(7) = IX(6)\n\
+   \      END IF\n\
+   \      DO K = 1, N\n\
+   \        T = D(JX(K)) + SRC(K)\n\
+   \        D(IX(K)) = T * 0.5 + 1.0\n\
+   \      END DO\n\
+   \      PRINT *, D(1)\n\
+   \      END\n"
+  (if collide then 1 else 0)
+
+let runtime ?(n = 3) () =
+  section
+    (Printf.sprintf
+       "runtime: execute the 16-code suite for real on OCaml domains %dx at \
+        p=1/2/4/8 — identity and wall clock" n);
+  let cfg = Core.Config.polaris () in
+  let procs_list = [ 1; 2; 4; 8 ] in
+  let cmp = Valid.Oracle.real_cmp in
+  let divergences = ref [] in
+  let rows =
+    List.map
+      (fun (c : Suite.Code.t) ->
+        let t = Core.Pipeline.compile cfg c.source in
+        let reference = Valid.Oracle.execute t.program in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to n do
+          ignore (Valid.Oracle.execute t.program)
+        done;
+        let serial_wall = (Unix.gettimeofday () -. t0) /. float_of_int n in
+        let per_p =
+          List.map
+            (fun procs ->
+              let run, stats = Valid.Oracle.execute_real ~procs t.program in
+              let t0 = Unix.gettimeofday () in
+              for _ = 1 to n do
+                ignore (Valid.Oracle.execute_real ~procs t.program)
+              done;
+              let wall = (Unix.gettimeofday () -. t0) /. float_of_int n in
+              let divs = Valid.Oracle.compare_outcomes cmp reference run in
+              List.iter
+                (fun d -> divergences := (c.name, procs, d) :: !divergences)
+                divs;
+              (procs, wall, stats))
+            procs_list
+        in
+        (c.name, serial_wall, per_p))
+      Suite.Registry.all
+  in
+  List.iter
+    (fun (name, procs, d) ->
+      Fmt.epr "runtime: DIVERGENCE on %s at p=%d: %a@." name procs
+        Valid.Oracle.pp_divergence d)
+    !divergences;
+  let identical = !divergences = [] in
+  Printf.printf "%-8s | %9s |" "code" "serial";
+  List.iter (fun p -> Printf.printf " %7s %5s |" (Printf.sprintf "p=%d" p) "spdup")
+    procs_list;
+  print_newline ();
+  Printf.printf "%s\n" (String.make (22 + (16 * List.length procs_list)) '-');
+  List.iter
+    (fun (name, serial_wall, per_p) ->
+      Printf.printf "%-8s | %8.2fms |" name (serial_wall *. 1e3);
+      List.iter
+        (fun (_, wall, _) ->
+          Printf.printf " %6.2fms %4.2fx |" (wall *. 1e3)
+            (if wall <= 0.0 then 0.0 else serial_wall /. wall))
+        per_p;
+      print_newline ())
+    rows;
+  let total_serial =
+    List.fold_left (fun a (_, s, _) -> a +. s) 0.0 rows
+  in
+  let total_at p =
+    List.fold_left
+      (fun a (_, _, per_p) ->
+        let _, w, _ = List.find (fun (q, _, _) -> q = p) per_p in
+        a +. w)
+      0.0 rows
+  in
+  let regions_at p =
+    List.fold_left
+      (fun a (_, _, per_p) ->
+        let _, _, (s : Machine.Parexec.stats) =
+          List.find (fun (q, _, _) -> q = p) per_p
+        in
+        a + s.regions)
+      0 rows
+  in
+  Printf.printf "\nsuite totals: serial %.1fms" (total_serial *. 1e3);
+  List.iter
+    (fun p ->
+      let w = total_at p in
+      Printf.printf "  p=%d %.1fms (%.2fx, %d regions)" p (w *. 1e3)
+        (if w <= 0.0 then 0.0 else total_serial /. w)
+        (regions_at p))
+    procs_list;
+  print_newline ();
+  (* LRPD: both paths must actually execute — a committed speculative
+     region and a failed one that restored from its checkpoint *)
+  let spec_run ~collide =
+    let p = Frontend.Parser.parse_string (runtime_spec_src ~collide) in
+    ignore (Passes.Parallelize.run ~mode:Passes.Parallelize.Polaris p);
+    let reference = Valid.Oracle.execute p in
+    let run, stats = Valid.Oracle.execute_real ~procs:4 p in
+    let divs = Valid.Oracle.compare_outcomes cmp reference run in
+    List.iter
+      (fun d ->
+        Fmt.epr "runtime: LRPD(collide=%b) DIVERGENCE: %a@." collide
+          Valid.Oracle.pp_divergence d)
+      divs;
+    (divs = [], stats)
+  in
+  let ok_pass, st_pass = spec_run ~collide:false in
+  let ok_fail, st_fail = spec_run ~collide:true in
+  let spec_committed = st_pass.Machine.Parexec.spec_success >= 1 in
+  let spec_restored = st_fail.Machine.Parexec.spec_failures >= 1 in
+  Printf.printf
+    "LRPD success path: %d attempted, %d committed (identity %b)\n"
+    st_pass.Machine.Parexec.spec_attempts st_pass.Machine.Parexec.spec_success
+    ok_pass;
+  Printf.printf
+    "LRPD failure path: %d attempted, %d rolled back + re-run serially \
+     (identity %b)\n"
+    st_fail.Machine.Parexec.spec_attempts st_fail.Machine.Parexec.spec_failures
+    ok_fail;
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "\nhost cores (recommended domain count): %d\n" host_cores;
+  Printf.printf "parallel output/memory identical to serial at every p: %b\n"
+    identical;
+  let spec_ok = ok_pass && ok_fail && spec_committed && spec_restored in
+  if not spec_committed then
+    Printf.eprintf "runtime: LRPD success path never committed\n";
+  if not spec_restored then
+    Printf.eprintf "runtime: LRPD failure path never rolled back\n";
+  let json =
+    let open Valid.Trace.Json in
+    obj
+      [ ("iterations", int n);
+        ("codes", int (List.length rows));
+        ("host_cores", int host_cores);
+        ( "runs",
+          arr
+            (List.map
+               (fun (name, serial_wall, per_p) ->
+                 obj
+                   [ ("code", str name);
+                     ("serial_wall_s", float serial_wall);
+                     ( "parallel",
+                       arr
+                         (List.map
+                            (fun (procs, wall, (s : Machine.Parexec.stats)) ->
+                              obj
+                                [ ("procs", int procs);
+                                  ("wall_s", float wall);
+                                  ( "speedup",
+                                    float
+                                      (if wall <= 0.0 then 0.0
+                                       else serial_wall /. wall) );
+                                  ("regions", int s.regions);
+                                  ("par_iters", int s.par_iters) ])
+                            per_p) ) ])
+               rows) );
+        ( "speculation",
+          obj
+            [ ("success_committed", bool spec_committed);
+              ("failure_restored", bool spec_restored);
+              ("success_identity", bool ok_pass);
+              ("failure_identity", bool ok_fail) ] );
+        ("identical_output", bool identical) ]
+  in
+  let oc = open_out "BENCH_runtime.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_runtime.json\n";
+  if not (identical && spec_ok) then exit 1
+
 let experiments =
   [ ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
@@ -1496,7 +1693,8 @@ let experiments =
     ("incremental", fun () -> incremental ());
     ("daemon", fun () -> daemon_bench ());
     ("storm", fun () -> storm ());
-    ("chaosnet", fun () -> chaosnet ()) ]
+    ("chaosnet", fun () -> chaosnet ());
+    ("runtime", fun () -> runtime ()) ]
 
 let () =
   match Sys.argv with
@@ -1512,6 +1710,12 @@ let () =
     | Some n when n > 0 -> scale ~n ()
     | _ ->
       Printf.eprintf "usage: %s scale [iterations > 0]\n" Sys.argv.(0);
+      exit 1)
+  | [| _; "runtime"; n |] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> runtime ~n ()
+    | _ ->
+      Printf.eprintf "usage: %s runtime [iterations > 0]\n" Sys.argv.(0);
       exit 1)
   | [| _; "daemon"; n |] -> (
     match int_of_string_opt n with

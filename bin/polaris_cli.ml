@@ -183,7 +183,26 @@ let run_cmd =
   let procs =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
-  let go file baseline procs strict jobs chunk =
+  let real =
+    Arg.(
+      value & flag
+      & info [ "real" ]
+          ~doc:
+            "Also execute the compiled program for real: DOALL and \
+             speculative loops run on OCaml domains and both lanes are \
+             timed with a wall clock (measured, not modeled)")
+  in
+  let real_procs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "real-procs" ] ~docv:"N"
+          ~doc:
+            "Domain count for $(b,--real) (default \
+             \\$(b,POLARIS_RUNTIME_PROCS), or the host's recommended domain \
+             count capped at 8)")
+  in
+  let go file baseline procs real real_procs strict jobs chunk =
     with_errors (fun () ->
         setup_pool jobs chunk;
         let file = required_file file in
@@ -193,14 +212,40 @@ let run_cmd =
         Fmt.pr "serial time   : %d@." r.serial_time;
         Fmt.pr "parallel time : %d (%d processors)@." r.parallel_time procs;
         Fmt.pr "speedup       : %.2fx@." r.speedup;
+        if real then begin
+          let m = Core.Simulate.run_measured ?procs:real_procs t.program in
+          let s = m.stats in
+          Fmt.pr
+            "real exec     : p=%d  serial %.4fs  parallel %.4fs  speedup \
+             %.2fx (measured)@."
+            m.m_procs m.serial_wall m.parallel_wall m.wall_speedup;
+          Fmt.pr
+            "real regions  : %d forked (%d iterations); speculation %d ok / \
+             %d failed; %d loops declined@."
+            s.Machine.Parexec.regions s.Machine.Parexec.par_iters
+            s.Machine.Parexec.spec_success s.Machine.Parexec.spec_failures
+            s.Machine.Parexec.serial_loops;
+          let divs =
+            Valid.Oracle.compare_captures Valid.Oracle.real_cmp
+              m.serial_capture m.parallel_capture
+          in
+          if divs <> [] then begin
+            Fmt.epr "polaris: real execution diverged from serial:@.";
+            List.iteri
+              (fun i d ->
+                if i < 5 then Fmt.epr "  %a@." Valid.Oracle.pp_divergence d)
+              divs;
+            exit 1
+          end
+        end;
         List.iter (fun l -> Fmt.pr "output: %s@." l) r.output;
         exit_on_incidents t)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated multiprocessor")
     Term.(
-      const go $ file_pos $ baseline $ procs $ strict_flag $ jobs_flag
-      $ chunk_flag)
+      const go $ file_pos $ baseline $ procs $ real $ real_procs $ strict_flag
+      $ jobs_flag $ chunk_flag)
 
 (* ----- suite ----- *)
 
@@ -315,14 +360,23 @@ let validate_cmd =
          & info [ "trace" ] ~docv:"OUT.json"
              ~doc:"Write the flight-recorder + validation report as JSON")
   in
-  let go file suite baseline_only polaris_only ulp seeds procs trace_out jobs
-      chunk =
+  let real_procs =
+    Arg.(value & opt string ""
+         & info [ "real-procs" ] ~docv:"P1,P2"
+             ~doc:"Also execute each compiled program for real on these \
+                   OCaml domain counts and require identity with the serial \
+                   interpreter (float reductions compared under the \
+                   reassociation-aware ULP tolerance; default: off)")
+  in
+  let go file suite baseline_only polaris_only ulp seeds procs trace_out
+      real_procs jobs chunk =
     with_errors (fun () ->
         setup_pool jobs chunk;
-        let cmp = { Valid.Oracle.ulp_tol = ulp } in
+        let cmp = { Valid.Oracle.default_cmp with ulp_tol = ulp } in
         let seeds = parse_int_list ~what:"seed" seeds in
         let procs_list = parse_int_list ~what:"processor" procs in
         let procs_list = if procs_list = [] then [ 1; 2; 4; 8 ] else procs_list in
+        let real_procs_list = parse_int_list ~what:"processor" real_procs in
         let configs =
           match (baseline_only, polaris_only) with
           | true, false -> [ Core.Config.baseline () ]
@@ -349,6 +403,43 @@ let validate_cmd =
                 configs)
             targets
         in
+        (* the real-execution lane: the compiled program must reproduce
+           its own serial semantics when the annotated loops actually
+           run on domains *)
+        let real_failures =
+          if real_procs_list = [] then []
+          else begin
+            let real_cmp =
+              { Valid.Oracle.real_cmp with
+                ulp_tol =
+                  max ulp Valid.Oracle.real_cmp.Valid.Oracle.ulp_tol }
+            in
+            List.concat_map
+              (fun (label, source) ->
+                List.filter_map
+                  (fun (config : Core.Config.t) ->
+                    let t = Core.Pipeline.compile config source in
+                    let report =
+                      Valid.Oracle.differential_real ~cmp:real_cmp
+                        ~procs_list:real_procs_list ~seeds
+                        t.Core.Pipeline.program ()
+                    in
+                    if Valid.Oracle.equivalent report then begin
+                      Fmt.pr "%-10s %-9s real ok %4d checks (p=%s)@." label
+                        config.name report.Valid.Oracle.checks
+                        (String.concat ","
+                           (List.map string_of_int real_procs_list));
+                      None
+                    end
+                    else begin
+                      Fmt.pr "%-10s %-9s real FAIL@.  @[<v>%a@]@." label
+                        config.name Valid.Oracle.pp_report report;
+                      Some (label, config.name)
+                    end)
+                  configs)
+              targets
+          end
+        in
         (match trace_out with
         | None -> ()
         | Some path ->
@@ -369,9 +460,13 @@ let validate_cmd =
         let failures =
           List.filter (fun (_, _, r) -> not (Valid.Snapshot.ok r)) results
         in
-        if failures <> [] then begin
-          Fmt.epr "validation failed on %d of %d compilations@."
-            (List.length failures) (List.length results);
+        if failures <> [] || real_failures <> [] then begin
+          if failures <> [] then
+            Fmt.epr "validation failed on %d of %d compilations@."
+              (List.length failures) (List.length results);
+          if real_failures <> [] then
+            Fmt.epr "real execution diverged on %d compilations@."
+              (List.length real_failures);
           exit 1
         end)
   in
@@ -380,7 +475,7 @@ let validate_cmd =
        ~doc:"Translation-validate the pipeline by differential execution")
     Term.(
       const go $ file_pos $ suite $ baseline_only $ polaris_only $ ulp $ seeds
-      $ procs $ trace_out $ jobs_flag $ chunk_flag)
+      $ procs $ trace_out $ real_procs $ jobs_flag $ chunk_flag)
 
 (* ----- serve ----- *)
 

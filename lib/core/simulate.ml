@@ -60,3 +60,52 @@ let compile_and_run ?strict ?(use_cache = true) (config : Config.t)
       parallel_time = rp.time;
       speedup = Machine.Parsim.speedup ~seq:rs.time ~par:rp.time;
       output = rs.output } )
+
+(* ------------------------------------------------------------------ *)
+(* The measured lane                                                   *)
+
+type measured = {
+  m_procs : int;
+  serial_wall : float;
+  parallel_wall : float;
+  wall_speedup : float;
+  serial_capture : Machine.Interp.capture;
+  parallel_capture : Machine.Interp.capture;
+  stats : Machine.Parexec.stats;
+}
+
+(** Execute [program] twice for real and time both: once on the plain
+    serial interpreter and once with {!Machine.Parexec} running the
+    annotated loops on [procs] OCaml domains (LRPD loops speculate
+    against {!Fruntime.Specexec} shadows).  Both captures are returned
+    so the caller can run the identity check it wants — this module
+    deliberately does not compare them, because float reductions need
+    the ULP-tolerant comparator that lives in [Valid.Oracle] and [core]
+    sits below [valid] in the library stack. *)
+let run_measured ?procs ?(use_cache = true) ?seed (program : Fir.Program.t) :
+    measured =
+  let procs =
+    match procs with
+    | Some p -> max 1 p
+    | None -> Machine.Parexec.default_procs ()
+  in
+  let cfg =
+    Machine.Interp.default_config ~parallel:false ~procs ~use_cache ?seed ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let serial_capture = Machine.Interp.run_full ~cfg program in
+  let t1 = Unix.gettimeofday () in
+  let parallel_capture, stats =
+    Machine.Parexec.run_full ~cfg ~procs ~spec:Fruntime.Specexec.backend
+      program
+  in
+  let t2 = Unix.gettimeofday () in
+  let serial_wall = t1 -. t0 and parallel_wall = t2 -. t1 in
+  { m_procs = procs;
+    serial_wall;
+    parallel_wall;
+    wall_speedup =
+      (if parallel_wall <= 0.0 then 0.0 else serial_wall /. parallel_wall);
+    serial_capture;
+    parallel_capture;
+    stats }

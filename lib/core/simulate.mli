@@ -22,3 +22,23 @@ val run : ?procs:int -> ?use_cache:bool -> Fir.Program.t -> run
     faults re-raise instead of being contained. *)
 val compile_and_run :
   ?strict:bool -> ?use_cache:bool -> Config.t -> string -> Pipeline.t * run
+
+type measured = {
+  m_procs : int;                 (** OCaml domains used *)
+  serial_wall : float;           (** wall-clock seconds, serial interpreter *)
+  parallel_wall : float;         (** wall-clock seconds, {!Machine.Parexec} *)
+  wall_speedup : float;          (** serial_wall / parallel_wall *)
+  serial_capture : Machine.Interp.capture;
+  parallel_capture : Machine.Interp.capture;
+  stats : Machine.Parexec.stats; (** regions forked, speculation outcomes *)
+}
+
+(** The {e measured} lane: execute a compiled program for real, serially
+    and on [procs] OCaml domains, and time both with a wall clock.  The
+    modeled lane ({!run}) prices the paper's 8-way machine; this one
+    measures this machine.  [procs] defaults to [POLARIS_RUNTIME_PROCS]
+    or the host's recommended domain count.  Captures are returned
+    uncompared (use [Valid.Oracle] for the ULP-tolerant identity
+    check). *)
+val run_measured :
+  ?procs:int -> ?use_cache:bool -> ?seed:int -> Fir.Program.t -> measured

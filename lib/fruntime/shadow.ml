@@ -68,6 +68,25 @@ let read t i =
       t.touched <- i :: t.touched
     end
 
+(** Merge the marks of [src] into [dst] (both are flushed first).
+
+    Under block scheduling each domain marks a private shadow for its
+    own iterations; [w]/[r]/[np] are per-(element, iteration) facts
+    aggregated by OR and [wa] counts first-per-iteration writes, so
+    OR-ing the bitmaps and summing [wa] yields exactly the marks a
+    single shadow would have collected over the whole iteration space
+    (paper §3.5.2's "merge phase", O(size) per processor). *)
+let merge_into dst src =
+  if dst.size <> src.size then invalid_arg "Shadow.merge_into: size mismatch";
+  end_iteration dst;
+  end_iteration src;
+  for i = 0 to dst.size - 1 do
+    if marked src.w i then mark dst.w i;
+    if marked src.r i then mark dst.r i;
+    if marked src.np i then mark dst.np i
+  done;
+  dst.wa <- dst.wa + src.wa
+
 (** Post-execution analysis of the marks (paper §3.5.2). *)
 type analysis = {
   flow_or_anti : bool;     (** any(A_w and A_r) *)

@@ -118,9 +118,20 @@ let run ?(cost = Pd_test.default_cost) ?(procs = 8) ~(loop_sid : int)
   let analysis = Shadow.analyze ~total_accesses:!accesses shadow in
   let verdict = Shadow.verdict_of_analysis analysis in
   let mach = Machine.Parsim.default ~procs () in
+  (* pricing follows the shadow analysis: a plain Parallel verdict
+     privatizes nothing and merges nothing; Parallel_privatized pays
+     one private copy of the tested array per processor plus the
+     last-value merge of every element the loop wrote; a failed
+     speculation ran unprivatized, so its attempt also charges
+     nothing here (the restore + serial re-run are priced below) *)
+  let n_private, reduction_elems =
+    match verdict with
+    | Shadow.Parallel_privatized -> (1, analysis.Shadow.marks)
+    | Shadow.Parallel | Shadow.Not_parallel -> (0, 0)
+  in
   let body =
-    Machine.Parsim.doall_time mach ~iter_costs:costs ~n_private:1
-      ~reduction_elems:0
+    Machine.Parsim.doall_time mach ~iter_costs:costs ~n_private
+      ~reduction_elems
   in
   let t_spec = body + Pd_test.marking_time cost ~accesses:!accesses ~p:procs in
   let t_pd_analysis = Pd_test.analysis_time cost ~size ~p:procs in

@@ -67,6 +67,13 @@ let default_config ?(parallel = false) ?(procs = 8) ?(use_cache = true)
 
 type rw = R | W
 
+type outcome = Normal | Jump of int | Returned | Stopped
+
+type frame = {
+  unit_ : Punit.t;
+  vars : (string, Storage.binding) Hashtbl.t;
+}
+
 type state = {
   prog : Program.t;
   cfg : config;
@@ -85,11 +92,21 @@ type state = {
           number (0-based), current simulated time *)
   mutable on_loop_done : (int -> int -> unit) option;
       (** called when a DO completes: loop statement id, time *)
-}
-
-type frame = {
-  unit_ : Punit.t;
-  vars : (string, Storage.binding) Hashtbl.t;
+  mutable on_assign : (string -> unit) option;
+      (** scalar-write hook: called with the variable name on every
+          assignment to a scalar (the real executor tracks last-value
+          copy-out of privatized scalars with it) *)
+  mutable on_parallel_do :
+    (state -> frame -> int -> do_loop -> init:int -> step:int -> trips:int ->
+     outcome option)
+      option;
+      (** real-execution hook: offered every DO loop reached at
+          [par_depth = 0] with its evaluated bounds, {e before} the
+          serial (or Parsim-timed) path runs.  Returning [Some outcome]
+          means the hook executed the loop (e.g. {!Parexec} ran it on
+          domains); [None] falls through to the ordinary path.  The
+          hook must leave [idx] and all memory exactly as serial
+          execution would. *)
 }
 
 let charge st n = st.time <- st.time + n
@@ -133,8 +150,6 @@ let maybe_seed st name (b : Storage.binding) =
 
 (* ------------------------------------------------------------------ *)
 (* Variable binding                                                    *)
-
-type outcome = Normal | Jump of int | Returned | Stopped
 
 let rec const_int_expr st (fr : frame) e =
   (* dimension expressions: evaluated with parameters and current frame *)
@@ -381,6 +396,7 @@ and assign_to st fr lhs v =
   | Var name ->
     let b = binding_for st fr name in
     if b.dims <> [] then error "array %s assigned as scalar" name;
+    (match st.on_assign with Some f -> f name | None -> ());
     Storage.write_elem b.view 0 v
   | Ref (name, subs) ->
     let b, i = element_index st fr name subs in
@@ -475,7 +491,20 @@ and exec_do_body st fr sid (d : do_loop) : outcome =
   if step = 0 then error "DO %s: zero step" d.index;
   let trips = max 0 ((limit - init + step) / step) in
   let idx_binding = binding_for st fr d.index in
-  let set_index v = Storage.write_elem idx_binding.view 0 (Value.Int v) in
+  let set_index v =
+    (* the DO construct's index updates are scalar writes too: the real
+       executor's last-value masks must see nested loop indices *)
+    (match st.on_assign with Some f -> f d.index | None -> ());
+    Storage.write_elem idx_binding.view 0 (Value.Int v)
+  in
+  let real_executed =
+    match st.on_parallel_do with
+    | Some hook when st.par_depth = 0 -> hook st fr sid d ~init ~step ~trips
+    | _ -> None
+  in
+  match real_executed with
+  | Some outcome -> outcome
+  | None ->
   let simulate_parallel =
     st.cfg.parallel && d.info.par && (not d.info.speculative) && st.par_depth = 0
   in
@@ -564,7 +593,8 @@ and run_unit_body st (fr : frame) =
 let fresh_state ?(cfg = default_config ()) prog =
   { prog; cfg; cache = Cache.create (); commons = Hashtbl.create 8; time = 0;
     steps = 0; par_depth = 0; cur_unit = "?"; cur_loop = None; output = [];
-    on_access = None; on_loop_iter = None; on_loop_done = None }
+    on_access = None; on_loop_iter = None; on_loop_done = None;
+    on_assign = None; on_parallel_do = None }
 
 type result = {
   time : int;                 (** simulated time units *)

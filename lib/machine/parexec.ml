@@ -1,0 +1,777 @@
+(** Real parallel execution of DOALL and speculative loops on OCaml 5
+    domains.
+
+    {!Interp} prices DOALL loops with the {!Parsim} model but executes
+    them sequentially; this module actually runs them.  It installs the
+    interpreter's [on_parallel_do] hook and, for every annotated loop
+    reached at [par_depth = 0], forks the iteration space across a
+    persistent team of worker domains under the {e same} static block
+    schedule the model prices ({!Parsim.block_start}), so modeled
+    processor [j] and runtime domain [j] own identical iteration
+    ranges.
+
+    Memory-safety argument (DESIGN.md §10):
+    - each domain interprets on its own {!Interp.state} (own time,
+      fuel, output, cache) and its own frame copy;
+    - names in the loop body are pre-bound on the parent before the
+      fork, so no domain ever touches the shared symbol table, the
+      COMMON table or the frame's binding table during the region;
+    - shared arrays are written only at compile-time-proven disjoint
+      indices (DOALL) or guarded by the LRPD test (speculation);
+      {!Storage} element writes are single word-sized stores, which the
+      OCaml memory model guarantees tear-free;
+    - privatized names and reduction variables are rebound to fresh
+      per-domain allocations and merged after the join, in ascending
+      domain order — a deterministic order that equals iteration order
+      under block scheduling.
+
+    Speculative (LRPD) loops run against per-domain shadow arrays
+    supplied by a {!spec_backend} (implemented by [Fruntime.Specexec];
+    this library cannot depend on [Fruntime]).  The shared written
+    arrays are checkpointed with {!Storage.snapshot} before the fork;
+    a failed PD test restores them with {!Storage.restore} and re-runs
+    the loop sequentially on the parent state. *)
+
+open Fir
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Speculation backend interface                                       *)
+
+(** Per-domain shadow marker for one tested array. *)
+type shadow_inst = {
+  s_read : int -> unit;
+  s_write : int -> unit;
+  s_iter_begin : unit -> unit;  (** called at the start of each iteration *)
+}
+
+type spec_verdict =
+  | Spec_parallel      (** fully parallel as executed: results stand *)
+  | Spec_privatize     (** output deps: needed privatization — results
+                           are discarded like a failure, the loop
+                           re-runs sequentially *)
+  | Spec_fail          (** flow/anti dependence: restore and re-run *)
+
+(** [sb_make ~size ~domains] returns the per-domain marker factory and
+    the finalizer that merges the [domains] shadows and renders the
+    verdict. *)
+type spec_backend = {
+  sb_make :
+    size:int -> domains:int -> (int -> shadow_inst) * (unit -> spec_verdict);
+}
+
+(** One speculative region instance, for tests and reporting. *)
+type spec_event = {
+  se_loop_sid : int;
+  se_arrays : string list;                     (** tested (written) arrays *)
+  se_verdict : spec_verdict;
+  se_trips : int;
+  se_domains : int;
+  se_checkpoints : (string * Storage.data) list;
+      (** entry snapshots of every tested array *)
+  se_after_restore : (string * Storage.data) list;
+      (** snapshots taken immediately after {!Storage.restore} on the
+          failure path; [[]] when the speculation succeeded *)
+}
+
+type stats = {
+  mutable regions : int;        (** parallel regions executed for real *)
+  mutable par_iters : int;      (** iterations executed on worker domains *)
+  mutable serial_loops : int;   (** annotated loops declined (ran serially) *)
+  mutable spec_attempts : int;
+  mutable spec_success : int;
+  mutable spec_failures : int;  (** restored + re-executed sequentially *)
+  mutable events : spec_event list;  (** newest first *)
+}
+
+let fresh_stats () =
+  { regions = 0; par_iters = 0; serial_loops = 0; spec_attempts = 0;
+    spec_success = 0; spec_failures = 0; events = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Worker team                                                         *)
+
+type worker = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_job : (unit -> unit) option;
+  mutable w_stop : bool;
+  mutable w_dom : unit Domain.t option;
+}
+
+type team = {
+  t_domains : int;              (** block count = workers + the caller *)
+  t_workers : worker array;     (** [t_domains - 1] persistent domains *)
+}
+
+let rec worker_loop (w : worker) =
+  Mutex.lock w.w_mutex;
+  while w.w_job = None && not w.w_stop do
+    Condition.wait w.w_cond w.w_mutex
+  done;
+  match w.w_job with
+  | Some job ->
+    Mutex.unlock w.w_mutex;
+    job ();  (* jobs trap their own exceptions *)
+    Mutex.lock w.w_mutex;
+    w.w_job <- None;
+    Condition.broadcast w.w_cond;
+    Mutex.unlock w.w_mutex;
+    worker_loop w
+  | None -> Mutex.unlock w.w_mutex
+
+let make_team domains : team =
+  let workers =
+    Array.init (max 0 (domains - 1)) (fun _ ->
+        { w_mutex = Mutex.create (); w_cond = Condition.create ();
+          w_job = None; w_stop = false; w_dom = None })
+  in
+  Array.iter
+    (fun w -> w.w_dom <- Some (Domain.spawn (fun () -> worker_loop w)))
+    workers;
+  { t_domains = domains; t_workers = workers }
+
+let stop_team (t : team) =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_mutex;
+      w.w_stop <- true;
+      Condition.broadcast w.w_cond;
+      Mutex.unlock w.w_mutex)
+    t.t_workers;
+  Array.iter
+    (fun w -> match w.w_dom with Some d -> Domain.join d | None -> ())
+    t.t_workers
+
+(** Run [fns.(1 ..)] on worker domains, [fns.(0)] on the caller, and
+    wait for all of them (a synchronous fork-join). *)
+let run_blocks (t : team) (fns : (unit -> unit) array) =
+  let n = Array.length fns in
+  for i = 1 to n - 1 do
+    let w = t.t_workers.(i - 1) in
+    Mutex.lock w.w_mutex;
+    w.w_job <- Some fns.(i);
+    Condition.broadcast w.w_cond;
+    Mutex.unlock w.w_mutex
+  done;
+  fns.(0) ();
+  for i = 1 to n - 1 do
+    let w = t.t_workers.(i - 1) in
+    Mutex.lock w.w_mutex;
+    while w.w_job <> None do
+      Condition.wait w.w_cond w.w_mutex
+    done;
+    Mutex.unlock w.w_mutex
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Structural safety                                                   *)
+
+(* Variable names referenced anywhere in the loop (body + nested
+   bounds), excluding called-function names: the set to pre-bind on the
+   parent so child lookups never miss. *)
+let loop_names (d : do_loop) =
+  let acc = ref [ d.index ] in
+  let add_expr e =
+    acc :=
+      Expr.fold
+        (fun acc -> function
+          | Var v | Ref (v, _) -> v :: acc
+          | _ -> acc)
+        !acc e
+  in
+  Stmt.iter
+    (fun s ->
+      (match s.kind with Do dd -> acc := dd.index :: !acc | _ -> ());
+      List.iter (fun (_, e) -> add_expr e) (Stmt.exprs_of s))
+    d.body;
+  List.sort_uniq String.compare !acc
+
+(* A loop body the fork-join model can run: no control flow that could
+   escape the region (GOTO/RETURN/STOP) and no calls to user units
+   (callee frames would bind symbols concurrently, and accesses through
+   dummy arguments are invisible to masks and shadows). *)
+let body_forkable (prog : Program.t) (d : do_loop) =
+  let ok = ref true in
+  Stmt.iter
+    (fun s ->
+      (match s.kind with
+      | Goto _ | Return | Stop | Call _ -> ok := false
+      | _ -> ());
+      List.iter
+        (fun (_, e) ->
+          if
+            Expr.exists
+              (function
+                | Fun_call (f, _) -> Program.find_unit prog f <> None
+                | _ -> false)
+              e
+          then ok := false)
+        (Stmt.exprs_of s))
+    d.body;
+  !ok
+
+(* does the body ever READ scalar [v]?  (assignment targets [v = ...]
+   do not count; everything else, including subscripts of assignment
+   targets, does) *)
+let reads_scalar (body : block) v =
+  Stmt.fold
+    (fun acc (s : stmt) ->
+      acc
+      || List.exists
+           (fun ((role : Stmt.expr_role), e) ->
+             match (role, e) with
+             | Stmt.Elhs, Var x when String.equal x v -> false
+             | Stmt.Elhs, Ref (_, subs) ->
+               List.exists (Expr.mentions v) subs
+             | _ -> Expr.mentions v e)
+           (Stmt.exprs_of s))
+    false body
+
+(* Is written scalar [v] safe to privatize per-iteration with copy-in?
+   Safe iff every iteration writes it before reading it.  Verdicts:
+   [`Safe] (definitely assigned before any read), [`Unseen] (not
+   referenced), anything conditional or read-first is unsafe. *)
+let scalar_write_first (body : block) v =
+  let rec scan_block b =
+    List.fold_left
+      (fun acc s -> match acc with `Unseen -> scan_stmt s | v -> v)
+      `Unseen b
+  and scan_stmt (s : stmt) =
+    match s.kind with
+    | Assign (Var x, rhs) when String.equal x v ->
+      if Expr.mentions v rhs then `Unsafe else `Safe
+    | Do dd when String.equal dd.index v ->
+      if
+        List.exists (Expr.mentions v)
+          (dd.init :: dd.limit
+          :: (match dd.step with Some e -> [ e ] | None -> []))
+      then `Unsafe
+      else `Safe (* the DO construct assigns the index first *)
+    | If (c, t, e) ->
+      if Expr.mentions v c then `Unsafe
+      else begin
+        match (scan_block t, scan_block e) with
+        | `Unsafe, _ | _, `Unsafe -> `Unsafe
+        | `Safe, `Safe -> `Safe
+        | `Unseen, `Unseen -> `Unseen
+        | _ -> `Unsafe (* conditionally written: refuse *)
+      end
+    | _ ->
+      if
+        List.exists (fun (_, e) -> Expr.mentions v e) (Stmt.exprs_of s)
+        ||
+        match s.kind with
+        | Do dd -> scan_block dd.body <> `Unseen
+        | While (_, b) -> scan_block b <> `Unseen
+        | _ -> false
+      then `Unsafe
+      else `Unseen
+  in
+  scan_block body
+
+let scalar_privatizable body v =
+  (not (reads_scalar body v)) || scalar_write_first body v = `Safe
+
+(* ------------------------------------------------------------------ *)
+(* Private copies, masks, merges                                       *)
+
+(* fresh per-domain allocation shaped like [b], copied in from it *)
+let private_binding ?(copy_in = true) (b : Storage.binding) : Storage.binding =
+  let n = max 1 (Storage.extent_of b) in
+  let pb =
+    { Storage.view = { alloc = Storage.allocate b.elem n; off = 0 };
+      dims = b.dims; elem = b.elem }
+  in
+  if copy_in then
+    for i = 0 to Storage.extent_of b - 1 do
+      Storage.write_elem pb.view i (Storage.read_elem b.view i)
+    done;
+  pb
+
+let identity_value (elem : base_type) (op : reduction_op) : Value.t =
+  match (elem, op) with
+  | Integer, Rsum -> Value.Int 0
+  | Integer, Rprod -> Value.Int 1
+  | Integer, Rmax -> Value.Int min_int
+  | Integer, Rmin -> Value.Int max_int
+  | Logical, _ -> Value.Bool false
+  | _, Rsum -> Value.Real 0.0
+  | _, Rprod -> Value.Real 1.0
+  | _, Rmax -> Value.Real neg_infinity
+  | _, Rmin -> Value.Real infinity
+
+(* the merge operator, matching the interpreter's semantics for the
+   reduction statement forms ({!Interp.intrinsic} MAX/MIN use the same
+   [compare_num] tie-breaking) *)
+let merge_value (op : reduction_op) a b =
+  match op with
+  | Rsum -> Value.add a b
+  | Rprod -> Value.mul a b
+  | Rmax -> if Value.compare_num a b >= 0 then a else b
+  | Rmin -> if Value.compare_num a b <= 0 then a else b
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+
+type t = {
+  procs : int;
+  team : team;
+  spec : spec_backend option;
+  stats : stats;
+}
+
+(* per-domain execution context *)
+type child = {
+  c_state : Interp.state;
+  c_frame : Interp.frame;
+  c_masks : (string, Bytes.t) Hashtbl.t;
+      (** per-name written-element masks (privates + reduction vars) *)
+  c_lo : int;
+  c_hi : int;
+  mutable c_exn : (exn * Printexc.raw_backtrace) option;
+}
+
+let child_state (st : Interp.state) : Interp.state =
+  { st with
+    cache = Cache.create ();
+    time = 0;
+    steps = st.steps;
+    par_depth = 1;
+    output = [];
+    on_access = None; on_loop_iter = None; on_loop_done = None;
+    on_assign = None; on_parallel_do = None }
+
+(* build one child: copy the frame, rebind [privates] to fresh
+   per-domain copies (with copy-in) and reduction vars to identity
+   accumulators; install the write masks *)
+let make_child (st : Interp.state) (fr : Interp.frame) (d : do_loop)
+    ~(privates : string list) ~(reductions : reduction list) ~lo ~hi : child =
+  let cst = child_state st in
+  let vars = Hashtbl.copy fr.Interp.vars in
+  let cfr = { Interp.unit_ = fr.Interp.unit_; vars } in
+  let masks = Hashtbl.create 8 in
+  let track name (b : Storage.binding) =
+    Hashtbl.replace masks name (Bytes.make (max 1 (Storage.extent_of b)) '\000')
+  in
+  (* the loop index: always private, no copy-in (the construct assigns
+     it at every iteration) *)
+  let idx_b = Hashtbl.find vars d.index in
+  Hashtbl.replace vars d.index (private_binding ~copy_in:false idx_b);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt vars name with
+      | Some b ->
+        let pb = private_binding b in
+        Hashtbl.replace vars name pb;
+        track name pb
+      | None -> ())
+    privates;
+  List.iter
+    (fun (r : reduction) ->
+      match Hashtbl.find_opt vars r.red_var with
+      | Some b ->
+        let pb = private_binding ~copy_in:false b in
+        let id = identity_value pb.elem r.red_op in
+        for i = 0 to Storage.extent_of pb - 1 do
+          Storage.write_elem pb.view i id
+        done;
+        Hashtbl.replace vars r.red_var pb;
+        track r.red_var pb
+      | None -> ())
+    reductions;
+  cst.on_access <-
+    Some
+      (fun rw name i ->
+        match rw with
+        | Interp.W -> (
+          match Hashtbl.find_opt masks name with
+          | Some m when i >= 0 && i < Bytes.length m -> Bytes.set m i '\001'
+          | _ -> ())
+        | Interp.R -> ());
+  cst.on_assign <-
+    Some
+      (fun name ->
+        match Hashtbl.find_opt masks name with
+        | Some m -> Bytes.set m 0 '\001'
+        | None -> ());
+  { c_state = cst; c_frame = cfr; c_masks = masks; c_lo = lo; c_hi = hi;
+    c_exn = None }
+
+(* iterations [c_lo, c_hi) of [d] on child [c]; [iter_begin] lets the
+   speculative path flush shadow iteration state *)
+let exec_child_block (c : child) sid (d : do_loop) ~init ~step
+    ?(iter_begin = fun _ -> ()) () =
+  try
+    let cst = c.c_state and cfr = c.c_frame in
+    let idx_b = Interp.binding_for cst cfr d.index in
+    let outcome = ref Interp.Normal in
+    (try
+       for k = c.c_lo to c.c_hi - 1 do
+         iter_begin k;
+         Storage.write_elem idx_b.view 0 (Value.Int (init + (k * step)));
+         Interp.charge cst Interp.Cost.loop_iter;
+         match Interp.exec_block cst cfr d.body with
+         | Interp.Normal -> ()
+         | o ->
+           outcome := o;
+           raise Exit
+       done
+     with Exit -> ());
+    ignore sid;
+    match !outcome with
+    | Interp.Normal -> ()
+    | _ ->
+      (* unreachable: [body_forkable] rejects escaping control flow *)
+      raise (Interp.Runtime_error "parallel region aborted by control flow")
+  with e -> c.c_exn <- Some (e, Printexc.get_raw_backtrace ())
+
+(* after a successful join: fold child fuel into the parent and re-check
+   the budget (serial execution counts the same statements, so serial
+   and parallel runs exhaust fuel on the same programs) *)
+let merge_steps (st : Interp.state) (children : child array) =
+  let base = st.steps in
+  Array.iter (fun c -> st.steps <- st.steps + (c.c_state.steps - base)) children;
+  if st.steps > st.cfg.max_steps then
+    raise
+      (Interp.Fuel_exhausted
+         (Fmt.str "after %d statements in unit %s (parallel region)" st.steps
+            st.cur_unit))
+
+(* child PRINT lines, spliced in ascending domain order (= iteration
+   order under block scheduling).  [st.output] is newest-first, so
+   prepending domain 0's lines first leaves the highest domain's lines
+   at the head — exactly the serial emission order once reversed *)
+let merge_output (st : Interp.state) (children : child array) =
+  Array.iter (fun c -> st.output <- c.c_state.output @ st.output) children
+
+let merge_time (st : Interp.state) (children : child array) =
+  let slowest = Array.fold_left (fun m c -> max m c.c_state.time) 0 children in
+  st.time <- st.time + slowest
+
+let reraise_child_exn (children : child array) =
+  Array.iter
+    (fun c ->
+      match c.c_exn with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    children
+
+(* last-value copy-out: ascending domain order replays iteration order,
+   so the surviving value of every masked element is the one the
+   highest-numbered writing iteration produced — exactly serial *)
+let copy_out_privates (fr : Interp.frame) (privates : string list)
+    (children : child array) =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt fr.Interp.vars name with
+      | None -> ()
+      | Some dst ->
+        Array.iter
+          (fun c ->
+            match
+              ( Hashtbl.find_opt c.c_frame.Interp.vars name,
+                Hashtbl.find_opt c.c_masks name )
+            with
+            | Some src, Some mask ->
+              for i = 0 to Storage.extent_of dst - 1 do
+                if i < Bytes.length mask && Bytes.get mask i <> '\000' then
+                  Storage.write_elem dst.view i (Storage.read_elem src.view i)
+              done
+            | _ -> ())
+          children)
+    privates
+
+(* deterministic reduction merge: shared op partial_0 op partial_1 ...
+   in ascending domain order; only elements the domain actually updated
+   participate (the mask), so untouched elements keep their serial
+   bit pattern *)
+let merge_reductions (fr : Interp.frame) (reductions : reduction list)
+    (children : child array) =
+  List.iter
+    (fun (r : reduction) ->
+      match Hashtbl.find_opt fr.Interp.vars r.red_var with
+      | None -> ()
+      | Some dst ->
+        Array.iter
+          (fun c ->
+            match
+              ( Hashtbl.find_opt c.c_frame.Interp.vars r.red_var,
+                Hashtbl.find_opt c.c_masks r.red_var )
+            with
+            | Some src, Some mask ->
+              for i = 0 to Storage.extent_of dst - 1 do
+                if i < Bytes.length mask && Bytes.get mask i <> '\000' then
+                  Storage.write_elem dst.view i
+                    (merge_value r.red_op
+                       (Storage.read_elem dst.view i)
+                       (Storage.read_elem src.view i))
+              done
+            | _ -> ())
+          children)
+    reductions
+
+(* ------------------------------------------------------------------ *)
+(* The DOALL path                                                      *)
+
+(* written scalars not covered by the annotations still need private
+   copies: a write-only scalar (e.g. a temporary the liveness pass
+   proved dead) written directly to the shared cell would race *)
+let written_scalars (st : Interp.state) (fr : Interp.frame) (d : do_loop) =
+  List.filter
+    (fun v ->
+      (not (String.equal v d.index))
+      && (Interp.binding_for st fr v).dims = [])
+    (Stmt.assigned_names d.body)
+
+let exec_doall (t : t) (st : Interp.state) (fr : Interp.frame) sid
+    (d : do_loop) ~init ~step ~trips =
+  let p = min t.team.t_domains trips in
+  (* pre-bind every name the region can touch: after this, no child
+     lookup mutates shared tables *)
+  List.iter (fun n -> ignore (Interp.binding_for st fr n)) (loop_names d);
+  let red_vars = List.map (fun (r : reduction) -> r.red_var) d.info.reductions in
+  let privates =
+    List.sort_uniq String.compare
+      (d.info.privates @ d.info.lastprivates @ written_scalars st fr d)
+    |> List.filter (fun v ->
+           (not (List.mem v red_vars)) && not (String.equal v d.index))
+  in
+  let children =
+    Array.init p (fun j ->
+        make_child st fr d ~privates ~reductions:d.info.reductions
+          ~lo:(Parsim.block_start ~p ~n:trips j)
+          ~hi:(Parsim.block_start ~p ~n:trips (j + 1)))
+  in
+  run_blocks t.team
+    (Array.map
+       (fun c -> fun () -> exec_child_block c sid d ~init ~step ())
+       children);
+  reraise_child_exn children;
+  merge_time st children;
+  merge_steps st children;
+  merge_output st children;
+  copy_out_privates fr privates children;
+  merge_reductions fr d.info.reductions children;
+  let idx_b = Interp.binding_for st fr d.index in
+  Storage.write_elem idx_b.view 0 (Value.Int (init + (trips * step)));
+  t.stats.regions <- t.stats.regions + 1;
+  t.stats.par_iters <- t.stats.par_iters + trips;
+  Interp.Normal
+
+(* ------------------------------------------------------------------ *)
+(* The speculative (LRPD) path                                         *)
+
+(* serial re-execution of the loop on the parent state: the failure
+   path, byte-identical to what {!Interp.exec_do_body} would have done
+   (the body is forkable, so no non-local exits can occur) *)
+let exec_serial (st : Interp.state) (fr : Interp.frame) (d : do_loop) ~init
+    ~step ~trips =
+  let idx_b = Interp.binding_for st fr d.index in
+  for k = 0 to trips - 1 do
+    Storage.write_elem idx_b.view 0 (Value.Int (init + (k * step)));
+    Interp.charge st Interp.Cost.loop_iter;
+    match Interp.exec_block st fr d.body with
+    | Interp.Normal -> ()
+    | _ -> raise (Interp.Runtime_error "parallel region aborted by control flow")
+  done;
+  Storage.write_elem idx_b.view 0 (Value.Int (init + (trips * step)));
+  Interp.Normal
+
+let exec_speculative (t : t) (backend : spec_backend) (st : Interp.state)
+    (fr : Interp.frame) sid (d : do_loop) ~init ~step ~trips =
+  let p = min t.team.t_domains trips in
+  List.iter (fun n -> ignore (Interp.binding_for st fr n)) (loop_names d);
+  let written = Stmt.assigned_names d.body in
+  let arrays, scalars =
+    List.partition
+      (fun v -> (Interp.binding_for st fr v).dims <> [])
+      (List.filter (fun v -> not (String.equal v d.index)) written)
+  in
+  if not (List.for_all (scalar_privatizable d.body) scalars) then None
+  else begin
+    t.stats.spec_attempts <- t.stats.spec_attempts + 1;
+    (* checkpoint every written array: the speculation writes them in
+       place, so a failed PD test must roll them back *)
+    let tested =
+      List.map
+        (fun name ->
+          let b = Interp.binding_for st fr name in
+          (name, b, Storage.snapshot b.view.alloc))
+        arrays
+    in
+    (* per-array, per-domain shadow markers *)
+    let shadows =
+      List.map
+        (fun (name, (b : Storage.binding), _) ->
+          let make, finalize =
+            backend.sb_make ~size:(max 1 (Storage.extent_of b)) ~domains:p
+          in
+          (name, make, finalize))
+        tested
+    in
+    let children =
+      Array.init p (fun j ->
+          let c =
+            make_child st fr d ~privates:scalars ~reductions:[]
+              ~lo:(Parsim.block_start ~p ~n:trips j)
+              ~hi:(Parsim.block_start ~p ~n:trips (j + 1))
+          in
+          let insts = List.map (fun (name, make, _) -> (name, make j)) shadows in
+          let masks_hook = c.c_state.on_access in
+          c.c_state.on_access <-
+            Some
+              (fun rw name i ->
+                (match masks_hook with Some f -> f rw name i | None -> ());
+                match List.assoc_opt name insts with
+                | Some inst -> (
+                  match rw with
+                  | Interp.R -> inst.s_read i
+                  | Interp.W -> inst.s_write i)
+                | None -> ());
+          (c, insts))
+    in
+    run_blocks t.team
+      (Array.map
+         (fun (c, insts) ->
+           fun () ->
+            exec_child_block c sid d ~init ~step
+              ~iter_begin:(fun _ ->
+                List.iter (fun (_, inst) -> inst.s_iter_begin ()) insts)
+              ())
+         children);
+    let children = Array.map fst children in
+    let child_failed = Array.exists (fun c -> c.c_exn <> None) children in
+    let verdicts = List.map (fun (_, _, finalize) -> finalize ()) shadows in
+    let verdict =
+      if child_failed || List.mem Spec_fail verdicts then Spec_fail
+      else if List.mem Spec_privatize verdicts then Spec_privatize
+      else Spec_parallel
+    in
+    let success = verdict = Spec_parallel in
+    let after_restore = ref [] in
+    let outcome =
+      if success then begin
+        (* writes already landed in the shared arrays; only the
+           privatized scalars and the index need last-value copy-out *)
+        merge_time st children;
+        merge_steps st children;
+        merge_output st children;
+        copy_out_privates fr scalars children;
+        let idx_b = Interp.binding_for st fr d.index in
+        Storage.write_elem idx_b.view 0 (Value.Int (init + (trips * step)));
+        t.stats.regions <- t.stats.regions + 1;
+        t.stats.par_iters <- t.stats.par_iters + trips;
+        t.stats.spec_success <- t.stats.spec_success + 1;
+        Interp.Normal
+      end
+      else begin
+        (* failed speculation: a real rollback.  Child time/steps/output
+           are discarded (the serial re-execution is the only run that
+           counts, so fuel accounting matches a serial interpreter) *)
+        List.iter
+          (fun (_, (b : Storage.binding), snap) ->
+            Storage.restore b.view.alloc snap)
+          tested;
+        after_restore :=
+          List.map
+            (fun (name, (b : Storage.binding), _) ->
+              (name, Storage.snapshot b.view.alloc))
+            tested;
+        t.stats.spec_failures <- t.stats.spec_failures + 1;
+        exec_serial st fr d ~init ~step ~trips
+      end
+    in
+    t.stats.events <-
+      { se_loop_sid = sid;
+        se_arrays = List.map (fun (n, _, _) -> n) tested;
+        se_verdict = verdict;
+        se_trips = trips;
+        se_domains = p;
+        se_checkpoints = List.map (fun (n, _, snap) -> (n, snap)) tested;
+        se_after_restore = !after_restore }
+      :: t.stats.events;
+    Some outcome
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hook and entry points                                               *)
+
+let hook (t : t) : Interp.state -> Interp.frame -> int -> do_loop ->
+    init:int -> step:int -> trips:int -> Interp.outcome option =
+ fun st fr sid d ~init ~step ~trips ->
+  let doall = d.info.par && not d.info.speculative in
+  let speculative = d.info.speculative && t.spec <> None in
+  if (not doall) && not speculative then None
+  else if trips < 2 || t.team.t_domains < 2 then begin
+    t.stats.serial_loops <- t.stats.serial_loops + 1;
+    None
+  end
+  else if not (body_forkable st.prog d) then begin
+    t.stats.serial_loops <- t.stats.serial_loops + 1;
+    None
+  end
+  else if doall then
+    Some (exec_doall t st fr sid d ~init ~step ~trips)
+  else begin
+    match t.spec with
+    | Some backend -> (
+      match exec_speculative t backend st fr sid d ~init ~step ~trips with
+      | Some o -> Some o
+      | None ->
+        (* unsafe scalar pattern: decline, run serially *)
+        t.stats.serial_loops <- t.stats.serial_loops + 1;
+        None)
+    | None -> None
+  end
+
+(** Runtime domain count: [POLARIS_RUNTIME_PROCS] when set, otherwise
+    the machine's recommended domain count capped at the modeled
+    machine size (8). *)
+let default_procs () =
+  match Util.Env.runtime_procs with
+  | Some n -> n
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let capture_of (st : Interp.state) (fr : Interp.frame) : Interp.capture =
+  let arrays =
+    Hashtbl.fold
+      (fun name (b : Storage.binding) acc ->
+        if b.dims = [] then acc else (name, Interp.values_of_binding b) :: acc)
+      fr.Interp.vars []
+    |> Interp.sorted_by_name
+  in
+  let commons =
+    Hashtbl.fold
+      (fun key (b : Storage.binding) acc ->
+        (key, Interp.values_of_binding b) :: acc)
+      st.commons []
+    |> Interp.sorted_by_name
+  in
+  { Interp.cap_result = Interp.result_of st fr; cap_arrays = arrays;
+    cap_commons = commons }
+
+(** Execute [prog]'s main unit with annotated loops running on [procs]
+    OCaml domains; returns the full capture (same shape as
+    {!Interp.run_full}) and the runtime statistics.  [spec] enables
+    real LRPD speculation for loops the compiler marked [speculative];
+    without it they run serially. *)
+let run_full ?cfg ?procs ?spec (prog : Program.t) : Interp.capture * stats =
+  let procs =
+    match procs with Some p -> max 1 p | None -> default_procs ()
+  in
+  let stats = fresh_stats () in
+  if procs <= 1 then (Interp.run_full ?cfg prog, stats)
+  else begin
+    let team = make_team procs in
+    Fun.protect
+      ~finally:(fun () -> stop_team team)
+      (fun () ->
+        let st = Interp.fresh_state ?cfg prog in
+        let t = { procs; team; spec; stats } in
+        st.on_parallel_do <- Some (hook t);
+        let main = Program.main prog in
+        let fr = { Interp.unit_ = main; vars = Hashtbl.create 32 } in
+        Interp.run_unit_body st fr;
+        (capture_of st fr, stats))
+  end

@@ -4,7 +4,11 @@
     Alliant FX/80 (Fig. 6).  Given the per-iteration work of a DOALL
     loop it computes the parallel execution time under static block
     scheduling plus the overheads the paper's transformations imply
-    (fork/join, private-copy setup, reduction merging). *)
+    (fork/join, private-copy setup, reduction merging).
+
+    The block-schedule geometry ([block_start] / [proc_of]) is shared
+    with the real executor {!Parexec}: modeled processor j and runtime
+    domain j own exactly the same iteration range. *)
 
 type config = {
   procs : int;              (** number of processors *)
@@ -19,6 +23,31 @@ let default ?(procs = 8) () =
   { procs; fork_cost = 120; fork_per_proc = 12; private_setup = 6;
     reduction_per_elem = 2; barrier_cost = 40 }
 
+(** First iteration owned by processor [j] (0-based) under static block
+    scheduling of [n] iterations on [p] processors: iteration [k] goes
+    to processor [k * p / n], so processor [j] owns
+    [ceil (j * n / p) .. ceil ((j+1) * n / p) - 1].
+
+    Computed division-first — [j * (n / p) + ceil (j * (n mod p) / p)]
+    — so the intermediate products stay below [p * p] even when [n] is
+    a near-[max_int] trip count ([j * n] would overflow). *)
+let block_start ~p ~n j =
+  if j <= 0 then 0
+  else if j >= p then n
+  else (j * (n / p)) + (((j * (n mod p)) + p - 1) / p)
+
+(** Processor owning iteration [k] of [n] (the inverse of
+    [block_start]); equals [min (p-1) (k * p / n)] without the
+    overflowing [k * p] product.  [p] is small, so a linear scan over
+    the boundaries is exact and cheap. *)
+let proc_of ~p ~n k =
+  if p <= 1 || n <= 0 then 0
+  else begin
+    let j = ref 0 in
+    while !j < p - 1 && block_start ~p ~n (!j + 1) <= k do incr j done;
+    !j
+  end
+
 (** Static block scheduling: iteration [k] of [n] goes to processor
     [k * p / n]; the region time is the maximum per-processor sum. *)
 let block_schedule_time (cfg : config) (iter_costs : int array) =
@@ -26,13 +55,16 @@ let block_schedule_time (cfg : config) (iter_costs : int array) =
   if n = 0 then 0
   else begin
     let p = max 1 cfg.procs in
-    let sums = Array.make p 0 in
-    Array.iteri
-      (fun k c ->
-        let proc = min (p - 1) (k * p / n) in
-        sums.(proc) <- sums.(proc) + c)
-      iter_costs;
-    Array.fold_left max 0 sums
+    let worst = ref 0 in
+    for j = 0 to p - 1 do
+      let lo = block_start ~p ~n j and hi = block_start ~p ~n (j + 1) in
+      let sum = ref 0 in
+      for k = lo to hi - 1 do
+        sum := !sum + iter_costs.(k)
+      done;
+      if !sum > !worst then worst := !sum
+    done;
+    !worst
   end
 
 (** Total simulated time of one DOALL instantiation.

@@ -7,7 +7,22 @@
     array.  COMMON blocks use named association: each (block, member)
     pair denotes one global allocation, shared by every program unit
     that declares it (the test suite declares commons consistently, so
-    this coincides with F77 storage association for our inputs). *)
+    this coincides with F77 storage association for our inputs).
+
+    Concurrency ({!Parexec}): allocations may be written by several
+    OCaml domains at once, but only at {e disjoint} element indices —
+    the executor forks a loop only when its iterations were proven (or
+    are being speculatively tested) to write disjoint elements, and
+    block scheduling gives each domain a contiguous index range.
+    Element writes here are plain [Array.unsafe_set]-style stores of
+    immediate ints/bools or boxed-float array slots, all word-sized;
+    under the OCaml 5 memory model, racing accesses to {e distinct}
+    array cells are independent non-atomic locations, so disjoint
+    writes neither tear nor interfere, and the join at region end
+    (domain termination) publishes every child store to the parent.
+    No location is written by two domains in the same region — scalars
+    are privatized per-domain and merged by the parent after the
+    join. *)
 
 open Fir
 

@@ -104,6 +104,22 @@ let parse_inflight raw : (int, string) result =
     Error (Printf.sprintf "expected an in-flight bound >= 1, got %d" n)
   | Some n -> Ok (if n > max_jobs then max_jobs else n)
 
+(** Hard ceiling on runtime execution domains; the modeled machine is
+    an 8-way SGI Challenge and the real executor mirrors its block
+    schedule, but larger hosts may still ask for more. *)
+let max_runtime_procs = 64
+
+(** [parse_procs raw]: a runtime domain count in
+    [1 .. max_runtime_procs].  Values above the ceiling clamp (like
+    [parse_jobs]); zero, negative and non-numeric values are
+    rejected. *)
+let parse_procs raw : (int, string) result =
+  match int_of_string_opt (String.trim raw) with
+  | None -> Error (Printf.sprintf "expected an integer, got %S" raw)
+  | Some n when n < 1 ->
+    Error (Printf.sprintf "expected a processor count >= 1, got %d" n)
+  | Some n -> Ok (if n > max_runtime_procs then max_runtime_procs else n)
+
 let read var ~default parse =
   match Sys.getenv_opt var with
   | None -> default
@@ -149,6 +165,13 @@ let max_cache_mb : int = read "POLARIS_MAX_CACHE_MB" ~default:64 parse_mb
 (** Parsed [POLARIS_SOCKET]: unix-domain socket path of the compile
     daemon ([None] = the CLI's default path). *)
 let socket : string option = read_opt "POLARIS_SOCKET" parse_path
+
+(** Parsed [POLARIS_RUNTIME_PROCS]: how many OCaml domains
+    [Machine.Parexec] uses to execute DOALL/speculative loops for real
+    ([None] = auto: the host's recommended domain count capped at the
+    modeled machine size).  Deliberately distinct from [POLARIS_JOBS]:
+    compile-side pool state must not leak into runtime execution. *)
+let runtime_procs : int option = read_opt "POLARIS_RUNTIME_PROCS" parse_procs
 
 (** Parsed [POLARIS_MAX_SESSIONS]: the daemon's concurrent-session
     admission cap; connections beyond it are shed with a [Busy]

@@ -250,6 +250,48 @@ let test_block_schedule () =
     (Machine.Parsim.block_schedule_time cfg costs);
   Alcotest.(check int) "empty" 0 (Machine.Parsim.block_schedule_time cfg [||])
 
+(* the block-schedule geometry is shared between the timing model and
+   the real executor: pin the boundaries exactly, check block_start /
+   proc_of agree with the textbook formula on small sizes, and check
+   the division-first form survives near-max_int trip counts (the old
+   [k * p] product overflowed there) *)
+let test_block_boundaries () =
+  let starts ~p ~n =
+    List.init (p + 1) (fun j -> Machine.Parsim.block_start ~p ~n j)
+  in
+  Alcotest.(check (list int)) "n=10 p=4" [ 0; 3; 5; 8; 10 ] (starts ~p:4 ~n:10);
+  Alcotest.(check (list int)) "n=8 p=4" [ 0; 2; 4; 6; 8 ] (starts ~p:4 ~n:8);
+  Alcotest.(check (list int)) "n=2 p=8"
+    [ 0; 1; 1; 1; 1; 2; 2; 2; 2 ] (starts ~p:8 ~n:2);
+  Alcotest.(check (list int)) "n=7 p=3" [ 0; 3; 5; 7 ] (starts ~p:3 ~n:7);
+  (* proc_of is the inverse of block_start and matches k*p/n exactly *)
+  List.iter
+    (fun (p, n) ->
+      for k = 0 to n - 1 do
+        let expect = min (p - 1) (k * p / n) in
+        Alcotest.(check int)
+          (Printf.sprintf "proc_of p=%d n=%d k=%d" p n k)
+          expect
+          (Machine.Parsim.proc_of ~p ~n k)
+      done)
+    [ (1, 5); (2, 5); (3, 7); (4, 10); (8, 2); (8, 64); (5, 100) ];
+  (* overflow guard: trip counts where k * p would wrap *)
+  let n = max_int / 2 and p = 8 in
+  Alcotest.(check int) "huge n: first boundary" 0
+    (Machine.Parsim.block_start ~p ~n 0);
+  Alcotest.(check int) "huge n: last boundary" n
+    (Machine.Parsim.block_start ~p ~n p);
+  let rec mono j =
+    j >= p
+    || Machine.Parsim.block_start ~p ~n j <= Machine.Parsim.block_start ~p ~n (j + 1)
+       && mono (j + 1)
+  in
+  Alcotest.(check bool) "huge n: boundaries monotone" true (mono 0);
+  Alcotest.(check int) "huge n: last iteration on last proc" (p - 1)
+    (Machine.Parsim.proc_of ~p ~n (n - 1));
+  Alcotest.(check int) "huge n: first iteration on proc 0" 0
+    (Machine.Parsim.proc_of ~p ~n 0)
+
 let test_doall_time_overheads () =
   let cfg = Machine.Parsim.default ~procs:8 () in
   let t0 =
@@ -296,5 +338,6 @@ let tests =
     ("interp deterministic", `Quick, test_interp_determinism);
     ("parallel timing preserves semantics", `Quick, test_parallel_timing_preserves_semantics);
     ("parsim block schedule", `Quick, test_block_schedule);
+    ("parsim block boundaries pinned", `Quick, test_block_boundaries);
     ("parsim doall overheads", `Quick, test_doall_time_overheads);
     ("parsim more procs faster", `Quick, test_speedup_more_procs) ]

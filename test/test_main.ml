@@ -12,6 +12,7 @@ let () =
       ("dep", Test_dep.tests);
       ("passes", Test_passes.tests);
       ("runtime", Test_runtime.tests);
+      ("parexec", Test_parexec.tests);
       ("core", Test_core.tests);
       ("suite", Test_suite.tests);
       ("fuzz", Test_fuzz.tests);

@@ -1,0 +1,223 @@
+(* Tests for the real parallel executor (Machine.Parexec + the
+   Fruntime.Specexec LRPD backend): serial interpretation is the
+   semantic oracle at every machine size, the forced-failure LRPD path
+   must genuinely checkpoint/restore, and reduction merges must be
+   deterministic run-to-run. *)
+
+let compile_polaris src =
+  let t = Core.Pipeline.compile (Core.Config.polaris ()) src in
+  t.Core.Pipeline.program
+
+(* exact bit-for-bit comparison of storage snapshots (the ULP-tolerant
+   Oracle.data_close is too lenient for the checkpoint round-trip) *)
+let data_bits_equal (a : Machine.Storage.data) (b : Machine.Storage.data) =
+  match (a, b) with
+  | Machine.Storage.Iarr x, Machine.Storage.Iarr y -> x = y
+  | Machine.Storage.Barr x, Machine.Storage.Barr y -> x = y
+  | Machine.Storage.Farr x, Machine.Storage.Farr y ->
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri
+          (fun i v ->
+            if Int64.bits_of_float v <> Int64.bits_of_float y.(i) then
+              ok := false)
+          x;
+        !ok)
+  | _ -> false
+
+let check_identity ?(cmp = Valid.Oracle.real_cmp) name reference run =
+  let divs = Valid.Oracle.compare_outcomes cmp reference run in
+  Alcotest.(check int)
+    (Fmt.str "%s: no divergences (%a)" name
+       (Fmt.list ~sep:(Fmt.any "; ") Valid.Oracle.pp_divergence)
+       (List.filteri (fun i _ -> i < 3) divs))
+    0 (List.length divs)
+
+(* ------------------------------------------------------------------ *)
+(* Direct DOALL execution: privatized temp, lastprivate copy-out       *)
+
+let vec_src =
+  "      PROGRAM VEC\n\
+   \      INTEGER I, N\n\
+   \      PARAMETER (N = 200)\n\
+   \      REAL A(200), B(200), T\n\
+   \      DO I = 1, N\n\
+   \        A(I) = I * 1.5\n\
+   \        B(I) = 0.0\n\
+   \      END DO\n\
+   \      DO I = 1, N\n\
+   \        T = A(I) * 2.0\n\
+   \        B(I) = T + 1.0\n\
+   \      END DO\n\
+   \      PRINT *, B(1), B(200), T\n\
+   \      END\n"
+
+let test_doall_executes_for_real () =
+  let p = compile_polaris vec_src in
+  let reference = Valid.Oracle.execute p in
+  List.iter
+    (fun procs ->
+      let run, stats = Valid.Oracle.execute_real ~procs p in
+      check_identity (Fmt.str "vec p=%d" procs) reference run;
+      if procs > 1 then begin
+        Alcotest.(check bool)
+          (Fmt.str "p=%d: regions actually forked" procs)
+          true (stats.Machine.Parexec.regions >= 1);
+        Alcotest.(check bool)
+          (Fmt.str "p=%d: iterations ran on domains" procs)
+          true
+          (stats.Machine.Parexec.par_iters >= 200)
+      end)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Reductions: correct vs serial, deterministic run-to-run             *)
+
+let red_src =
+  "      PROGRAM RED\n\
+   \      INTEGER I, N, KS\n\
+   \      PARAMETER (N = 1000)\n\
+   \      REAL A(1000), S, PMAX\n\
+   \      DO I = 1, N\n\
+   \        A(I) = MOD(I * 7, 13) * 0.1 + 0.01\n\
+   \      END DO\n\
+   \      S = 0.0\n\
+   \      PMAX = 0.0\n\
+   \      KS = 0\n\
+   \      DO I = 1, N\n\
+   \        S = S + A(I) * 1.1\n\
+   \        PMAX = MAX(PMAX, A(I))\n\
+   \        KS = KS + MOD(I, 3)\n\
+   \      END DO\n\
+   \      PRINT *, S, PMAX, KS\n\
+   \      END\n"
+
+let test_reductions_match_serial () =
+  let p = compile_polaris red_src in
+  let reference = Valid.Oracle.execute p in
+  List.iter
+    (fun procs ->
+      let run, _ = Valid.Oracle.execute_real ~procs p in
+      check_identity (Fmt.str "red p=%d" procs) reference run)
+    [ 2; 4; 8 ]
+
+let test_reduction_merge_deterministic () =
+  let p = compile_polaris red_src in
+  let first, stats = Valid.Oracle.execute_real ~procs:4 p in
+  Alcotest.(check bool) "at least one real region" true
+    (stats.Machine.Parexec.regions >= 1);
+  for i = 1 to 3 do
+    let again, _ = Valid.Oracle.execute_real ~procs:4 p in
+    (* bit-for-bit: the domain-order merge leaves no room for run-to-run
+       float wobble, whatever the domains' interleaving was *)
+    check_identity ~cmp:{ Valid.Oracle.ulp_tol = 0; rel_tol = 0.0 }
+      (Fmt.str "rerun %d identical" i)
+      first again
+  done
+
+(* ------------------------------------------------------------------ *)
+(* LRPD speculation: success commits, failure restores bit-for-bit     *)
+
+let spec_program ~collide =
+  let p = Frontend.Parser.parse_string (Test_runtime.spec_src ~collide) in
+  ignore (Passes.Parallelize.run ~mode:Passes.Parallelize.Polaris p);
+  p
+
+let test_speculation_success_commits () =
+  let p = spec_program ~collide:false in
+  let reference = Valid.Oracle.execute p in
+  let run, stats = Valid.Oracle.execute_real ~procs:4 p in
+  check_identity "spec success" reference run;
+  Alcotest.(check bool) "speculation attempted" true
+    (stats.Machine.Parexec.spec_attempts >= 1);
+  Alcotest.(check bool) "speculation succeeded" true
+    (stats.Machine.Parexec.spec_success >= 1);
+  Alcotest.(check int) "no failures" 0 stats.Machine.Parexec.spec_failures;
+  match
+    List.find_opt
+      (fun (e : Machine.Parexec.spec_event) ->
+        e.se_verdict = Machine.Parexec.Spec_parallel)
+      stats.Machine.Parexec.events
+  with
+  | None -> Alcotest.fail "no successful speculative event recorded"
+  | Some e ->
+    Alcotest.(check (list string)) "tested array" [ "D" ] e.se_arrays;
+    Alcotest.(check int) "all 64 iterations speculated" 64 e.se_trips;
+    Alcotest.(check bool) "no restore on success" true
+      (e.se_after_restore = [])
+
+let test_speculation_failure_restores_bitwise () =
+  let p = spec_program ~collide:true in
+  let reference = Valid.Oracle.execute p in
+  let run, stats = Valid.Oracle.execute_real ~procs:4 p in
+  (* semantics: the rollback + serial re-run must be indistinguishable
+     from never having speculated *)
+  check_identity "spec failure" reference run;
+  Alcotest.(check bool) "speculation failed" true
+    (stats.Machine.Parexec.spec_failures >= 1);
+  Alcotest.(check int) "nothing committed speculatively" 0
+    stats.Machine.Parexec.spec_success;
+  match
+    List.find_opt
+      (fun (e : Machine.Parexec.spec_event) ->
+        e.se_verdict <> Machine.Parexec.Spec_parallel)
+      stats.Machine.Parexec.events
+  with
+  | None -> Alcotest.fail "no failing speculative event recorded"
+  | Some e ->
+    Alcotest.(check bool) "flow dependence detected" true
+      (e.se_verdict = Machine.Parexec.Spec_fail);
+    Alcotest.(check bool) "checkpointed the tested array" true
+      (List.mem_assoc "D" e.se_checkpoints);
+    (* the load-bearing assertion: Storage.restore put back the exact
+       bytes Storage.snapshot captured at region entry *)
+    List.iter
+      (fun (name, snap) ->
+        match List.assoc_opt name e.se_after_restore with
+        | None -> Alcotest.fail (name ^ ": no post-restore snapshot")
+        | Some after ->
+          Alcotest.(check bool)
+            (name ^ ": checkpoint/restore round-trips bit-for-bit") true
+            (data_bits_equal snap after))
+      e.se_checkpoints
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: 100 seeds, parallel vs serial identity at p in {1,2,4,8}      *)
+
+let fuzz_seeds = List.init 100 (fun i -> (i * 7919) + i)
+
+let test_fuzz_parallel_vs_serial () =
+  let regions = ref 0 in
+  List.iter
+    (fun seed ->
+      let src = Test_fuzz.gen_program (Util.Prng.create seed) in
+      let p = compile_polaris src in
+      let reference = Valid.Oracle.execute p in
+      List.iter
+        (fun procs ->
+          let run, stats = Valid.Oracle.execute_real ~procs p in
+          regions := !regions + stats.Machine.Parexec.regions;
+          check_identity (Fmt.str "seed %d p=%d" seed procs) reference run)
+        [ 1; 2; 4; 8 ])
+    fuzz_seeds;
+  (* guard against the hook silently never firing: across 100 random
+     programs at least some loops must have actually forked *)
+  Alcotest.(check bool) "some regions executed on domains" true (!regions > 0)
+
+(* the differential_real entry point used by `polaris validate` *)
+let test_differential_real_report () =
+  let p = compile_polaris vec_src in
+  let report =
+    Valid.Oracle.differential_real ~procs_list:[ 1; 2; 4 ] ~seeds:[ 42 ] p ()
+  in
+  Alcotest.(check bool) "equivalent" true (Valid.Oracle.equivalent report);
+  Alcotest.(check int) "checks = stores x procs" 6 report.Valid.Oracle.checks
+
+let tests =
+  [ ("DOALL executes on domains", `Quick, test_doall_executes_for_real);
+    ("reductions match serial", `Quick, test_reductions_match_serial);
+    ("reduction merge deterministic", `Quick, test_reduction_merge_deterministic);
+    ("LRPD success commits", `Quick, test_speculation_success_commits);
+    ("LRPD failure restores bitwise", `Quick, test_speculation_failure_restores_bitwise);
+    ("fuzz parallel vs serial (100 seeds)", `Slow, test_fuzz_parallel_vs_serial);
+    ("differential_real report", `Quick, test_differential_real_report) ]

@@ -210,6 +210,21 @@ let test_env_parse_inflight () =
   Alcotest.(check bool) "non-numeric rejected" true (rejected "all");
   Alcotest.(check bool) "empty rejected" true (rejected "")
 
+(* POLARIS_RUNTIME_PROCS: the real executor's domain count *)
+let test_env_parse_procs () =
+  let rejected s =
+    match Env.parse_procs s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "plain" true (Env.parse_procs "4" = Ok 4);
+  Alcotest.(check bool) "one is fine (serial)" true (Env.parse_procs "1" = Ok 1);
+  Alcotest.(check bool) "whitespace trimmed" true (Env.parse_procs " 8 " = Ok 8);
+  Alcotest.(check bool) "huge count clamps to the ceiling" true
+    (Env.parse_procs "9999" = Ok Env.max_runtime_procs);
+  Alcotest.(check bool) "zero rejected" true (rejected "0");
+  Alcotest.(check bool) "negative rejected" true (rejected "-2");
+  Alcotest.(check bool) "non-numeric rejected" true (rejected "all");
+  Alcotest.(check bool) "empty rejected" true (rejected "")
+
 let test_env_parse_path () =
   Alcotest.(check bool) "plain path" true
     (Env.parse_path "/tmp/cache" = Ok "/tmp/cache");
@@ -228,6 +243,7 @@ let tests =
     ("env seconds parsing", `Quick, test_env_parse_seconds);
     ("env chunk parsing", `Quick, test_env_parse_chunk);
     ("env inflight parsing", `Quick, test_env_parse_inflight);
+    ("env runtime-procs parsing", `Quick, test_env_parse_procs);
     ("env path parsing", `Quick, test_env_parse_path);
     ("rat zero denominator", `Quick, test_make_zero_den);
     ("rat arithmetic", `Quick, test_arith);

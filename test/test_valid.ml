@@ -26,7 +26,7 @@ let test_ulp_diff () =
 
 let test_value_close () =
   let open Machine.Value in
-  let c = { Valid.Oracle.ulp_tol = 2 } in
+  let c = { Valid.Oracle.ulp_tol = 2; rel_tol = 0.0 } in
   Alcotest.(check bool) "ints bit-for-bit" false
     (Valid.Oracle.value_close c (Int 3) (Int 4));
   Alcotest.(check bool) "ints equal" true
@@ -251,7 +251,7 @@ let test_speculative_restore_exact () =
        equal the loop-entry state bit-for-bit (zero ULP tolerance) *)
     Machine.Storage.restore alloc ckpt;
     Alcotest.(check bool) "restored state equals checkpoint exactly" true
-      (Valid.Oracle.data_close ~cmp:{ Valid.Oracle.ulp_tol = 0 }
+      (Valid.Oracle.data_close ~cmp:{ Valid.Oracle.ulp_tol = 0; rel_tol = 0.0 }
          (Machine.Storage.snapshot alloc) ckpt)
   | _ -> Alcotest.fail "checkpoint not captured at loop entry"
 
