@@ -4,7 +4,7 @@
 # serial + p in {1,2,4,8}), then a 120-seed chaos sweep: injected pass
 # faults must be contained, attributed and oracle-equivalent.
 
-.PHONY: all build test validate chaos check bench perf scale runtime incremental daemon storm chaosnet clean
+.PHONY: all build test validate chaos check bench perf scale runtime incremental daemon storm chaosnet backends native clean
 
 all: build
 
@@ -85,6 +85,22 @@ storm: build
 # client converges byte-identically and the daemon exits gracefully.
 chaosnet: build
 	dune exec bench/main.exe -- chaosnet 100
+
+# Backend emission matrix: every preset pipeline (thorough/fast/serial)
+# x every registered backend (f77/f77-omp/c) over the 16-code suite.
+# Re-parsing backends are semantically checked through our own frontend
+# against the interpreter oracle; the C backend is pinned by digest and
+# emission determinism.  Writes BENCH_backends.json and exits non-zero
+# on any divergence.
+backends: build
+	dune exec bench/main.exe -- backends
+
+# Native toolchain check: compile the f77-omp output with gfortran
+# -fopenmp and the C output with cc -fopenmp for three suite codes, run
+# the executables, and numerically diff their stdout against the
+# interpreter oracle.  Any toolchain the host lacks is skipped cleanly.
+native: build
+	dune exec bin/polaris_cli.exe -- native --codes swim,tomcatv,arc2d --backends f77-omp,c
 
 clean:
 	dune clean

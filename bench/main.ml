@@ -1684,6 +1684,137 @@ let runtime ?(n = 3) () =
   Printf.printf "wrote BENCH_runtime.json\n";
   if not (identical && spec_ok) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* backends: the pipeline x backend emission matrix.  Every preset
+   pipeline is compiled over the whole suite and emitted through every
+   registered backend; re-parsing backends are semantically checked
+   (their output, fed back through our own frontend, must print what
+   the transformed program prints), non-reparsing backends are pinned
+   by digest + emission determinism.  The native-toolchain leg of the
+   C/OpenMP story lives in `polaris native` (gcc/gfortran hosts). *)
+
+let backends_bench ?(n = 3) () =
+  Printf.printf "== backends: pipeline x backend emission matrix ==\n\n";
+  let failures = ref 0 in
+  let rows =
+    List.concat_map
+      (fun (pl : Core.Registry.pipeline) ->
+        let cfg = Core.Config.with_pipeline pl (Core.Config.polaris ()) in
+        List.concat_map
+          (fun (b : Backend.Registry.t) ->
+            List.map
+              (fun (c : Suite.Code.t) ->
+                let t = Core.Pipeline.compile cfg c.source in
+                let prog = t.Core.Pipeline.program in
+                (* emission wall time: best of n *)
+                let best = ref infinity and out = ref "" in
+                for _ = 1 to n do
+                  let t0 = Unix.gettimeofday () in
+                  let s = b.b_emit prog in
+                  let dt = Unix.gettimeofday () -. t0 in
+                  if dt < !best then best := dt;
+                  out := s
+                done;
+                let output = !out in
+                let deterministic = String.equal output (b.b_emit prog) in
+                let check =
+                  if b.b_reparses then
+                    (* semantic oracle: the emitted text, re-parsed by
+                       our own frontend, prints what the transformed
+                       program prints *)
+                    match Frontend.Parser.parse_string output with
+                    | exception e -> Error ("reparse: " ^ Printexc.to_string e)
+                    | p2 ->
+                      let want =
+                        (Machine.Interp.run prog).Machine.Interp.output
+                      in
+                      let got =
+                        (Machine.Interp.run p2).Machine.Interp.output
+                      in
+                      if want = got then Ok "reparse+oracle"
+                      else Error "oracle divergence on re-parsed output"
+                  else if deterministic then Ok "digest"
+                  else Error "nondeterministic emission"
+                in
+                (match check with
+                | Ok _ -> ()
+                | Error m ->
+                  incr failures;
+                  Printf.eprintf "backends: %s x %s x %s: FAIL %s\n"
+                    pl.pl_name b.b_name c.name m);
+                ( pl.pl_name, b.b_name, c.name, String.length output,
+                  Digest.to_hex (Digest.string output), !best, deterministic,
+                  check ))
+              Suite.Registry.all)
+          Backend.Registry.all)
+      Core.Registry.presets
+  in
+  Printf.printf "%-10s %-8s | %5s | %9s | %9s | %s\n" "pipeline" "backend"
+    "codes" "bytes" "emit" "check";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (pl : Core.Registry.pipeline) ->
+      List.iter
+        (fun (b : Backend.Registry.t) ->
+          let cell =
+            List.filter
+              (fun (p, bn, _, _, _, _, _, _) ->
+                p = pl.pl_name && bn = b.b_name)
+              rows
+          in
+          let bytes =
+            List.fold_left (fun a (_, _, _, n, _, _, _, _) -> a + n) 0 cell
+          in
+          let emit_s =
+            List.fold_left (fun a (_, _, _, _, _, s, _, _) -> a +. s) 0.0 cell
+          in
+          let ok =
+            List.for_all
+              (fun (_, _, _, _, _, _, _, ck) -> Result.is_ok ck)
+              cell
+          in
+          let mode = if b.b_reparses then "reparse+oracle" else "digest" in
+          Printf.printf "%-10s %-8s | %5d | %8dB | %7.2fms | %s %s\n"
+            pl.pl_name b.b_name (List.length cell) bytes (emit_s *. 1e3) mode
+            (if ok then "ok" else "FAIL"))
+        Backend.Registry.all)
+    Core.Registry.presets;
+  let json =
+    let open Valid.Trace.Json in
+    obj
+      [ ("iterations", int n);
+        ( "pipelines",
+          arr
+            (List.map
+               (fun (pl : Core.Registry.pipeline) -> str pl.pl_name)
+               Core.Registry.presets) );
+        ( "backends",
+          arr (List.map (fun s -> str s) Backend.Registry.names) );
+        ("failures", int !failures);
+        ( "rows",
+          arr
+            (List.map
+               (fun (p, b, c, bytes, digest, emit_s, det, ck) ->
+                 obj
+                   [ ("pipeline", str p);
+                     ("backend", str b);
+                     ("code", str c);
+                     ("bytes", int bytes);
+                     ("digest", str digest);
+                     ("emit_s", float emit_s);
+                     ("deterministic", bool det);
+                     ( "check",
+                       str (match ck with Ok m -> m | Error m -> m) );
+                     ("ok", bool (Result.is_ok ck)) ])
+               rows) ) ]
+  in
+  let oc = open_out "BENCH_backends.json" in
+  output_string oc json;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote BENCH_backends.json\n";
+  if !failures > 0 then exit 1
+
 let experiments =
   [ ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
     ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
@@ -1694,7 +1825,8 @@ let experiments =
     ("daemon", fun () -> daemon_bench ());
     ("storm", fun () -> storm ());
     ("chaosnet", fun () -> chaosnet ());
-    ("runtime", fun () -> runtime ()) ]
+    ("runtime", fun () -> runtime ());
+    ("backends", fun () -> backends_bench ()) ]
 
 let () =
   match Sys.argv with
@@ -1728,6 +1860,12 @@ let () =
     | Some n when n > 0 -> storm ~clients:n ()
     | _ ->
       Printf.eprintf "usage: %s storm [clients > 0]\n" Sys.argv.(0);
+      exit 1)
+  | [| _; "backends"; n |] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> backends_bench ~n ()
+    | _ ->
+      Printf.eprintf "usage: %s backends [iterations > 0]\n" Sys.argv.(0);
       exit 1)
   | [| _; "chaosnet"; n |] -> (
     match int_of_string_opt n with

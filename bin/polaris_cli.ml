@@ -68,6 +68,81 @@ let config_of ~baseline ~procs =
   if baseline then Core.Config.baseline ~procs ()
   else Core.Config.polaris ~procs ()
 
+(* ----- pass-pipeline and emission-backend selection -----
+
+   Both registries are first-class tables: --pipeline resolves against
+   Core.Registry (presets + custom:p1,p2,... with ordering constraints
+   checked), --emit-backend against Backend.Registry.  A bad flag value
+   is a hard error (exit 1); a bad environment value was already warned
+   about and dropped by Util.Env's validated parsers, and an
+   env-supplied name that fails registry resolution degrades to the
+   default with a warning — the environment must never turn a working
+   invocation into a failing one. *)
+
+let pipeline_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pipeline" ] ~docv:"SPEC"
+        ~doc:
+          "Pass pipeline to run: a preset ($(b,thorough), $(b,fast), \
+           $(b,serial)) or $(b,custom:)$(i,P1,P2,..) over registered pass \
+           names (see $(b,polaris list-passes)).  Unknown passes and \
+           orderings that violate a registered constraint are refused.  \
+           Default \\$(b,POLARIS_PIPELINE), or the thorough preset.")
+
+let resolve_pipeline (flag : string option) : Core.Registry.pipeline option =
+  match flag with
+  | Some spec -> (
+    match Core.Registry.parse spec with
+    | Ok pl -> Some pl
+    | Error m ->
+      Fmt.epr "polaris: --pipeline: %s@." m;
+      exit 1)
+  | None -> (
+    match Util.Env.pipeline with
+    | None -> None
+    | Some spec -> (
+      match Core.Registry.parse spec with
+      | Ok pl -> Some pl
+      | Error m ->
+        Fmt.epr "polaris: warning: POLARIS_PIPELINE ignored: %s@." m;
+        None))
+
+let apply_pipeline (pl : Core.Registry.pipeline option) (c : Core.Config.t) :
+    Core.Config.t =
+  match pl with Some pl -> Core.Config.with_pipeline pl c | None -> c
+
+let backend_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-backend" ] ~docv:"NAME"
+        ~doc:
+          "Emission backend for the transformed source: $(b,f77) (the \
+           default round-tripping unparser), $(b,f77-omp) (!\\$OMP \
+           directives from the compiler's verdicts) or $(b,c) (portable C \
+           with OpenMP pragmas); see $(b,polaris list-backends).  Default \
+           \\$(b,POLARIS_BACKEND), or f77.")
+
+let resolve_backend (flag : string option) : Backend.Registry.t =
+  match flag with
+  | Some name -> (
+    match Backend.Registry.find name with
+    | Ok b -> b
+    | Error m ->
+      Fmt.epr "polaris: --emit-backend: %s@." m;
+      exit 1)
+  | None -> (
+    match Util.Env.backend with
+    | None -> Backend.Registry.default
+    | Some name -> (
+      match Backend.Registry.find name with
+      | Ok b -> b
+      | Error m ->
+        Fmt.epr "polaris: warning: POLARIS_BACKEND ignored: %s@." m;
+        Backend.Registry.default))
+
 let strict_flag =
   Arg.(
     value & flag
@@ -155,24 +230,27 @@ let compile_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the transformed source")
   in
-  let run file baseline quiet strict jobs chunk explain_reuse =
+  let run file baseline quiet strict jobs chunk explain_reuse pipeline backend
+      =
     with_errors (fun () ->
         setup_pool jobs chunk;
         let file = required_file file in
-        let t =
-          Core.Pipeline.compile ~strict (config_of ~baseline ~procs:8)
-            (read_file file)
+        let config =
+          apply_pipeline (resolve_pipeline pipeline)
+            (config_of ~baseline ~procs:8)
         in
+        let b = resolve_backend backend in
+        let t = Core.Pipeline.compile ~strict config (read_file file) in
         if not quiet then Fmt.pr "%a@." Core.Pipeline.pp_summary t;
         if explain_reuse then Fmt.pr "%a" Valid.Trace.pp_reuse_table t.reuse;
-        print_string (Core.Pipeline.output_source t);
+        print_string (b.Backend.Registry.b_emit t.program);
         exit_on_incidents t)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Restructure a Fortran program and print it")
     Term.(
       const run $ file_pos $ baseline $ quiet $ strict_flag $ jobs_flag
-      $ chunk_flag $ explain_reuse_flag)
+      $ chunk_flag $ explain_reuse_flag $ pipeline_flag $ backend_flag)
 
 (* ----- run ----- *)
 
@@ -202,11 +280,13 @@ let run_cmd =
              \\$(b,POLARIS_RUNTIME_PROCS), or the host's recommended domain \
              count capped at 8)")
   in
-  let go file baseline procs real real_procs strict jobs chunk =
+  let go file baseline procs real real_procs strict jobs chunk pipeline =
     with_errors (fun () ->
         setup_pool jobs chunk;
         let file = required_file file in
-        let cfg = config_of ~baseline ~procs in
+        let cfg =
+          apply_pipeline (resolve_pipeline pipeline) (config_of ~baseline ~procs)
+        in
         let t, r = Core.Simulate.compile_and_run ~strict cfg (read_file file) in
         Fmt.pr "%a@." Core.Pipeline.pp_summary t;
         Fmt.pr "serial time   : %d@." r.serial_time;
@@ -245,7 +325,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute on the simulated multiprocessor")
     Term.(
       const go $ file_pos $ baseline $ procs $ real $ real_procs $ strict_flag
-      $ jobs_flag $ chunk_flag)
+      $ jobs_flag $ chunk_flag $ pipeline_flag)
 
 (* ----- suite ----- *)
 
@@ -256,9 +336,10 @@ let suite_cmd =
   let procs =
     Arg.(value & opt int 8 & info [ "p"; "procs" ] ~doc:"Simulated processor count")
   in
-  let go code_name procs jobs chunk =
+  let go code_name procs jobs chunk pipeline =
     with_errors (fun () ->
         setup_pool jobs chunk;
+        let pl = resolve_pipeline pipeline in
         match code_name with
         | None ->
           Fmt.pr "%-8s %-8s %s@." "name" "origin" "description";
@@ -272,7 +353,9 @@ let suite_cmd =
           match Suite.Registry.find name with
           | c ->
             let _, rp =
-              Core.Simulate.compile_and_run (Core.Config.polaris ~procs ()) c.source
+              Core.Simulate.compile_and_run
+                (apply_pipeline pl (Core.Config.polaris ~procs ()))
+                c.source
             in
             let _, rb =
               Core.Simulate.compile_and_run (Core.Config.baseline ~procs ()) c.source
@@ -289,7 +372,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"List or run the evaluation-suite codes")
-    Term.(const go $ code_name $ procs $ jobs_flag $ chunk_flag)
+    Term.(const go $ code_name $ procs $ jobs_flag $ chunk_flag $ pipeline_flag)
 
 (* ----- validate ----- *)
 
@@ -369,7 +452,7 @@ let validate_cmd =
                    reassociation-aware ULP tolerance; default: off)")
   in
   let go file suite baseline_only polaris_only ulp seeds procs trace_out
-      real_procs jobs chunk =
+      real_procs jobs chunk pipeline =
     with_errors (fun () ->
         setup_pool jobs chunk;
         let cmp = { Valid.Oracle.default_cmp with ulp_tol = ulp } in
@@ -377,11 +460,13 @@ let validate_cmd =
         let procs_list = parse_int_list ~what:"processor" procs in
         let procs_list = if procs_list = [] then [ 1; 2; 4; 8 ] else procs_list in
         let real_procs_list = parse_int_list ~what:"processor" real_procs in
+        let pl = resolve_pipeline pipeline in
         let configs =
-          match (baseline_only, polaris_only) with
-          | true, false -> [ Core.Config.baseline () ]
-          | false, true -> [ Core.Config.polaris () ]
-          | _ -> [ Core.Config.polaris (); Core.Config.baseline () ]
+          List.map (apply_pipeline pl)
+            (match (baseline_only, polaris_only) with
+            | true, false -> [ Core.Config.baseline () ]
+            | false, true -> [ Core.Config.polaris () ]
+            | _ -> [ Core.Config.polaris (); Core.Config.baseline () ])
         in
         let targets =
           if suite then
@@ -440,6 +525,52 @@ let validate_cmd =
               targets
           end
         in
+        (* the emission lane: every registered backend over every
+           (code, pipeline) row.  Re-parsing backends must round-trip
+           through our own frontend and print what the transformed
+           program prints; non-reparsing backends must at least emit
+           deterministically (their semantics are pinned by the golden
+           suite and `polaris native`). *)
+        let emit_failures =
+          List.concat_map
+            (fun (label, source) ->
+              List.concat_map
+                (fun (config : Core.Config.t) ->
+                  let t = Core.Pipeline.compile config source in
+                  let prog = t.Core.Pipeline.program in
+                  List.filter_map
+                    (fun (b : Backend.Registry.t) ->
+                      let output = b.b_emit prog in
+                      let verdict =
+                        if b.b_reparses then
+                          match Frontend.Parser.parse_string output with
+                          | exception e ->
+                            Some ("reparse: " ^ Printexc.to_string e)
+                          | p2 ->
+                            let want =
+                              (Machine.Interp.run prog).Machine.Interp.output
+                            in
+                            let got =
+                              (Machine.Interp.run p2).Machine.Interp.output
+                            in
+                            if want = got then None
+                            else Some "oracle divergence on re-parsed output"
+                        else if String.equal output (b.b_emit prog) then None
+                        else Some "nondeterministic emission"
+                      in
+                      match verdict with
+                      | None ->
+                        Fmt.pr "%-10s %-9s emit %-8s ok (%d bytes)@." label
+                          config.name b.b_name (String.length output);
+                        None
+                      | Some m ->
+                        Fmt.pr "%-10s %-9s emit %-8s FAIL (%s)@." label
+                          config.name b.b_name m;
+                        Some (label, config.name, b.b_name))
+                    Backend.Registry.all)
+                configs)
+            targets
+        in
         (match trace_out with
         | None -> ()
         | Some path ->
@@ -460,13 +591,17 @@ let validate_cmd =
         let failures =
           List.filter (fun (_, _, r) -> not (Valid.Snapshot.ok r)) results
         in
-        if failures <> [] || real_failures <> [] then begin
+        if failures <> [] || real_failures <> [] || emit_failures <> []
+        then begin
           if failures <> [] then
             Fmt.epr "validation failed on %d of %d compilations@."
               (List.length failures) (List.length results);
           if real_failures <> [] then
             Fmt.epr "real execution diverged on %d compilations@."
               (List.length real_failures);
+          if emit_failures <> [] then
+            Fmt.epr "backend emission failed on %d rows@."
+              (List.length emit_failures);
           exit 1
         end)
   in
@@ -475,7 +610,8 @@ let validate_cmd =
        ~doc:"Translation-validate the pipeline by differential execution")
     Term.(
       const go $ file_pos $ suite $ baseline_only $ polaris_only $ ulp $ seeds
-      $ procs $ trace_out $ real_procs $ jobs_flag $ chunk_flag)
+      $ procs $ trace_out $ real_procs $ jobs_flag $ chunk_flag
+      $ pipeline_flag)
 
 (* ----- serve ----- *)
 
@@ -508,7 +644,8 @@ let serve_cmd =
       value & flag
       & info [ "emit" ] ~doc:"Print each compile's transformed source")
   in
-  let go files baseline check emit strict jobs chunk explain_reuse =
+  let go files baseline check emit strict jobs chunk explain_reuse pipeline
+      backend =
     with_errors (fun () ->
         setup_pool jobs chunk;
         let paths =
@@ -527,7 +664,11 @@ let serve_cmd =
           Fmt.epr "polaris: serve: no input files@.";
           exit 1
         end;
-        let config = config_of ~baseline ~procs:8 in
+        let config =
+          apply_pipeline (resolve_pipeline pipeline)
+            (config_of ~baseline ~procs:8)
+        in
+        let bk = resolve_backend backend in
         let divergent = ref 0 in
         let incidents = ref 0 in
         let failed = ref 0 in
@@ -535,7 +676,9 @@ let serve_cmd =
           (fun i path ->
             (* per-file containment: an unreadable or unparseable path
                fails THIS file; the session keeps serving the rest *)
-            match Serve.Local.compile_path ~strict ~check config path with
+            match
+              Serve.Local.compile_path ~strict ~check ~backend:bk config path
+            with
             | Error msg ->
               incr failed;
               Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1) (List.length paths)
@@ -554,7 +697,7 @@ let serve_cmd =
                 r.pipeline.incidents;
               if explain_reuse then
                 Fmt.pr "%a" Valid.Trace.pp_reuse_table r.pipeline.reuse;
-              if emit then print_string (Core.Pipeline.output_source r.pipeline);
+              if emit then print_string c.lc_output;
               if check then begin
                 match c.lc_check_divergences with
                 | [] -> Fmt.pr "    check: identical to from-scratch compile@."
@@ -583,7 +726,7 @@ let serve_cmd =
           process, reusing every analysis whose program unit is unchanged")
     Term.(
       const go $ files $ baseline $ check $ emit $ strict_flag $ jobs_flag
-      $ chunk_flag $ explain_reuse_flag)
+      $ chunk_flag $ explain_reuse_flag $ pipeline_flag $ backend_flag)
 
 (* ----- daemon ----- *)
 
@@ -711,7 +854,7 @@ let daemon_cmd =
   in
   let go socket store max_mb baseline budget_steps deadline log max_sessions
       idle_timeout flush_every flush_interval max_pipeline max_inflight jobs
-      chunk =
+      chunk pipeline backend =
     with_errors (fun () ->
         Util.Pool.set_chunk chunk;
         let cfg =
@@ -720,6 +863,11 @@ let daemon_cmd =
             d_store_dir = store;
             d_max_cache_mb = max_mb;
             d_baseline = baseline;
+            d_pipeline = resolve_pipeline pipeline;
+            d_backend =
+              (match (backend, Util.Env.backend) with
+              | None, None -> None
+              | _ -> Some (resolve_backend backend));
             d_jobs = jobs;
             d_max_inflight = max_inflight;
             d_budget_steps = budget_steps;
@@ -763,7 +911,7 @@ let daemon_cmd =
       const go $ socket_flag $ store $ max_mb $ baseline $ budget_steps
       $ deadline $ log $ max_sessions $ idle_timeout $ flush_every
       $ flush_interval $ max_pipeline $ max_inflight $ jobs_flag
-      $ chunk_flag)
+      $ chunk_flag $ pipeline_flag $ backend_flag)
 
 (* ----- client ----- *)
 
@@ -818,8 +966,23 @@ let client_cmd =
       & info [ "ping" ]
           ~doc:"Probe the daemon's liveness (exit 0 iff it answers)")
   in
-  let go socket files check baseline emit stats shutdown retries timeout ping =
+  let go socket files check baseline emit stats shutdown retries timeout ping
+      pipeline backend =
     with_errors (fun () ->
+        (* resolve the names locally against the same registries the
+           daemon uses, so a typo exits 1 before a connection is even
+           attempted; the wire carries the resolved spec ("" = let the
+           daemon pick its own default) *)
+        let pipeline =
+          match resolve_pipeline pipeline with
+          | Some pl -> pl.Core.Registry.pl_name
+          | None -> ""
+        in
+        let backend =
+          match (backend, Util.Env.backend) with
+          | None, None -> ""
+          | _ -> (resolve_backend backend).Backend.Registry.b_name
+        in
         if files = [] && not (stats || shutdown || ping) then begin
           Fmt.epr
             "polaris: client: nothing to do (no FILE, no --stats, no --ping, \
@@ -876,7 +1039,8 @@ let client_cmd =
                  | source -> (
                    match
                      Serve.Client.compile_retry ~retries ?deadline_s:timeout
-                       ~check ~baseline ~socket ~label:path source
+                       ~check ~baseline ~pipeline ~backend ~socket ~label:path
+                       source
                    with
                    | Error msg ->
                      incr failed;
@@ -888,7 +1052,10 @@ let client_cmd =
              with_conn (fun c ->
                  List.iteri
                    (fun i path ->
-                     match Serve.Client.compile_path c ~check ~baseline path with
+                     match
+                       Serve.Client.compile_path c ~check ~baseline ~pipeline
+                         ~backend path
+                     with
                      | Error msg ->
                        incr failed;
                        Fmt.epr "[%d/%d] %-20s ERROR: %s@." (i + 1)
@@ -916,7 +1083,7 @@ let client_cmd =
        ~doc:"Compile files on a running polaris daemon (thin client)")
     Term.(
       const go $ socket_flag $ files $ check $ baseline $ emit $ stats
-      $ shutdown $ retries $ timeout $ ping)
+      $ shutdown $ retries $ timeout $ ping $ pipeline_flag $ backend_flag)
 
 (* ----- chaos ----- *)
 
@@ -961,6 +1128,211 @@ let chaos_cmd =
           oracle-equivalent")
     Term.(const go $ seeds $ first_seed $ out $ jobs_flag $ chunk_flag)
 
+(* ----- registry listings ----- *)
+
+let list_passes_cmd =
+  Cmd.v
+    (Cmd.info "list-passes"
+       ~doc:
+         "List every registered pass with the analyses it consumes, the \
+          caches it invalidates and its fault-containment behaviour")
+    Term.(const (fun () -> Fmt.pr "%a" Core.Registry.pp_passes ()) $ const ())
+
+let list_pipelines_cmd =
+  let show () =
+    Fmt.pr "%a" Core.Registry.pp_pipelines ();
+    Fmt.pr
+      "custom     custom:P1,P2,..  any registry-valid ordering of the passes \
+       above@."
+  in
+  Cmd.v
+    (Cmd.info "list-pipelines"
+       ~doc:"List the preset pass pipelines and the custom: spec syntax")
+    Term.(const show $ const ())
+
+let list_backends_cmd =
+  Cmd.v
+    (Cmd.info "list-backends" ~doc:"List the registered emission backends")
+    Term.(const (fun () -> Fmt.pr "%a" Backend.Registry.pp_backends ()) $ const ())
+
+(* ----- native ----- *)
+
+(* numeric-aware stdout comparison: a native compiler's list-directed /
+   printf formatting differs textually from the interpreter's, and an
+   OpenMP reduction may reassociate, so tokens that parse as numbers
+   compare under a relative tolerance; everything else (T/F logicals)
+   must match exactly *)
+let native_tokens s =
+  let is_ws c = c = ' ' || c = '\n' || c = '\t' || c = '\r' in
+  let toks = ref [] and b = Buffer.create 16 in
+  let flush_tok () =
+    if Buffer.length b > 0 then begin
+      toks := Buffer.contents b :: !toks;
+      Buffer.clear b
+    end
+  in
+  String.iter (fun c -> if is_ws c then flush_tok () else Buffer.add_char b c) s;
+  flush_tok ();
+  List.rev !toks
+
+let native_token_eq a b =
+  match (float_of_string_opt a, float_of_string_opt b) with
+  | Some x, Some y ->
+    x = y
+    || Float.abs (x -. y)
+       <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> String.equal a b
+
+let read_process cmd =
+  let ic = Unix.open_process_in cmd in
+  let b = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (Buffer.contents b, status)
+
+let native_cmd =
+  let codes =
+    Arg.(
+      value
+      & opt string "swim,tomcatv,arc2d"
+      & info [ "codes" ] ~docv:"N1,N2"
+          ~doc:"Comma-separated suite codes to check (or $(b,all))")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt string "f77-omp,c"
+      & info [ "backends" ] ~docv:"B1,B2"
+          ~doc:"Comma-separated backends to compile natively")
+  in
+  let go codes backends pipeline jobs chunk =
+    with_errors (fun () ->
+        setup_pool jobs chunk;
+        let pl = resolve_pipeline pipeline in
+        let names = String.split_on_char ',' codes |> List.map String.trim in
+        let codes =
+          if names = [ "all" ] then Suite.Registry.all
+          else
+            List.map
+              (fun n ->
+                match Suite.Registry.find n with
+                | c -> c
+                | exception Not_found ->
+                  Fmt.epr "polaris: native: unknown suite code %s@." n;
+                  exit 1)
+              names
+        in
+        let backends =
+          String.split_on_char ',' backends
+          |> List.map (fun n ->
+                 match Backend.Registry.find (String.trim n) with
+                 | Ok b -> b
+                 | Error m ->
+                   Fmt.epr "polaris: native: %s@." m;
+                   exit 1)
+        in
+        let tmp =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "polaris-native-%d" (Unix.getpid ()))
+        in
+        (try Unix.mkdir tmp 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let failures = ref 0 in
+        let checked = ref 0 in
+        List.iter
+          (fun (b : Backend.Registry.t) ->
+            (* the compile line mirrors the backend's own documentation:
+               OpenMP on, and for Fortran, 8-byte reals so native
+               arithmetic matches the interpreter's doubles *)
+            let compiler, flags, libs =
+              match b.b_family with
+              | Backend.Registry.Fortran ->
+                ( "gfortran",
+                  "-O1 -fopenmp -ffixed-line-length-none -fdefault-real-8",
+                  "" )
+              | Backend.Registry.C -> ("cc", "-O1 -fopenmp", "-lm")
+            in
+            let available =
+              Sys.command
+                (Printf.sprintf "command -v %s >/dev/null 2>&1" compiler)
+              = 0
+            in
+            if not available then
+              (* a missing toolchain skips the lane cleanly: this check
+                 is gated on the host, it is not a test failure *)
+              Fmt.pr "native %-8s skipped (%s not found)@." b.b_name compiler
+            else
+              List.iter
+                (fun (c : Suite.Code.t) ->
+                  let t =
+                    Core.Pipeline.compile
+                      (apply_pipeline pl (Core.Config.polaris ()))
+                      c.source
+                  in
+                  let src =
+                    Filename.concat tmp
+                      (Printf.sprintf "%s.%s" c.name b.b_ext)
+                  in
+                  let oc = open_out src in
+                  output_string oc (b.b_emit t.program);
+                  close_out oc;
+                  let exe =
+                    Filename.concat tmp
+                      (Printf.sprintf "%s-%s.exe" c.name b.b_name)
+                  in
+                  let cmd =
+                    Printf.sprintf "%s %s -o %s %s %s 2>%s.err" compiler flags
+                      exe src libs exe
+                  in
+                  if Sys.command cmd <> 0 then begin
+                    incr failures;
+                    Fmt.pr "native %-8s %-8s FAIL (native compile; see %s.err)@."
+                      b.b_name c.name exe
+                  end
+                  else begin
+                    let out, _ = read_process (exe ^ " 2>&1") in
+                    let oracle =
+                      String.concat "\n"
+                        (Machine.Interp.run t.program).Machine.Interp.output
+                    in
+                    let got = native_tokens out in
+                    let want = native_tokens oracle in
+                    incr checked;
+                    if
+                      List.length got = List.length want
+                      && List.for_all2 native_token_eq got want
+                    then
+                      Fmt.pr "native %-8s %-8s ok (%d output tokens)@."
+                        b.b_name c.name (List.length want)
+                    else begin
+                      incr failures;
+                      Fmt.pr "native %-8s %-8s FAIL@.  oracle: %s@.  native: %s@."
+                        b.b_name c.name oracle (String.trim out)
+                    end
+                  end)
+                codes)
+          backends;
+        if !failures > 0 then begin
+          Fmt.epr "polaris: native: %d check(s) failed@." !failures;
+          exit 1
+        end;
+        if !checked = 0 then Fmt.pr "native: nothing checked (no compiler)@.")
+  in
+  Cmd.v
+    (Cmd.info "native"
+       ~doc:
+         "Compile suite codes through a native toolchain (gfortran/cc with \
+          OpenMP) and compare their runtime output against the \
+          interpreter oracle; lanes whose compiler is absent are skipped \
+          cleanly")
+    Term.(
+      const go $ codes $ backends $ pipeline_flag $ jobs_flag $ chunk_flag)
+
 let () =
   let doc = "Polaris-style automatic parallelizer (ICPP'96 reproduction)" in
   exit
@@ -968,4 +1340,5 @@ let () =
        (Cmd.group
           (Cmd.info "polaris" ~doc)
           [ compile_cmd; run_cmd; suite_cmd; validate_cmd; serve_cmd;
-            daemon_cmd; client_cmd; chaos_cmd ]))
+            daemon_cmd; client_cmd; chaos_cmd; list_passes_cmd;
+            list_pipelines_cmd; list_backends_cmd; native_cmd ]))

@@ -1,0 +1,628 @@
+(** C backend: lower the restructured Fortran to portable C99 with
+    OpenMP pragmas derived from the compiler's verdicts.
+
+    The translation mirrors the interpreter's semantics construct by
+    construct so the native binary's stdout can be compared against the
+    interpreter oracle:
+    - INTEGER is [int], REAL/DOUBLE PRECISION is [double], LOGICAL is
+      [int]; integer division and double→int conversion truncate toward
+      zero in both worlds;
+    - DO trip counts use the interpreter's formula
+      [max 0 ((limit - init + step) / step)], and the index variable is
+      left at [init + trips*step] after a normal exit;
+    - exponentiation reproduces {!Machine.Value.pow} exactly (integer
+      power by repeated multiplication, real**int by iterated
+      multiplication) via emitted helpers;
+    - arrays are flattened column-major like {!Machine.Storage};
+      locals are zeroed at procedure entry, COMMON members are
+      zero-initialized globals that persist across calls;
+    - arguments pass by reference: scalar dummies become [T *],
+      expression actuals become writable compound-literal temporaries,
+      exactly the copy-in temporaries the interpreter allocates.
+
+    Proven-DOALL loops become [#pragma omp parallel for] with
+    private / lastprivate / reduction sets from {!Clauses} — the same
+    sets the domain-based executor privatizes at run time.  A loop
+    falls back to serial emission (with the verdict kept as a comment)
+    when OpenMP cannot express the region soundly in C: speculative
+    (LRPD) verdicts, privatized or reduced {e dummy} arguments (C would
+    privatize the pointer, not the pointee), and array reductions.
+
+    Known, deliberate semantic gaps from the interpreter (documented
+    rather than papered over): [.AND.]/[.OR.] short-circuit in C while
+    the interpreter evaluates both operands (observable only through
+    side-effecting operands, which the suite has none of), and [GOTO]
+    resolves labels function-wide while the interpreter searches
+    enclosing blocks outward (equivalent for backward/outward jumps;
+    the frontend rejects inward jumps at runtime anyway). *)
+
+open Fir
+open Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Static expression typing (mirrors Value's promotion rules)          *)
+
+type ct = CInt | CDouble | CBool | CStr
+
+let ct_of_base = function
+  | Integer -> CInt
+  | Logical -> CBool
+  | Character -> CStr
+  | Real | Double_precision | Complex -> CDouble
+
+let ct_name = function
+  | CInt -> "int"
+  | CBool -> "int"
+  | CDouble -> "double"
+  | CStr -> "const char *"
+
+(* ------------------------------------------------------------------ *)
+(* Per-unit emission context                                           *)
+
+type ctx = {
+  prog : Program.t;
+  u : Punit.t;
+  params : (string * expr) list;  (** transitively resolved PARAMETERs *)
+  mutable gensym : int;           (** fresh suffix for loop temporaries *)
+  buf : Buffer.t;
+}
+
+let fresh ctx = ctx.gensym <- ctx.gensym + 1; ctx.gensym
+
+let find_sym ctx name = Symtab.find_opt ctx.u.pu_symtab name
+
+let base_type_of ctx name =
+  match find_sym ctx name with
+  | Some s -> s.sym_type
+  | None -> Symtab.implicit_type name
+
+let dims_of ctx name =
+  match find_sym ctx name with Some s -> s.sym_dims | None -> []
+
+let is_dummy ctx name = List.mem name ctx.u.pu_args
+let is_param ctx name = List.mem_assoc name ctx.params
+
+let common_of ctx name =
+  match find_sym ctx name with Some s -> s.sym_common | None -> None
+
+(* the function-result variable needs a name distinct from the C
+   function itself *)
+let is_result ctx name =
+  Punit.is_function ctx.u && String.equal name ctx.u.pu_name
+
+(** C name of a Fortran symbol: COMMON members become globals shared by
+    every unit, the function result gets a RET_ prefix, everything else
+    keeps its (upper-case) Fortran name — which cannot collide with C's
+    lower-case keywords or our lower-case helpers. *)
+let c_name ctx name =
+  match common_of ctx name with
+  | Some blk -> Fmt.str "C_%s_%s" blk name
+  | None -> if is_result ctx name then "RET_" ^ name else name
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let resolve_param ctx name = List.assoc name ctx.params
+
+let rec ct_of ctx (e : expr) : ct =
+  match e with
+  | Int_lit _ -> CInt
+  | Real_lit _ -> CDouble
+  | Logical_lit _ -> CBool
+  | Char_lit _ -> CStr
+  | Wildcard n -> unsupported "wildcard ?%d in emitted program" n
+  | Var v | Ref (v, _) -> ct_of_base (base_type_of ctx v)
+  | Unary (Neg, a) -> ct_of ctx a
+  | Unary (Not, _) -> CBool
+  | Binary ((Add | Sub | Mul | Div | Pow), a, b) -> (
+    match (ct_of ctx a, ct_of ctx b) with
+    | CInt, CInt -> CInt
+    | _ -> CDouble)
+  | Binary ((And | Or | Eq | Ne | Lt | Le | Gt | Ge), _, _) -> CBool
+  | Fun_call (f, args) -> ct_of_call ctx f args
+
+and ct_of_call ctx f args =
+  let arg0 () = match args with a :: _ -> ct_of ctx a | [] -> CInt in
+  let fold_args () =
+    if List.for_all (fun a -> ct_of ctx a = CInt) args then CInt else CDouble
+  in
+  match f with
+  | "ABS" | "SIGN" -> arg0 ()
+  | "IABS" | "ISIGN" -> CInt
+  | "DABS" | "DSIGN" -> CDouble
+  | "MOD" -> fold_args ()
+  | "AMOD" | "DMOD" -> CDouble
+  | "MAX" | "MIN" -> fold_args ()
+  | "MAX0" | "MIN0" -> CInt
+  | "AMAX1" | "DMAX1" | "AMIN1" | "DMIN1" -> CDouble
+  | "SQRT" | "DSQRT" | "SIN" | "DSIN" | "COS" | "DCOS" | "TAN" | "DTAN"
+  | "ATAN" | "DATAN" | "EXP" | "DEXP" | "LOG" | "ALOG" | "DLOG"
+  | "REAL" | "FLOAT" | "DBLE" | "SNGL" ->
+    CDouble
+  | "INT" | "IFIX" | "IDINT" | "NINT" | "IDNINT" -> CInt
+  | _ -> (
+    match Program.find_unit ctx.prog f with
+    | Some u -> (
+      match u.pu_kind with
+      | Function typ -> ct_of_base typ
+      | _ -> unsupported "call to non-function %s in expression" f)
+    | None -> unsupported "unknown function %s" f)
+
+(** A double literal that round-trips: shortest of %.1f / %.9g / %.17g
+    that parses back to the same double, always spelled as a double. *)
+let c_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Fmt.str "%.1f" x
+  else
+    let s = Fmt.str "%.9g" x in
+    if float_of_string s = x then s else Fmt.str "%.17g" x
+
+let rec cexpr ctx (e : expr) : string =
+  match e with
+  | Int_lit n -> if n < 0 then Fmt.str "(%d)" n else string_of_int n
+  | Real_lit x -> c_float x
+  | Logical_lit b -> if b then "1" else "0"
+  | Char_lit s -> Fmt.str "%S" s
+  | Wildcard n -> unsupported "wildcard ?%d in emitted program" n
+  | Var v ->
+    if is_param ctx v then cexpr ctx (resolve_param ctx v)
+    else if dims_of ctx v <> [] then
+      unsupported "array %s used as scalar" v
+    else if is_dummy ctx v then Fmt.str "(*%s)" v
+    else c_name ctx v
+  | Ref (v, subs) -> element ctx v subs
+  | Unary (Neg, a) -> Fmt.str "(-%s)" (cexpr ctx a)
+  | Unary (Not, a) -> Fmt.str "(!%s)" (cexpr ctx a)
+  | Binary (Pow, a, b) -> (
+    match (ct_of ctx a, ct_of ctx b) with
+    | CInt, CInt -> Fmt.str "ipow_ii(%s, %s)" (cexpr ctx a) (cexpr ctx b)
+    | _, CInt -> Fmt.str "dpow_i(%s, %s)" (cexpr ctx a) (cexpr ctx b)
+    | _ -> Fmt.str "pow(%s, %s)" (cexpr ctx a) (cexpr ctx b))
+  | Binary (op, a, b) ->
+    let sym =
+      match op with
+      | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+      | And -> "&&" | Or -> "||"
+      | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+      | Pow -> assert false
+    in
+    Fmt.str "(%s %s %s)" (cexpr ctx a) sym (cexpr ctx b)
+  | Fun_call (f, args) -> ccall ctx f args
+
+(** Column-major element lvalue [NAME[(s1-lo1) + ext1*((s2-lo2) + ...)]],
+    the layout of {!Machine.Storage.linear_index}. *)
+and element ctx v subs =
+  let dims = dims_of ctx v in
+  if dims = [] then unsupported "%s subscripted but declared scalar" v;
+  if List.length dims <> List.length subs then
+    unsupported "%s: subscript count mismatch" v;
+  let sub_str (lo, _) s =
+    match Expr.int_val (Expr.simplify lo) with
+    | Some 0 -> Fmt.str "(int)(%s)" (cexpr ctx s)
+    | _ -> Fmt.str "((int)(%s) - %s)" (cexpr ctx s) (cint ctx lo)
+  in
+  let exts =
+    List.map
+      (fun (lo, hi) -> Fmt.str "(%s - %s + 1)" (cint ctx hi) (cint ctx lo))
+      dims
+  in
+  (* fold from the last dimension inward: last extent never needed *)
+  let rec build dims exts subs =
+    match (dims, exts, subs) with
+    | [ d ], _, [ s ] -> sub_str d s
+    | d :: dtl, ext :: etl, s :: stl ->
+      Fmt.str "%s + %s * (%s)" (sub_str d s) ext (build dtl etl stl)
+    | _ -> assert false
+  in
+  Fmt.str "%s[%s]" (c_name ctx v) (build dims exts subs)
+
+(* integer-context rendering of dimension/bound expressions *)
+and cint ctx e =
+  match Expr.int_val (Expr.simplify (Expr.subst ctx.params e)) with
+  | Some n -> if n < 0 then Fmt.str "(%d)" n else string_of_int n
+  | None -> Fmt.str "(int)(%s)" (cexpr ctx e)
+
+and ccall ctx f args =
+  let one () =
+    match args with
+    | [ a ] -> cexpr ctx a
+    | _ -> unsupported "%s expects one argument" f
+  in
+  let two () =
+    match args with
+    | [ a; b ] -> (cexpr ctx a, cexpr ctx b)
+    | _ -> unsupported "%s expects two arguments" f
+  in
+  let fold2 fn =
+    match List.map (cexpr ctx) args with
+    | a :: rest -> List.fold_left (fun acc b -> Fmt.str "%s(%s, %s)" fn acc b) a rest
+    | [] -> unsupported "%s with no arguments" f
+  in
+  match f with
+  | "ABS" | "IABS" | "DABS" ->
+    if ct_of_call ctx f args = CInt then Fmt.str "abs(%s)" (one ())
+    else Fmt.str "fabs(%s)" (one ())
+  | "MOD" | "AMOD" | "DMOD" ->
+    let a, b = two () in
+    if ct_of_call ctx f args = CInt then Fmt.str "(%s %% %s)" a b
+    else Fmt.str "fmod(%s, %s)" a b
+  | "MAX" | "MAX0" | "AMAX1" | "DMAX1" ->
+    fold2 (if ct_of_call ctx f args = CInt then "imax_" else "dmax_")
+  | "MIN" | "MIN0" | "AMIN1" | "DMIN1" ->
+    fold2 (if ct_of_call ctx f args = CInt then "imin_" else "dmin_")
+  | "SQRT" | "DSQRT" -> Fmt.str "sqrt(%s)" (one ())
+  | "SIN" | "DSIN" -> Fmt.str "sin(%s)" (one ())
+  | "COS" | "DCOS" -> Fmt.str "cos(%s)" (one ())
+  | "TAN" | "DTAN" -> Fmt.str "tan(%s)" (one ())
+  | "ATAN" | "DATAN" -> Fmt.str "atan(%s)" (one ())
+  | "EXP" | "DEXP" -> Fmt.str "exp(%s)" (one ())
+  | "LOG" | "ALOG" | "DLOG" -> Fmt.str "log(%s)" (one ())
+  | "INT" | "IFIX" | "IDINT" -> Fmt.str "(int)(%s)" (one ())
+  | "NINT" | "IDNINT" -> Fmt.str "(int)round(%s)" (one ())
+  | "REAL" | "FLOAT" | "DBLE" | "SNGL" -> Fmt.str "(double)(%s)" (one ())
+  | "SIGN" | "ISIGN" | "DSIGN" ->
+    let a, b = two () in
+    if ct_of_call ctx f args = CInt then Fmt.str "isign_(%s, %s)" a b
+    else Fmt.str "dsign_(%s, %s)" a b
+  | _ -> (
+    match Program.find_unit ctx.prog f with
+    | Some callee when Punit.is_function callee ->
+      Fmt.str "%s(%s)" f (String.concat ", " (actual_args ctx callee args))
+    | _ -> unsupported "unknown function %s" f)
+
+(** By-reference actuals, mirroring the interpreter's binding rules:
+    arrays pass their base, array elements their address, scalar
+    variables their cell, and expressions a writable copy-in temporary
+    (a compound literal) typed like the callee's dummy. *)
+and actual_args ctx (callee : Punit.t) actuals =
+  if List.length actuals <> List.length callee.pu_args then
+    unsupported "%s called with %d args, expects %d" callee.pu_name
+      (List.length actuals) (List.length callee.pu_args);
+  List.map2
+    (fun formal actual ->
+      let fsym = Symtab.find_opt callee.pu_symtab formal in
+      let ftype =
+        match fsym with
+        | Some s -> ct_of_base s.sym_type
+        | None -> ct_of_base (Symtab.implicit_type formal)
+      in
+      match actual with
+      | Var v when is_param ctx v ->
+        Fmt.str "&(%s){%s}" (ct_name ftype) (cexpr ctx (resolve_param ctx v))
+      | Var v when dims_of ctx v <> [] || is_dummy ctx v ->
+        (* array base, or pointer pass-through of our own dummy *)
+        c_name ctx v
+      | Var v -> Fmt.str "&%s" (c_name ctx v)
+      | Ref (v, subs) -> Fmt.str "&%s" (element ctx v subs)
+      | e ->
+        (match fsym with
+        | Some s when s.sym_dims <> [] ->
+          unsupported "array formal %s bound to expression" formal
+        | _ -> ());
+        Fmt.str "&(%s){%s}" (ct_name ftype) (cexpr ctx e))
+    callee.pu_args actuals
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let line ctx indent fmt =
+  Fmt.kstr
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make indent ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let raw ctx fmt =
+  Fmt.kstr
+    (fun s ->
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+(** Can this proven-DOALL be expressed as an OpenMP C worksharing loop?
+    Dummy arguments in the private/reduction sets would privatize the
+    pointer instead of the data, and C has no whole-array reduction for
+    our flattened arrays — those loops stay serial (still correct, the
+    pragma is an optimization). *)
+let c_parallel_ok ctx (c : Clauses.t) (d : do_loop) =
+  let vars = Clauses.private_union c @ List.map fst c.c_reductions in
+  (not (is_dummy ctx d.index))
+  && List.for_all (fun v -> not (is_dummy ctx v)) vars
+  && List.for_all (fun (v, _) -> dims_of ctx v = []) c.c_reductions
+
+let omp_pragma ctx (c : Clauses.t) (d : do_loop) =
+  let cn v = c_name ctx v in
+  let privates = d.index :: c.c_private in
+  let clause kw = function
+    | [] -> ""
+    | vs -> Fmt.str " %s(%s)" kw (String.concat ", " (List.map cn vs))
+  in
+  let red_name = function
+    | Rsum -> "+" | Rprod -> "*" | Rmax -> "max" | Rmin -> "min"
+  in
+  let reds =
+    List.map
+      (fun (v, op) -> Fmt.str " reduction(%s:%s)" (red_name op) (cn v))
+      c.c_reductions
+    |> String.concat ""
+  in
+  Fmt.str "#pragma omp parallel for%s%s%s"
+    (clause "private" privates)
+    (clause "lastprivate" c.c_lastprivate)
+    reds
+
+let rec cstmt ctx indent (s : stmt) =
+  (match s.label with Some l -> raw ctx "L%d: ;" l | None -> ());
+  match s.kind with
+  | Assign (lhs, rhs) ->
+    let target =
+      match lhs with
+      | Var v ->
+        if is_dummy ctx v then Fmt.str "(*%s)" v else c_name ctx v
+      | Ref (v, subs) -> element ctx v subs
+      | e -> unsupported "invalid assignment target %s" (Expr.to_string e)
+    in
+    line ctx indent "%s = %s;" target (cexpr ctx rhs)
+  | If (c, t, []) ->
+    line ctx indent "if (%s) {" (cexpr ctx c);
+    List.iter (cstmt ctx (indent + 2)) t;
+    line ctx indent "}"
+  | If (c, t, e) ->
+    line ctx indent "if (%s) {" (cexpr ctx c);
+    List.iter (cstmt ctx (indent + 2)) t;
+    line ctx indent "} else {";
+    List.iter (cstmt ctx (indent + 2)) e;
+    line ctx indent "}"
+  | Do d -> cdo ctx indent d
+  | While (c, b) ->
+    line ctx indent "while (%s) {" (cexpr ctx c);
+    List.iter (cstmt ctx (indent + 2)) b;
+    line ctx indent "}"
+  | Call (name, args) -> (
+    match Program.find_unit ctx.prog name with
+    | Some callee ->
+      line ctx indent "%s(%s);" name
+        (String.concat ", " (actual_args ctx callee args))
+    | None -> unsupported "unknown subroutine %s" name)
+  | Goto l -> line ctx indent "goto L%d;" l
+  | Continue -> ()
+  | Return -> (
+    match ctx.u.pu_kind with
+    | Main -> line ctx indent "return 0;"
+    | Subroutine -> line ctx indent "return;"
+    | Function _ -> line ctx indent "return RET_%s;" ctx.u.pu_name)
+  | Stop -> line ctx indent "exit(0);"
+  | Print args ->
+    let part e =
+      match (e, ct_of ctx e) with
+      | Char_lit s, _ -> ("%s", Fmt.str "%S" s)
+      | _, CInt -> ("%d", cexpr ctx e)
+      | _, CBool -> ("%s", Fmt.str "(%s) ? \"T\" : \"F\"" (cexpr ctx e))
+      | _, CStr -> ("%s", cexpr ctx e)
+      | _, CDouble -> ("%g", cexpr ctx e)
+    in
+    let parts = List.map part args in
+    line ctx indent "printf(\"%s\\n\"%s);"
+      (String.concat " " (List.map fst parts))
+      (String.concat ""
+         (List.map (fun (_, a) -> Fmt.str ", %s" a) parts))
+
+(** DO lowering with the interpreter's exact index protocol: trip count
+    [max 0 ((limit - init + step)/step)] computed up front, index set
+    from the normalized counter each iteration, index left at
+    [init + trips*step] after a normal exit (a GOTO/RETURN out of the
+    loop skips that final write, as in the interpreter). *)
+and cdo ctx indent (d : do_loop) =
+  let n = fresh ctx in
+  let idx =
+    if is_dummy ctx d.index then Fmt.str "(*%s)" d.index else c_name ctx d.index
+  in
+  line ctx indent "{";
+  let ind = indent + 2 in
+  line ctx ind "const int init_%d = (int)(%s);" n (cexpr ctx d.init);
+  line ctx ind "const int lim_%d = (int)(%s);" n (cexpr ctx d.limit);
+  (match d.step with
+  | None -> line ctx ind "const int step_%d = 1;" n
+  | Some e -> line ctx ind "const int step_%d = (int)(%s);" n (cexpr ctx e));
+  line ctx ind "int n_%d = (lim_%d - init_%d + step_%d) / step_%d;" n n n n n;
+  line ctx ind "if (n_%d < 0) n_%d = 0;" n n;
+  let parallel =
+    d.info.par && not d.info.speculative
+    &&
+    let c = Clauses.of_loop ctx.u.pu_symtab d in
+    c_parallel_ok ctx c d
+  in
+  if parallel then begin
+    let c = Clauses.of_loop ctx.u.pu_symtab d in
+    line ctx ind "if (n_%d > 0) {" n;
+    raw ctx "%s" (omp_pragma ctx c d);
+    line ctx (ind + 2) "for (int k_%d = 0; k_%d < n_%d; k_%d++) {" n n n n;
+    line ctx (ind + 4) "%s = init_%d + k_%d * step_%d;" idx n n n;
+    List.iter (cstmt ctx (ind + 4)) d.body;
+    line ctx (ind + 2) "}";
+    line ctx ind "}"
+  end
+  else begin
+    if d.info.par then
+      line ctx ind "/* polaris: DOALL%s (serial in C: %s) */"
+        (if d.info.speculative then " (speculative, LRPD)" else "")
+        (if d.info.speculative then "needs the run-time test"
+         else "clause set not expressible in OpenMP C");
+    line ctx ind "for (int k_%d = 0; k_%d < n_%d; k_%d++) {" n n n n;
+    line ctx (ind + 2) "%s = init_%d + k_%d * step_%d;" idx n n n;
+    List.iter (cstmt ctx (ind + 2)) d.body;
+    line ctx ind "}"
+  end;
+  line ctx ind "%s = init_%d + n_%d * step_%d;" idx n n n;
+  line ctx indent "}"
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+
+(** Constant element count of array symbol [s] with PARAMETERs resolved;
+    local and COMMON arrays must size statically. *)
+let const_extent ctx (s : symbol) =
+  let dim (lo, hi) =
+    let v e = Expr.int_val (Expr.simplify (Expr.subst ctx.params e)) in
+    match (v lo, v hi) with
+    | Some l, Some h -> max 0 (h - l + 1)
+    | _ ->
+      unsupported "%s: array %s has a non-constant bound" ctx.u.pu_name
+        s.sym_name
+  in
+  List.fold_left (fun acc d -> acc * dim d) 1 s.sym_dims
+
+let local_decls ctx =
+  (* union the declared symbols with the names the body actually uses:
+     implicitly typed scalars only reach the symbol table on first
+     lookup, and C has no implicit declaration to fall back on *)
+  let syms = Symtab.symbols ctx.u.pu_symtab in
+  let known = List.map (fun (s : symbol) -> s.sym_name) syms in
+  let extra =
+    Punit.used_scalars ctx.u
+    |> List.filter (fun v -> not (List.mem v known))
+    |> List.map (fun v -> Symtab.mk_symbol v)
+  in
+  let syms =
+    List.sort
+      (fun (a : symbol) b -> String.compare a.sym_name b.sym_name)
+      (syms @ extra)
+  in
+  List.iter
+    (fun (s : symbol) ->
+      if
+        s.sym_param = None && s.sym_common = None
+        && (not (is_dummy ctx s.sym_name))
+        && not (is_result ctx s.sym_name)
+      then
+        let t = ct_name (ct_of_base s.sym_type) in
+        if s.sym_dims = [] then line ctx 2 "%s %s = 0;" t s.sym_name
+        else begin
+          line ctx 2 "%s %s[%d];" t s.sym_name (const_extent ctx s);
+          line ctx 2 "memset(%s, 0, sizeof %s);" s.sym_name s.sym_name
+        end)
+    syms
+
+let signature ctx =
+  let ret =
+    match ctx.u.pu_kind with
+    | Main -> "int"
+    | Subroutine -> "static void"
+    | Function typ -> "static " ^ ct_name (ct_of_base typ)
+  in
+  let formal name =
+    let t =
+      match find_sym ctx name with
+      | Some s -> ct_name (ct_of_base s.sym_type)
+      | None -> ct_name (ct_of_base (Symtab.implicit_type name))
+    in
+    Fmt.str "%s *%s" t name
+  in
+  if ctx.u.pu_kind = Main then "int main(void)"
+  else
+    Fmt.str "%s %s(%s)" ret ctx.u.pu_name
+      (match ctx.u.pu_args with
+      | [] -> "void"
+      | args -> String.concat ", " (List.map formal args))
+
+let emit_unit ctx =
+  raw ctx "%s {" (signature ctx);
+  local_decls ctx;
+  (match ctx.u.pu_kind with
+  | Function typ -> line ctx 2 "%s RET_%s = 0;" (ct_name (ct_of_base typ)) ctx.u.pu_name
+  | _ -> ());
+  List.iter (cstmt ctx 2) ctx.u.pu_body;
+  (match ctx.u.pu_kind with
+  | Main -> line ctx 2 "return 0;"
+  | Subroutine -> ()
+  | Function _ -> line ctx 2 "return RET_%s;" ctx.u.pu_name);
+  raw ctx "}"
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program assembly                                              *)
+
+let prelude =
+  {|#include <math.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* exponentiation helpers mirroring the interpreter's Value.pow */
+static int ipow_ii(int b, int e) {
+  if (e >= 0) { int r = 1; while (e-- > 0) r *= b; return r; }
+  if (b == 1) return 1;
+  if (b == -1) return (e % 2 == 0) ? 1 : -1;
+  return 0;
+}
+static double dpow_i(double b, int e) {
+  if (e >= 0) { double r = 1.0; while (e-- > 0) r *= b; return r; }
+  return pow(b, (double)e);
+}
+static int imax_(int a, int b) { return a >= b ? a : b; }
+static int imin_(int a, int b) { return a <= b ? a : b; }
+static double dmax_(double a, double b) { return a >= b ? a : b; }
+static double dmin_(double a, double b) { return a <= b ? a : b; }
+static double dsign_(double a, double b) {
+  double m = fabs(a);
+  return b < 0.0 ? -m : m;
+}
+static int isign_(int a, int b) { return (int)dsign_((double)a, (double)b); }
+|}
+
+let mk_ctx prog (u : Punit.t) buf =
+  { prog; u; params = Punit.parameter_bindings u; gensym = 0; buf }
+
+(** COMMON members, deduplicated program-wide; the first declaring unit
+    fixes type and shape (the suite declares blocks consistently). *)
+let emit_commons prog buf =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Punit.t) ->
+      let ctx = mk_ctx prog u buf in
+      List.iter
+        (fun (s : symbol) ->
+          match s.sym_common with
+          | Some blk ->
+            let key = blk ^ "/" ^ s.sym_name in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              let t = ct_name (ct_of_base s.sym_type) in
+              let name = Fmt.str "C_%s_%s" blk s.sym_name in
+              if s.sym_dims = [] then
+                Buffer.add_string buf (Fmt.str "static %s %s;\n" t name)
+              else
+                Buffer.add_string buf
+                  (Fmt.str "static %s %s[%d];\n" t name (const_extent ctx s))
+            end
+          | None -> ())
+        (Symtab.symbols u.pu_symtab))
+    (Program.units prog)
+
+let emit_prototypes prog buf =
+  List.iter
+    (fun (u : Punit.t) ->
+      if u.pu_kind <> Main then begin
+        let ctx = mk_ctx prog u buf in
+        Buffer.add_string buf (signature ctx);
+        Buffer.add_string buf ";\n"
+      end)
+    (Program.units prog)
+
+(** Render [p] as one self-contained C translation unit.
+    @raise Unsupported on constructs outside the translatable subset. *)
+let emit (p : Program.t) : string =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf prelude;
+  Buffer.add_char buf '\n';
+  emit_commons p buf;
+  emit_prototypes p buf;
+  List.iter
+    (fun (u : Punit.t) ->
+      Buffer.add_char buf '\n';
+      emit_unit (mk_ctx p u buf))
+    (Program.units p);
+  Buffer.contents buf

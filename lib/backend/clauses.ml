@@ -1,0 +1,41 @@
+(** Work-sharing clause sets for an annotated DOALL loop.
+
+    The clause computation is deliberately the same one the real
+    executor uses at run time ({!Machine.Parexec.doall_private_set}):
+    what the OpenMP backends print as [PRIVATE(...)] is exactly the set
+    of scalars the interpreter-backed executor privatizes per domain
+    when it runs the loop on OCaml domains.  A test pins this equality
+    against {!Machine.Parexec} region logs, so the emitted annotations
+    can never drift from the semantics the oracle validated. *)
+
+open Fir
+open Ast
+
+type t = {
+  c_private : string list;      (** privatized, no copy-out (sorted) *)
+  c_lastprivate : string list;  (** privatized with last-value copy-out *)
+  c_reductions : (string * reduction_op) list;
+}
+
+(** Clauses for loop [d] in a unit with symbol table [symtab].
+    [c_private] and [c_lastprivate] are disjoint (OpenMP's LASTPRIVATE
+    implies privatization), and their union is the executor's private
+    set. *)
+let of_loop (symtab : Symtab.t) (d : do_loop) : t =
+  let privates =
+    Machine.Parexec.doall_private_set ~is_array:(Symtab.is_array symtab) d
+  in
+  let lastprivates =
+    List.filter (fun v -> List.mem v privates) d.info.lastprivates
+  in
+  { c_private = List.filter (fun v -> not (List.mem v lastprivates)) privates;
+    c_lastprivate = lastprivates;
+    c_reductions =
+      List.map (fun (r : reduction) -> (r.red_var, r.red_op)) d.info.reductions }
+
+(** The executor's full private set ([c_private] ∪ [c_lastprivate]). *)
+let private_union (c : t) : string list =
+  List.sort_uniq String.compare (c.c_private @ c.c_lastprivate)
+
+let op_name = function
+  | Rsum -> "+" | Rprod -> "*" | Rmax -> "MAX" | Rmin -> "MIN"

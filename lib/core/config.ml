@@ -25,6 +25,11 @@ type t = {
           on unless [POLARIS_NO_CACHE=1] is in the environment; purely a
           performance lever, verdicts and output are identical either
           way *)
+  pipeline : Registry.pipeline;
+      (** which passes run and in what order ({!Registry}); the
+          capability flags above still gate each pass individually, so
+          [thorough] + the baseline flag set reproduces the classic
+          baseline behaviour *)
 }
 
 (** The full Polaris configuration (paper §3). *)
@@ -34,7 +39,8 @@ let polaris ?(procs = 8) () =
     deadcode = true; procs;
     budget_steps = Dep.Driver.default_budget_steps;
     budget_deadline_s = None;
-    caches = Util.Cachectl.default_enabled }
+    caches = Util.Cachectl.default_enabled;
+    pipeline = Registry.thorough }
 
 (** The baseline configuration standing in for SGI's PFA: the
     capability set the paper ascribes to "current compilers". *)
@@ -44,7 +50,8 @@ let baseline ?(procs = 8) () =
     deadcode = true; procs;
     budget_steps = Dep.Driver.default_budget_steps;
     budget_deadline_s = None;
-    caches = Util.Cachectl.default_enabled }
+    caches = Util.Cachectl.default_enabled;
+    pipeline = Registry.thorough }
 
 (** Ablations: Polaris minus one technique, for the ablation bench. *)
 let without_inline ?(procs = 8) () =
@@ -54,3 +61,13 @@ let without_generalized_induction ?(procs = 8) () =
   { (polaris ~procs ()) with
     name = "polaris-simple-induction";
     generalized_induction = false }
+
+(** [with_pipeline pl config]: run [config]'s capability set through
+    pipeline [pl].  The report label keeps the configuration name and
+    appends the pipeline's when it is not the default. *)
+let with_pipeline (pl : Registry.pipeline) (c : t) : t =
+  { c with
+    pipeline = pl;
+    name =
+      (if pl.pl_name = Registry.thorough.pl_name then c.name
+       else c.name ^ "+" ^ pl.pl_name) }

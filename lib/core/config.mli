@@ -25,6 +25,9 @@ type t = {
           on unless [POLARIS_NO_CACHE=1] is in the environment; purely a
           performance lever, verdicts and output are identical either
           way *)
+  pipeline : Registry.pipeline;
+      (** which passes run and in what order ({!Registry}); the
+          capability flags above still gate each pass individually *)
 }
 
 (** The full Polaris configuration (paper §3). *)
@@ -40,3 +43,8 @@ val without_inline : ?procs:int -> unit -> t
 (** Polaris with only classic (loop-invariant, rectangular) induction
     handling (ablation). *)
 val without_generalized_induction : ?procs:int -> unit -> t
+
+(** [with_pipeline pl config]: the same capability set run through
+    pipeline [pl]; the report label appends the pipeline name when it
+    is not the default. *)
+val with_pipeline : Registry.pipeline -> t -> t

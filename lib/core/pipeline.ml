@@ -87,6 +87,11 @@ let pp_incident ppf (i : incident) =
 let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
     ?(fault_hook : (string -> Fir.Program.t -> unit) option)
     (config : Config.t) (program : Fir.Program.t) : t =
+  (* an ill-formed pipeline is a configuration error, not a compile
+     fault: refuse up front instead of running passes out of order *)
+  (match Registry.check config.pipeline with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Pipeline.run: " ^ m));
   Util.Cachectl.with_enabled config.caches @@ fun () ->
   let obs name = match observer with Some f -> f name program | None -> () in
   let incidents = ref [] in
@@ -240,42 +245,57 @@ let run ?(strict = false) ?(observer : (string -> Fir.Program.t -> unit) option)
       None
   in
   obs "parse";
-  let inline_stats =
-    if config.inline then
-      guard ~pass:"inline" ~disables:"inline" ~consumes:Passes.Inline.consumes
-        (fun () -> Passes.Inline.run program)
-    else None
+  (* The pipeline is data ({!Registry.pipeline}), and this loop is its
+     interpreter: one dispatch arm per {!Pass_id}, each arm preserving
+     the exact gating and guard parameters the hard-coded sequence
+     used — [thorough] under the default flags is byte-identical to the
+     pre-registry compiler.  The guard's COW/rollback machinery is
+     oblivious to which passes run or in what order. *)
+  let inline_stats = ref None in
+  let inductions = ref [] in
+  let reports = ref [] in
+  let run_pass (p : Pass_id.t) =
+    let pass = Pass_id.name p in
+    let disables = Pass_id.disables p in
+    let consumes = Pass_id.consumes p in
+    match p with
+    | Pass_id.Inline ->
+      if config.inline then
+        inline_stats :=
+          guard ~pass ~disables ~consumes (fun () -> Passes.Inline.run program)
+    | Pass_id.Constprop ->
+      if config.constprop then
+        ignore
+          (guard ~pass ~disables ~consumes (fun () ->
+               Passes.Constprop.run program))
+    | Pass_id.Induction ->
+      inductions :=
+        Option.value ~default:[]
+          (guard ~pass ~disables ~consumes (fun () ->
+               Passes.Induction.run ~generalized:config.generalized_induction
+                 program))
+    | Pass_id.Constprop2 ->
+      if config.constprop && enabled "constprop" then
+        ignore
+          (guard ~pass ~disables ~consumes (fun () ->
+               Passes.Constprop.run program))
+    | Pass_id.Deadcode ->
+      if config.deadcode then
+        ignore
+          (guard ~pass ~disables ~consumes (fun () ->
+               ignore (Passes.Deadcode.run program)))
+    | Pass_id.Parallelize ->
+      reports :=
+        Option.value ~default:[]
+          (guard ~pass ~disables ~consumes (fun () ->
+               Dep.Driver.with_budget ~steps:config.budget_steps
+                 ?deadline_s:config.budget_deadline_s (fun () ->
+                   Passes.Parallelize.run ~mode:config.mode program)))
   in
-  if config.constprop then
-    ignore
-      (guard ~pass:"constprop" ~disables:"constprop"
-         ~consumes:Passes.Constprop.consumes (fun () ->
-           Passes.Constprop.run program));
-  let inductions =
-    Option.value ~default:[]
-      (guard ~pass:"induction" ~disables:"induction"
-         ~consumes:Passes.Induction.consumes (fun () ->
-           Passes.Induction.run ~generalized:config.generalized_induction
-             program))
-  in
-  if config.constprop && enabled "constprop" then
-    ignore
-      (guard ~pass:"constprop2" ~disables:"constprop"
-         ~consumes:Passes.Constprop.consumes (fun () ->
-           Passes.Constprop.run program));
-  if config.deadcode then
-    ignore
-      (guard ~pass:"deadcode" ~disables:"deadcode"
-         ~consumes:Passes.Deadcode.consumes (fun () ->
-           ignore (Passes.Deadcode.run program)));
-  let reports =
-    Option.value ~default:[]
-      (guard ~pass:"parallelize" ~disables:"parallelize"
-         ~consumes:Passes.Parallelize.consumes (fun () ->
-           Dep.Driver.with_budget ~steps:config.budget_steps
-             ?deadline_s:config.budget_deadline_s (fun () ->
-               Passes.Parallelize.run ~mode:config.mode program)))
-  in
+  List.iter run_pass config.pipeline.pl_passes;
+  let inline_stats = !inline_stats in
+  let inductions = !inductions in
+  let reports = !reports in
   let loops =
     List.concat_map
       (fun (unit_name, rs) ->

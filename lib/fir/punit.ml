@@ -57,6 +57,33 @@ let restore ~(from : t) (u : t) =
 (** All loops of the unit, outer listed before inner. *)
 let loops u = Stmt.loops u.pu_body
 
+(** Every name the body references as a scalar variable — reads,
+    writes and DO indices.  The parser only registers {e declared}
+    names in the symbol table; implicitly typed scalars materialize on
+    first {!Symtab.lookup}, so a backend that must declare every
+    symbol (a native compiler has no implicit-materialization step for
+    C, and declare-all Fortran promises completeness) unions this set
+    with {!Symtab.symbols}. *)
+let used_scalars (u : t) : string list =
+  let acc = ref [] in
+  let expr e = Expr.iter (function Var v -> acc := v :: !acc | _ -> ()) e in
+  Stmt.iter
+    (fun (s : stmt) ->
+      match s.kind with
+      | Assign (l, r) ->
+        expr l;
+        expr r
+      | If (c, _, _) | While (c, _) -> expr c
+      | Do d ->
+        acc := d.index :: !acc;
+        expr d.init;
+        expr d.limit;
+        Option.iter expr d.step
+      | Call (_, args) | Print args -> List.iter expr args
+      | Goto _ | Continue | Return | Stop -> ())
+    u.pu_body;
+  List.sort_uniq String.compare !acc
+
 (** Resolve the PARAMETER constants of the unit as an expression
     substitution (transitively resolved). *)
 let parameter_bindings u =

@@ -1,11 +1,19 @@
 (** Unparser: render the IR back to compilable Fortran source.
 
     Polaris is a source-to-source restructurer; its output is Fortran
-    annotated with parallelization directives.  We emit the analysis
-    results as [CPOLARIS$] comment directives ahead of each parallel
-    loop, in the spirit of the SGI/Cray directives Polaris targeted.
+    annotated with parallelization directives.  By default we emit the
+    analysis results as [CPOLARIS$] comment directives ahead of each
+    parallel loop, in the spirit of the SGI/Cray directives Polaris
+    targeted; the default output re-parses with {!Parser} (round-trip
+    tested) and is the fixed point the [f77] backend pins.
 
-    The output re-parses with {!Parser} (round-trip tested). *)
+    A {!mode} parameterizes the three choices the other Fortran
+    backends need ([Backend.F77_omp]): the per-loop directive text, a
+    declare-everything discipline (native compilers have no implicit
+    knowledge of our symbol table), and a display mapping over types
+    (e.g. REAL shown as DOUBLE PRECISION so gfortran's arithmetic
+    matches the interpreter's doubles).  {!default_mode} reproduces the
+    historical output byte-for-byte. *)
 
 open Fir
 open Ast
@@ -52,10 +60,30 @@ let directive (d : do_loop) =
     let spec = if info.speculative then " SPECULATIVE" else "" in
     Some (Fmt.str "CPOLARIS$ DOALL%s%s%s%s" privates lastp reds spec)
 
-let rec emit_block buf indent (b : block) =
-  List.iter (emit_stmt buf indent) b
+(** Emission mode: how loops are annotated and symbols declared. *)
+type mode = {
+  m_directive : Symtab.t -> do_loop -> string list;
+      (** comment/directive lines emitted before a DO statement; the
+          unit's symbol table is supplied so backends can distinguish
+          array from scalar names when forming clauses *)
+  m_declare_all : bool;
+      (** declare every symbol explicitly (native-compiler discipline)
+          instead of only those the implicit rules would mistype *)
+  m_display_type : base_type -> base_type;
+      (** display mapping applied to declarations and FUNCTION result
+          types (identity in the default mode) *)
+}
 
-and emit_stmt buf indent (s : stmt) =
+let default_mode =
+  { m_directive =
+      (fun _ d -> match directive d with Some s -> [ s ] | None -> []);
+    m_declare_all = false;
+    m_display_type = (fun t -> t) }
+
+let rec emit_block mode symtab buf indent (b : block) =
+  List.iter (emit_stmt mode symtab buf indent) b
+
+and emit_stmt mode symtab buf indent (s : stmt) =
   let pad = String.make indent ' ' in
   let line ?(label = s.label) text =
     buf_add buf (label_field label);
@@ -67,27 +95,25 @@ and emit_stmt buf indent (s : stmt) =
   | Assign (l, r) -> line (Fmt.str "%a = %a" Expr.pp l Expr.pp r)
   | If (c, t, []) ->
     line (Fmt.str "IF (%a) THEN" Expr.pp c);
-    emit_block buf (indent + 2) t;
+    emit_block mode symtab buf (indent + 2) t;
     line ~label:None "END IF"
   | If (c, t, e) ->
     line (Fmt.str "IF (%a) THEN" Expr.pp c);
-    emit_block buf (indent + 2) t;
+    emit_block mode symtab buf (indent + 2) t;
     line ~label:None "ELSE";
-    emit_block buf (indent + 2) e;
+    emit_block mode symtab buf (indent + 2) e;
     line ~label:None "END IF"
   | Do d ->
-    (match directive d with
-    | Some dir -> buf_add buf (dir ^ "\n")
-    | None -> ());
+    List.iter (fun dir -> buf_add buf (dir ^ "\n")) (mode.m_directive symtab d);
     let step =
       match d.step with Some e -> Fmt.str ", %s" (Expr.to_string e) | None -> ""
     in
     line (Fmt.str "DO %s = %a, %a%s" d.index Expr.pp d.init Expr.pp d.limit step);
-    emit_block buf (indent + 2) d.body;
+    emit_block mode symtab buf (indent + 2) d.body;
     line ~label:None "END DO"
   | While (c, b) ->
     line (Fmt.str "DO WHILE (%a)" Expr.pp c);
-    emit_block buf (indent + 2) b;
+    emit_block mode symtab buf (indent + 2) b;
     line ~label:None "END DO"
   | Call (n, []) -> line (Fmt.str "CALL %s" n)
   | Call (n, args) ->
@@ -99,7 +125,7 @@ and emit_stmt buf indent (s : stmt) =
   | Print args ->
     line (Fmt.str "PRINT *, %a" Fmt.(list ~sep:(any ", ") Expr.pp) args)
 
-let emit_declarations buf (u : Punit.t) =
+let emit_declarations mode buf (u : Punit.t) =
   let pad = "      " in
   let dim_to_string (lo, hi) =
     match lo with
@@ -112,21 +138,45 @@ let emit_declarations buf (u : Punit.t) =
       Fmt.str "%s(%s)" s.sym_name
         (String.concat ", " (List.map dim_to_string s.sym_dims))
   in
-  (* explicit type declarations for every symbol, grouped by type *)
+  (* explicit type declarations, grouped by (displayed) type.  In
+     declare-all mode the symbol table is unioned with the names the
+     body actually uses: implicitly typed scalars are only materialized
+     in the table on first lookup, and "declare everything" must cover
+     them too. *)
   let syms = Symtab.symbols u.pu_symtab in
+  let syms =
+    if not mode.m_declare_all then syms
+    else
+      let known = List.map (fun (s : symbol) -> s.sym_name) syms in
+      let extra =
+        Punit.used_scalars u
+        |> List.filter (fun v -> not (List.mem v known))
+        |> List.map (fun v -> Symtab.mk_symbol v)
+      in
+      List.sort
+        (fun (a : symbol) b -> String.compare a.sym_name b.sym_name)
+        (syms @ extra)
+  in
   let groups =
     [ Integer; Real; Double_precision; Complex; Logical; Character ]
   in
   List.iter
     (fun typ ->
-      let here = List.filter (fun s -> s.sym_type = typ) syms in
+      let here =
+        List.filter (fun s -> mode.m_display_type s.sym_type = typ) syms
+      in
       (* only emit symbols that need declaring: arrays, or type differing
-         from the implicit rule, or parameters (declared below) *)
+         from the implicit rule, or parameters (declared below) — unless
+         the mode declares everything *)
       let need =
         List.filter
           (fun s ->
             s.sym_param = None
-            && (s.sym_dims <> [] || Symtab.implicit_type s.sym_name <> typ))
+            && (mode.m_declare_all || s.sym_dims <> []
+               || Symtab.implicit_type s.sym_name <> s.sym_type)
+            (* declare-all mode must not redeclare the function result:
+               the FUNCTION statement already carries its type *)
+            && not (mode.m_declare_all && s.sym_name = u.pu_name))
           here
       in
       if need <> [] then begin
@@ -142,9 +192,13 @@ let emit_declarations buf (u : Punit.t) =
     (fun s ->
       match s.sym_param with
       | Some v ->
-        if Symtab.implicit_type s.sym_name <> s.sym_type then begin
+        if mode.m_declare_all || Symtab.implicit_type s.sym_name <> s.sym_type
+        then begin
           buf_add buf pad;
-          buf_add buf (Fmt.str "%s %s\n" (base_type_to_string s.sym_type) s.sym_name)
+          buf_add buf
+            (Fmt.str "%s %s\n"
+               (base_type_to_string (mode.m_display_type s.sym_type))
+               s.sym_name)
         end;
         buf_add buf pad;
         buf_add buf (Fmt.str "PARAMETER (%s = %s)\n" s.sym_name (Expr.to_string v))
@@ -167,7 +221,7 @@ let emit_declarations buf (u : Punit.t) =
         (Fmt.str "COMMON /%s/ %s\n" blk (String.concat ", " (List.rev members))))
     commons
 
-let emit_unit buf (u : Punit.t) =
+let emit_unit ?(mode = default_mode) buf (u : Punit.t) =
   let pad = "      " in
   let args =
     if u.pu_args = [] then "" else Fmt.str "(%s)" (String.concat ", " u.pu_args)
@@ -177,22 +231,24 @@ let emit_unit buf (u : Punit.t) =
   | Subroutine -> buf_add buf (Fmt.str "%sSUBROUTINE %s%s\n" pad u.pu_name args)
   | Function typ ->
     buf_add buf
-      (Fmt.str "%s%s FUNCTION %s%s\n" pad (base_type_to_string typ) u.pu_name args));
-  emit_declarations buf u;
-  emit_block buf 0 u.pu_body;
+      (Fmt.str "%s%s FUNCTION %s%s\n" pad
+         (base_type_to_string (mode.m_display_type typ))
+         u.pu_name args));
+  emit_declarations mode buf u;
+  emit_block mode u.pu_symtab buf 0 u.pu_body;
   buf_add buf (pad ^ "END\n")
 
 (** Render a whole program as Fortran source text. *)
-let program_to_string (p : Program.t) =
+let program_to_string ?(mode = default_mode) (p : Program.t) =
   let buf = Buffer.create 4096 in
   List.iteri
     (fun i u ->
       if i > 0 then buf_add buf "\n";
-      emit_unit buf u)
+      emit_unit ~mode buf u)
     (Program.units p);
   Buffer.contents buf
 
-let unit_to_string (u : Punit.t) =
+let unit_to_string ?(mode = default_mode) (u : Punit.t) =
   let buf = Buffer.create 1024 in
-  emit_unit buf u;
+  emit_unit ~mode buf u;
   Buffer.contents buf

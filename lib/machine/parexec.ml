@@ -74,6 +74,19 @@ type spec_event = {
           failure path; [[]] when the speculation succeeded *)
 }
 
+(** What one executed DOALL region actually privatized and reduced —
+    the runtime half of the clause-equality contract: the OpenMP
+    backends must emit exactly these sets ({!doall_private_set} is the
+    single shared source of truth; [test/test_backend.ml] asserts the
+    equality per suite code). *)
+type region_info = {
+  ri_sid : int;                 (** loop statement id *)
+  ri_index : string;            (** loop index variable *)
+  ri_privates : string list;    (** names rebound to per-domain copies *)
+  ri_lastprivates : string list;     (** subset copied out by last value *)
+  ri_reductions : (string * Ast.reduction_op) list;
+}
+
 type stats = {
   mutable regions : int;        (** parallel regions executed for real *)
   mutable par_iters : int;      (** iterations executed on worker domains *)
@@ -82,11 +95,13 @@ type stats = {
   mutable spec_success : int;
   mutable spec_failures : int;  (** restored + re-executed sequentially *)
   mutable events : spec_event list;  (** newest first *)
+  mutable region_infos : region_info list;
+      (** per-DOALL-region privatization/reduction records, newest first *)
 }
 
 let fresh_stats () =
   { regions = 0; par_iters = 0; serial_loops = 0; spec_attempts = 0;
-    spec_success = 0; spec_failures = 0; events = [] }
+    spec_success = 0; spec_failures = 0; events = []; region_infos = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Worker team                                                         *)
@@ -514,15 +529,26 @@ let merge_reductions (fr : Interp.frame) (reductions : reduction list)
 (* ------------------------------------------------------------------ *)
 (* The DOALL path                                                      *)
 
-(* written scalars not covered by the annotations still need private
-   copies: a write-only scalar (e.g. a temporary the liveness pass
-   proved dead) written directly to the shared cell would race *)
-let written_scalars (st : Interp.state) (fr : Interp.frame) (d : do_loop) =
-  List.filter
-    (fun v ->
-      (not (String.equal v d.index))
-      && (Interp.binding_for st fr v).dims = [])
-    (Stmt.assigned_names d.body)
+(* The definitive DOALL private set, shared between the executor and
+   the OpenMP-emitting backends ([lib/backend]): the pass annotations
+   (privates + lastprivates) plus every written scalar not covered by
+   them — a write-only scalar (e.g. a temporary the liveness pass
+   proved dead) written directly to the shared cell would race —
+   minus the reduction variables and the loop index.  [is_array]
+   abstracts over how the caller classifies names (runtime bindings
+   here, the symbol table in the backends), so both compute the same
+   set from the same loop by construction. *)
+let doall_private_set ~(is_array : string -> bool) (d : do_loop) : string list =
+  let red_vars = List.map (fun (r : reduction) -> r.red_var) d.info.reductions in
+  let written_scalars =
+    List.filter
+      (fun v -> (not (String.equal v d.index)) && not (is_array v))
+      (Stmt.assigned_names d.body)
+  in
+  List.sort_uniq String.compare
+    (d.info.privates @ d.info.lastprivates @ written_scalars)
+  |> List.filter (fun v ->
+         (not (List.mem v red_vars)) && not (String.equal v d.index))
 
 let exec_doall (t : t) (st : Interp.state) (fr : Interp.frame) sid
     (d : do_loop) ~init ~step ~trips =
@@ -530,12 +556,10 @@ let exec_doall (t : t) (st : Interp.state) (fr : Interp.frame) sid
   (* pre-bind every name the region can touch: after this, no child
      lookup mutates shared tables *)
   List.iter (fun n -> ignore (Interp.binding_for st fr n)) (loop_names d);
-  let red_vars = List.map (fun (r : reduction) -> r.red_var) d.info.reductions in
   let privates =
-    List.sort_uniq String.compare
-      (d.info.privates @ d.info.lastprivates @ written_scalars st fr d)
-    |> List.filter (fun v ->
-           (not (List.mem v red_vars)) && not (String.equal v d.index))
+    doall_private_set
+      ~is_array:(fun v -> (Interp.binding_for st fr v).dims <> [])
+      d
   in
   let children =
     Array.init p (fun j ->
@@ -557,6 +581,14 @@ let exec_doall (t : t) (st : Interp.state) (fr : Interp.frame) sid
   Storage.write_elem idx_b.view 0 (Value.Int (init + (trips * step)));
   t.stats.regions <- t.stats.regions + 1;
   t.stats.par_iters <- t.stats.par_iters + trips;
+  t.stats.region_infos <-
+    { ri_sid = sid; ri_index = d.index; ri_privates = privates;
+      ri_lastprivates =
+        List.filter (fun v -> List.mem v privates) d.info.lastprivates;
+      ri_reductions =
+        List.map (fun (r : reduction) -> (r.red_var, r.red_op))
+          d.info.reductions }
+    :: t.stats.region_infos;
   Interp.Normal
 
 (* ------------------------------------------------------------------ *)

@@ -96,13 +96,14 @@ let roundtrip t req =
 (* ------------------------------------------------------------------ *)
 (* Convenience requests                                                *)
 
-let compile_source t ?(check = false) ?(baseline = false) ~label source :
-    (Protocol.compile_reply, string) result =
+let compile_source t ?(check = false) ?(baseline = false) ?(pipeline = "")
+    ?(backend = "") ~label source : (Protocol.compile_reply, string) result =
   match
     roundtrip t
       (Protocol.Compile
          { cr_label = label; cr_source = source; cr_check = check;
-           cr_baseline = baseline })
+           cr_baseline = baseline; cr_pipeline = pipeline;
+           cr_backend = backend })
   with
   | Ok (Protocol.Compiled r) -> Ok r
   | Ok (Protocol.Error_r m) -> Error m
@@ -113,11 +114,12 @@ let compile_source t ?(check = false) ?(baseline = false) ~label source :
 
 (** Read [path] locally and compile it on the daemon.  An unreadable
     path is a per-file [Error], never a session abort. *)
-let compile_path t ?check ?baseline (path : string) :
+let compile_path t ?check ?baseline ?pipeline ?backend (path : string) :
     (Protocol.compile_reply, string) result =
   match Local.read_file path with
   | exception Sys_error msg -> Error msg
-  | source -> compile_source t ?check ?baseline ~label:path source
+  | source ->
+    compile_source t ?check ?baseline ?pipeline ?backend ~label:path source
 
 let stats t : (string, string) result =
   match roundtrip t Protocol.Stats with
@@ -155,8 +157,8 @@ let backoff_s attempt = Float.min 1.0 (0.05 *. Float.pow 2.0 (float_of_int (atte
     [Compiled] and [Error_r] are final.  Determinism makes the resend
     safe: a retried compile yields a byte-identical result. *)
 let compile_retry ?(retries = 0) ?deadline_s ?io ?(connect_wait_s = 5.0)
-    ?(check = false) ?(baseline = false) ~socket ~label source :
-    (Protocol.compile_reply, string) result =
+    ?(check = false) ?(baseline = false) ?(pipeline = "") ?(backend = "")
+    ~socket ~label source : (Protocol.compile_reply, string) result =
   let attempts = 1 + max 0 retries in
   let rec go n last_err =
     if n > attempts then
@@ -174,7 +176,8 @@ let compile_retry ?(retries = 0) ?deadline_s ?io ?(connect_wait_s = 5.0)
             roundtrip t
               (Protocol.Compile
                  { cr_label = label; cr_source = source; cr_check = check;
-                   cr_baseline = baseline })
+                   cr_baseline = baseline; cr_pipeline = pipeline;
+                   cr_backend = backend })
           with
           | Ok (Protocol.Compiled r) -> `Final (Ok r)
           | Ok (Protocol.Error_r m) -> `Final (Error m)  (* deterministic *)

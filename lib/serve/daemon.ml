@@ -64,6 +64,11 @@ type cfg = {
   d_store_dir : string option;  (** persistent store directory (None = off) *)
   d_max_cache_mb : int;
   d_baseline : bool;            (** serve the baseline pipeline instead *)
+  d_pipeline : Core.Registry.pipeline option;
+      (** default pass pipeline served to requests that do not carry
+          their own ([None] = the configuration's own, i.e. thorough) *)
+  d_backend : Backend.Registry.t option;
+      (** default emission backend ([None] = the f77 unparser) *)
   d_jobs : int;                 (** worker domains per compile *)
   d_max_inflight : int;
       (** compile requests executed concurrently (from distinct
@@ -99,6 +104,8 @@ let default_cfg () =
     d_store_dir = Util.Env.cache_dir;
     d_max_cache_mb = Util.Env.max_cache_mb;
     d_baseline = false;
+    d_pipeline = None;
+    d_backend = None;
     d_jobs = Util.Pool.jobs ();
     d_max_inflight = Util.Env.max_inflight;
     d_budget_steps = None;
@@ -259,13 +266,39 @@ let compile_error msg =
   { k_resp = Protocol.Error_r msg; k_incidents = 0; k_shared_hits = 0;
     k_shared_lookups = 0; k_tracked_hits = 0; k_tracked_lookups = 0 }
 
-let compile_response st (c : Protocol.compile_req) : compile_done =
-  let config =
-    if c.cr_baseline then Core.Config.baseline ~procs:8 () else st.st_config
+(* per-request pipeline/backend resolution: an unknown name in a
+   request is an application error ([Error_r] — deterministic, not
+   retryable), never a daemon fault; "" picks the daemon's default *)
+let resolve_config st (c : Protocol.compile_req) :
+    (Core.Config.t, string) result =
+  let base =
+    if c.cr_baseline then
+      let b = Core.Config.baseline ~procs:8 () in
+      match st.st_cfg.d_pipeline with
+      | Some pl -> Core.Config.with_pipeline pl b
+      | None -> b
+    else st.st_config
   in
+  if c.cr_pipeline = "" then Ok base
+  else
+    match Core.Registry.parse c.cr_pipeline with
+    | Ok pl -> Ok (Core.Config.with_pipeline pl base)
+    | Error m -> Error m
+
+let resolve_backend st (c : Protocol.compile_req) :
+    (Backend.Registry.t, string) result =
+  if c.cr_backend = "" then
+    Ok (Option.value st.st_cfg.d_backend ~default:Backend.Registry.default)
+  else Backend.Registry.find c.cr_backend
+
+let compile_response st (c : Protocol.compile_req) : compile_done =
+  match (resolve_config st c, resolve_backend st c) with
+  | Error m, _ | _, Error m -> compile_error m
+  | Ok config, Ok backend -> (
   match
     Local.compile_source ?budget_steps:st.st_cfg.d_budget_steps
-      ?deadline_s:st.st_cfg.d_deadline_s ~check:c.cr_check config c.cr_source
+      ?deadline_s:st.st_cfg.d_deadline_s ~check:c.cr_check ~backend config
+      c.cr_source
   with
   | compiled ->
     let r = compiled.lc_result in
@@ -273,7 +306,7 @@ let compile_response st (c : Protocol.compile_req) : compile_done =
     { k_resp =
         Protocol.Compiled
           { co_label = c.cr_label;
-            co_output = r.outcome.oc_output;
+            co_output = compiled.lc_output;
             co_verdicts = compiled.lc_verdicts;
             co_incidents = incidents;
             co_reuse_rate = r.stats.st_reuse_rate;
@@ -290,7 +323,7 @@ let compile_response st (c : Protocol.compile_req) : compile_done =
   | exception Frontend.Parser.Error m -> compile_error ("syntax error: " ^ m)
   | exception e ->
     (* contained: the request failed, the session and server live on *)
-    compile_error ("compile failed: " ^ Printexc.to_string e)
+    compile_error ("compile failed: " ^ Printexc.to_string e))
 
 (* fold a finished compile into the session/server metrics (select loop
    only) and hand back its response *)
@@ -714,8 +747,13 @@ let run ?(signals = false) ?(stop = Atomic.make false) ?on_ready (cfg : cfg) :
   let st =
     { st_cfg = cfg;
       st_config =
-        (if cfg.d_baseline then Core.Config.baseline ~procs:8 ()
-         else Core.Config.polaris ~procs:8 ());
+        (let base =
+           if cfg.d_baseline then Core.Config.baseline ~procs:8 ()
+           else Core.Config.polaris ~procs:8 ()
+         in
+         match cfg.d_pipeline with
+         | Some pl -> Core.Config.with_pipeline pl base
+         | None -> base);
       st_store = store;
       st_sv = Metrics.server ~now:now0;
       st_sessions = [];

@@ -14,6 +14,9 @@
 (** Everything one compile request produced. *)
 type compiled = {
   lc_result : Core.Incremental.result;
+  lc_output : string;
+      (** the emitted output source in the requested backend; equals
+          [lc_result.outcome.oc_output] for the default [f77] backend *)
   lc_verdicts : string list;       (** sid-masked, one line per loop *)
   lc_shared_hits : int;            (** persistent-cache hits of this compile *)
   lc_shared_lookups : int;
@@ -47,9 +50,14 @@ let with_shared_delta f =
 (** Compile [source] incrementally (warm caches), optionally verifying
     against a from-scratch compile.  [budget_steps]/[deadline_s] bound
     this one request's dependence analysis — exhaustion degrades
-    verdicts to safe serial, it never faults the session. *)
+    verdicts to safe serial, it never faults the session.  [backend]
+    selects the emission target of [lc_output] (default: the f77
+    unparser output the incremental engine already rendered); check
+    divergence detection always compares the engine's canonical f77
+    output, so the check verdict is backend-independent. *)
 let compile_source ?strict ?budget_steps ?deadline_s ?(check = false)
-    (config : Core.Config.t) (source : string) : compiled =
+    ?(backend = Backend.Registry.default) (config : Core.Config.t)
+    (source : string) : compiled =
   let t0 = Unix.gettimeofday () in
   let (result : Core.Incremental.result), lc_shared_hits, lc_shared_lookups =
     with_shared_delta (fun () ->
@@ -67,7 +75,13 @@ let compile_source ?strict ?budget_steps ?deadline_s ?(check = false)
       Core.Incremental.diverges ~incremental:result.outcome
         ~scratch:fresh.outcome
   in
+  let lc_output =
+    if backend.Backend.Registry.b_name = Backend.Registry.default.b_name then
+      result.outcome.oc_output
+    else backend.b_emit result.pipeline.Core.Pipeline.program
+  in
   { lc_result = result;
+    lc_output;
     lc_verdicts = render_verdicts result.outcome;
     lc_shared_hits; lc_shared_lookups; lc_wall_s; lc_check_divergences }
 
@@ -84,13 +98,14 @@ let read_file path =
     on with the remaining files and the caller reports a non-zero exit
     at the end.  Compiler-internal faults still propagate — they are
     bugs, not inputs. *)
-let compile_path ?strict ?budget_steps ?deadline_s ?check
+let compile_path ?strict ?budget_steps ?deadline_s ?check ?backend
     (config : Core.Config.t) (path : string) : (compiled, string) result =
   match read_file path with
   | exception Sys_error msg -> Error msg
   | source -> (
     match
-      compile_source ?strict ?budget_steps ?deadline_s ?check config source
+      compile_source ?strict ?budget_steps ?deadline_s ?check ?backend config
+        source
     with
     | c -> Ok c
     | exception Frontend.Lexer.Error m -> Error (path ^ ": lexical error: " ^ m)

@@ -24,8 +24,11 @@
 
     Requests: [Compile] carries the {e source text} (the client reads
     the file, keeping the daemon independent of the client's
-    filesystem), a label for reporting, and a [check] flag asking the
-    daemon to verify the compile against a from-scratch one.  [Stats]
+    filesystem), a label for reporting, a [check] flag asking the
+    daemon to verify the compile against a from-scratch one, and
+    optional pass-pipeline / emission-backend overrides (empty strings
+    pick the daemon's defaults; the daemon resolves the names against
+    its registries and answers [Error_r] for unknown ones).  [Stats]
     asks for the server's observability report.  [Ping] is a liveness
     probe answered with [Pong].  [Shutdown] asks for a graceful
     drain-flush-exit.
@@ -61,6 +64,14 @@ type compile_req = {
   cr_source : string;  (** full Fortran source text *)
   cr_check : bool;     (** verify against a from-scratch compile *)
   cr_baseline : bool;  (** use the baseline (PFA-like) pipeline *)
+  cr_pipeline : string;
+      (** pass-pipeline spec (a preset name or [custom:p1,p2,...]),
+          resolved against {!Core.Registry} on the daemon; [""] means
+          the daemon's default.  An unknown spec is an application
+          error ([Error_r]), not a protocol violation. *)
+  cr_backend : string;
+      (** emission backend name, resolved against {!Backend.Registry}
+          on the daemon; [""] means the daemon's default *)
 }
 
 type request = Compile of compile_req | Stats | Ping | Shutdown
@@ -188,6 +199,8 @@ let encode_request (r : request) : string =
     add_str buf c.cr_label;
     add_bool buf c.cr_check;
     add_bool buf c.cr_baseline;
+    add_str buf c.cr_pipeline;
+    add_str buf c.cr_backend;
     add_str buf c.cr_source
   | Stats -> Buffer.add_char buf 'S'
   | Ping -> Buffer.add_char buf 'P'
@@ -202,8 +215,11 @@ let decode_request (payload : string) : request =
       let cr_label = get_str c "compile label" in
       let cr_check = get_bool c "compile check flag" in
       let cr_baseline = get_bool c "compile baseline flag" in
+      let cr_pipeline = get_str c "compile pipeline spec" in
+      let cr_backend = get_str c "compile backend name" in
       let cr_source = get_str c "compile source" in
-      Compile { cr_label; cr_source; cr_check; cr_baseline }
+      Compile { cr_label; cr_source; cr_check; cr_baseline;
+                cr_pipeline; cr_backend }
     | 'S' -> Stats
     | 'P' -> Ping
     | 'Q' -> Shutdown

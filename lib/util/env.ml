@@ -120,6 +120,48 @@ let parse_procs raw : (int, string) result =
     Error (Printf.sprintf "expected a processor count >= 1, got %d" n)
   | Some n -> Ok (if n > max_runtime_procs then max_runtime_procs else n)
 
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let is_name s = s <> "" && String.for_all is_name_char s
+
+(** [parse_pipeline_spec raw]: the {e syntax} of a pipeline spec — a
+    preset name, or [custom:pass1,pass2,...] with non-empty pass names.
+    Resolution against the pass registry (which lives above [Util])
+    happens at the use site via [Core.Registry.parse]; this layer only
+    rejects strings that cannot be any pipeline, so a typo warns here
+    instead of surfacing as a confusing registry error. *)
+let parse_pipeline_spec raw : (string, string) result =
+  let t = String.trim raw in
+  if t = "" then Error "expected a pipeline name or custom:p1,p2,..."
+  else
+    match String.index_opt t ':' with
+    | None ->
+      if is_name t then Ok t
+      else Error (Printf.sprintf "expected a pipeline name, got %S" t)
+    | Some i ->
+      let head = String.sub t 0 i in
+      let tail = String.sub t (i + 1) (String.length t - i - 1) in
+      if String.lowercase_ascii head <> "custom" then
+        Error (Printf.sprintf "expected 'custom:...', got %S" t)
+      else
+        let passes =
+          List.map String.trim (String.split_on_char ',' tail)
+          |> List.filter (fun s -> s <> "")
+        in
+        if passes = [] then Error "custom: pipeline lists no passes"
+        else if List.for_all is_name passes then Ok t
+        else Error (Printf.sprintf "malformed pass name in %S" t)
+
+(** [parse_backend_name raw]: the syntax of a backend name (the
+    registry in [lib/backend] resolves it).  Lower-cased, so
+    [POLARIS_BACKEND=F77-OMP] works. *)
+let parse_backend_name raw : (string, string) result =
+  let t = String.lowercase_ascii (String.trim raw) in
+  if is_name t then Ok t
+  else Error (Printf.sprintf "expected a backend name, got %S" raw)
+
 let read var ~default parse =
   match Sys.getenv_opt var with
   | None -> default
@@ -172,6 +214,18 @@ let socket : string option = read_opt "POLARIS_SOCKET" parse_path
     modeled machine size).  Deliberately distinct from [POLARIS_JOBS]:
     compile-side pool state must not leak into runtime execution. *)
 let runtime_procs : int option = read_opt "POLARIS_RUNTIME_PROCS" parse_procs
+
+(** Parsed [POLARIS_PIPELINE]: default pass pipeline for compiles that
+    don't say otherwise ([None] = the built-in [thorough] preset).
+    Syntax-checked here; resolved against the pass registry at the use
+    site, which warns and falls back to the default on unknown
+    names. *)
+let pipeline : string option = read_opt "POLARIS_PIPELINE" parse_pipeline_spec
+
+(** Parsed [POLARIS_BACKEND]: default emission backend ([None] = f77).
+    Same split as [pipeline]: syntax here, registry resolution at the
+    use site. *)
+let backend : string option = read_opt "POLARIS_BACKEND" parse_backend_name
 
 (** Parsed [POLARIS_MAX_SESSIONS]: the daemon's concurrent-session
     admission cap; connections beyond it are shed with a [Busy]

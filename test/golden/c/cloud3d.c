@@ -1,0 +1,190 @@
+#include <math.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* exponentiation helpers mirroring the interpreter's Value.pow */
+static int ipow_ii(int b, int e) {
+  if (e >= 0) { int r = 1; while (e-- > 0) r *= b; return r; }
+  if (b == 1) return 1;
+  if (b == -1) return (e % 2 == 0) ? 1 : -1;
+  return 0;
+}
+static double dpow_i(double b, int e) {
+  if (e >= 0) { double r = 1.0; while (e-- > 0) r *= b; return r; }
+  return pow(b, (double)e);
+}
+static int imax_(int a, int b) { return a >= b ? a : b; }
+static int imin_(int a, int b) { return a <= b ? a : b; }
+static double dmax_(double a, double b) { return a >= b ? a : b; }
+static double dmin_(double a, double b) { return a <= b ? a : b; }
+static double dsign_(double a, double b) {
+  double m = fabs(a);
+  return b < 0.0 ? -m : m;
+}
+static int isign_(int a, int b) { return (int)dsign_((double)a, (double)b); }
+
+
+int main(void) {
+  double CHECK = 0;
+  double COL[40];
+  memset(COL, 0, sizeof COL);
+  int I = 0;
+  int IT = 0;
+  int K = 0;
+  double QV[1920];
+  memset(QV, 0, sizeof QV);
+  double RES = 0;
+  int T = 0;
+  double TH[1920];
+  memset(TH, 0, sizeof TH);
+  {
+    const int init_1 = (int)(1);
+    const int lim_1 = (int)(40);
+    const int step_1 = 1;
+    int n_1 = (lim_1 - init_1 + step_1) / step_1;
+    if (n_1 < 0) n_1 = 0;
+    if (n_1 > 0) {
+#pragma omp parallel for private(K) lastprivate(I)
+      for (int k_1 = 0; k_1 < n_1; k_1++) {
+        K = init_1 + k_1 * step_1;
+        {
+          const int init_2 = (int)(1);
+          const int lim_2 = (int)(48);
+          const int step_2 = 1;
+          int n_2 = (lim_2 - init_2 + step_2) / step_2;
+          if (n_2 < 0) n_2 = 0;
+          if (n_2 > 0) {
+#pragma omp parallel for private(I)
+            for (int k_2 = 0; k_2 < n_2; k_2++) {
+              I = init_2 + k_2 * step_2;
+              TH[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] = ((290.0 + (0.1 * K)) + (0.01 * I));
+              QV[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] = (0.01 + (0.0001 * I));
+            }
+          }
+          I = init_2 + n_2 * step_2;
+        }
+      }
+    }
+    K = init_1 + n_1 * step_1;
+  }
+  {
+    const int init_3 = (int)(1);
+    const int lim_3 = (int)(4);
+    const int step_3 = 1;
+    int n_3 = (lim_3 - init_3 + step_3) / step_3;
+    if (n_3 < 0) n_3 = 0;
+    for (int k_3 = 0; k_3 < n_3; k_3++) {
+      T = init_3 + k_3 * step_3;
+      {
+        const int init_4 = (int)(2);
+        const int lim_4 = (int)(39);
+        const int step_4 = 1;
+        int n_4 = (lim_4 - init_4 + step_4) / step_4;
+        if (n_4 < 0) n_4 = 0;
+        for (int k_4 = 0; k_4 < n_4; k_4++) {
+          K = init_4 + k_4 * step_4;
+          {
+            const int init_5 = (int)(2);
+            const int lim_5 = (int)(47);
+            const int step_5 = 1;
+            int n_5 = (lim_5 - init_5 + step_5) / step_5;
+            if (n_5 < 0) n_5 = 0;
+            for (int k_5 = 0; k_5 < n_5; k_5++) {
+              I = init_5 + k_5 * step_5;
+              TH[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] = (TH[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] + (0.02 * ((((TH[((int)((I + 1)) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] + TH[((int)((I - 1)) - 1) + (48 - 1 + 1) * (((int)(K) - 1))]) + TH[((int)(I) - 1) + (48 - 1 + 1) * (((int)((K + 1)) - 1))]) + TH[((int)(I) - 1) + (48 - 1 + 1) * (((int)((K - 1)) - 1))]) - (4.0 * TH[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))]))));
+            }
+            I = init_5 + n_5 * step_5;
+          }
+        }
+        K = init_4 + n_4 * step_4;
+      }
+      {
+        const int init_6 = (int)(2);
+        const int lim_6 = (int)(47);
+        const int step_6 = 1;
+        int n_6 = (lim_6 - init_6 + step_6) / step_6;
+        if (n_6 < 0) n_6 = 0;
+        if (n_6 > 0) {
+#pragma omp parallel for private(I, COL) lastprivate(K)
+          for (int k_6 = 0; k_6 < n_6; k_6++) {
+            I = init_6 + k_6 * step_6;
+            {
+              const int init_7 = (int)(1);
+              const int lim_7 = (int)(40);
+              const int step_7 = 1;
+              int n_7 = (lim_7 - init_7 + step_7) / step_7;
+              if (n_7 < 0) n_7 = 0;
+              if (n_7 > 0) {
+#pragma omp parallel for private(K)
+                for (int k_7 = 0; k_7 < n_7; k_7++) {
+                  K = init_7 + k_7 * step_7;
+                  COL[((int)(K) - 1)] = (TH[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] * (1.0 + QV[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))]));
+                }
+              }
+              K = init_7 + n_7 * step_7;
+            }
+            {
+              const int init_8 = (int)(2);
+              const int lim_8 = (int)(39);
+              const int step_8 = 1;
+              int n_8 = (lim_8 - init_8 + step_8) / step_8;
+              if (n_8 < 0) n_8 = 0;
+              if (n_8 > 0) {
+#pragma omp parallel for private(K)
+                for (int k_8 = 0; k_8 < n_8; k_8++) {
+                  K = init_8 + k_8 * step_8;
+                  QV[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] = (QV[((int)(I) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] + (0.0001 * (COL[((int)((K + 1)) - 1)] - COL[((int)((K - 1)) - 1)])));
+                }
+              }
+              K = init_8 + n_8 * step_8;
+            }
+          }
+        }
+        I = init_6 + n_6 * step_6;
+      }
+      IT = 0;
+      RES = 1.0;
+L10: ;
+      IT = (IT + 1);
+      RES = (RES * 0.5);
+      {
+        const int init_9 = (int)(2);
+        const int lim_9 = (int)((40 - 1));
+        const int step_9 = 1;
+        int n_9 = (lim_9 - init_9 + step_9) / step_9;
+        if (n_9 < 0) n_9 = 0;
+        if (n_9 > 0) {
+#pragma omp parallel for private(K)
+          for (int k_9 = 0; k_9 < n_9; k_9++) {
+            K = init_9 + k_9 * step_9;
+            TH[((int)(24) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] = (TH[((int)(24) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] + (RES * 0.001));
+          }
+        }
+        K = init_9 + n_9 * step_9;
+      }
+      if (((IT < 5) && (RES > 0.01))) {
+        goto L10;
+      }
+    }
+    T = init_3 + n_3 * step_3;
+  }
+  CHECK = 0.0;
+  {
+    const int init_10 = (int)(1);
+    const int lim_10 = (int)(40);
+    const int step_10 = 1;
+    int n_10 = (lim_10 - init_10 + step_10) / step_10;
+    if (n_10 < 0) n_10 = 0;
+    if (n_10 > 0) {
+#pragma omp parallel for private(K) reduction(+:CHECK)
+      for (int k_10 = 0; k_10 < n_10; k_10++) {
+        K = init_10 + k_10 * step_10;
+        CHECK = ((CHECK + TH[((int)(24) - 1) + (48 - 1 + 1) * (((int)(K) - 1))]) + (QV[((int)(24) - 1) + (48 - 1 + 1) * (((int)(K) - 1))] * 100.0));
+      }
+    }
+    K = init_10 + n_10 * step_10;
+  }
+  printf("%g\n", CHECK);
+  return 0;
+}

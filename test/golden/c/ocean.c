@@ -1,0 +1,197 @@
+#include <math.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* exponentiation helpers mirroring the interpreter's Value.pow */
+static int ipow_ii(int b, int e) {
+  if (e >= 0) { int r = 1; while (e-- > 0) r *= b; return r; }
+  if (b == 1) return 1;
+  if (b == -1) return (e % 2 == 0) ? 1 : -1;
+  return 0;
+}
+static double dpow_i(double b, int e) {
+  if (e >= 0) { double r = 1.0; while (e-- > 0) r *= b; return r; }
+  return pow(b, (double)e);
+}
+static int imax_(int a, int b) { return a >= b ? a : b; }
+static int imin_(int a, int b) { return a <= b ? a : b; }
+static double dmax_(double a, double b) { return a >= b ? a : b; }
+static double dmin_(double a, double b) { return a <= b ? a : b; }
+static double dsign_(double a, double b) {
+  double m = fabs(a);
+  return b < 0.0 ? -m : m;
+}
+static int isign_(int a, int b) { return (int)dsign_((double)a, (double)b); }
+
+static int C_GRID_X;
+static void FTRVMT(double *A, int *Z);
+
+int main(void) {
+  double A[12000];
+  memset(A, 0, sizeof A);
+  double CHECK = 0;
+  int FTRVMT_I = 0;
+  int FTRVMT_J = 0;
+  int FTRVMT_K = 0;
+  int I = 0;
+  int K = 0;
+  int T = 0;
+  int Z[16];
+  memset(Z, 0, sizeof Z);
+  C_GRID_X = 4;
+  {
+    const int init_1 = (int)(0);
+    const int lim_1 = (int)(3);
+    const int step_1 = 1;
+    int n_1 = (lim_1 - init_1 + step_1) / step_1;
+    if (n_1 < 0) n_1 = 0;
+    if (n_1 > 0) {
+#pragma omp parallel for private(K)
+      for (int k_1 = 0; k_1 < n_1; k_1++) {
+        K = init_1 + k_1 * step_1;
+        Z[(int)(K)] = (5 + K);
+      }
+    }
+    K = init_1 + n_1 * step_1;
+  }
+  {
+    const int init_2 = (int)(1);
+    const int lim_2 = (int)(12000);
+    const int step_2 = 1;
+    int n_2 = (lim_2 - init_2 + step_2) / step_2;
+    if (n_2 < 0) n_2 = 0;
+    if (n_2 > 0) {
+#pragma omp parallel for private(I)
+      for (int k_2 = 0; k_2 < n_2; k_2++) {
+        I = init_2 + k_2 * step_2;
+        A[((int)(I) - 1)] = (0.001 * I);
+      }
+    }
+    I = init_2 + n_2 * step_2;
+  }
+  {
+    const int init_3 = (int)(1);
+    const int lim_3 = (int)(5);
+    const int step_3 = 1;
+    int n_3 = (lim_3 - init_3 + step_3) / step_3;
+    if (n_3 < 0) n_3 = 0;
+    for (int k_3 = 0; k_3 < n_3; k_3++) {
+      T = init_3 + k_3 * step_3;
+      {
+        const int init_4 = (int)(0);
+        const int lim_4 = (int)(3);
+        const int step_4 = 1;
+        int n_4 = (lim_4 - init_4 + step_4) / step_4;
+        if (n_4 < 0) n_4 = 0;
+        if (n_4 > 0) {
+#pragma omp parallel for private(FTRVMT_K, FTRVMT_I, FTRVMT_J)
+          for (int k_4 = 0; k_4 < n_4; k_4++) {
+            FTRVMT_K = init_4 + k_4 * step_4;
+            {
+              const int init_5 = (int)(0);
+              const int lim_5 = (int)(Z[(int)(FTRVMT_K)]);
+              const int step_5 = 1;
+              int n_5 = (lim_5 - init_5 + step_5) / step_5;
+              if (n_5 < 0) n_5 = 0;
+              if (n_5 > 0) {
+#pragma omp parallel for private(FTRVMT_J, FTRVMT_I)
+                for (int k_5 = 0; k_5 < n_5; k_5++) {
+                  FTRVMT_J = init_5 + k_5 * step_5;
+                  {
+                    const int init_6 = (int)(0);
+                    const int lim_6 = (int)(128);
+                    const int step_6 = 1;
+                    int n_6 = (lim_6 - init_6 + step_6) / step_6;
+                    if (n_6 < 0) n_6 = 0;
+                    if (n_6 > 0) {
+#pragma omp parallel for private(FTRVMT_I)
+                      for (int k_6 = 0; k_6 < n_6; k_6++) {
+                        FTRVMT_I = init_6 + k_6 * step_6;
+                        A[((int)(((((1032 * FTRVMT_J) + (129 * FTRVMT_K)) + FTRVMT_I) + 1)) - 1)] = ((A[((int)(((((1032 * FTRVMT_J) + (129 * FTRVMT_K)) + FTRVMT_I) + 1)) - 1)] * 0.99) + 0.5);
+                        A[((int)((((((1032 * FTRVMT_J) + (129 * FTRVMT_K)) + FTRVMT_I) + 1) + 516)) - 1)] = (A[((int)(((((1032 * FTRVMT_J) + (129 * FTRVMT_K)) + FTRVMT_I) + 1)) - 1)] + 1.0);
+                      }
+                    }
+                    FTRVMT_I = init_6 + n_6 * step_6;
+                  }
+                }
+              }
+              FTRVMT_J = init_5 + n_5 * step_5;
+            }
+          }
+        }
+        FTRVMT_K = init_4 + n_4 * step_4;
+      }
+    }
+    T = init_3 + n_3 * step_3;
+  }
+  CHECK = 0.0;
+  {
+    const int init_7 = (int)(1);
+    const int lim_7 = (int)(12000);
+    const int step_7 = 1;
+    int n_7 = (lim_7 - init_7 + step_7) / step_7;
+    if (n_7 < 0) n_7 = 0;
+    if (n_7 > 0) {
+#pragma omp parallel for private(I) reduction(+:CHECK)
+      for (int k_7 = 0; k_7 < n_7; k_7++) {
+        I = init_7 + k_7 * step_7;
+        CHECK = (CHECK + A[((int)(I) - 1)]);
+      }
+    }
+    I = init_7 + n_7 * step_7;
+  }
+  printf("%g\n", CHECK);
+  return 0;
+}
+
+static void FTRVMT(double *A, int *Z) {
+  int I = 0;
+  int J = 0;
+  int K = 0;
+  {
+    const int init_1 = (int)(0);
+    const int lim_1 = (int)((C_GRID_X - 1));
+    const int step_1 = 1;
+    int n_1 = (lim_1 - init_1 + step_1) / step_1;
+    if (n_1 < 0) n_1 = 0;
+    if (n_1 > 0) {
+#pragma omp parallel for private(K, I, J)
+      for (int k_1 = 0; k_1 < n_1; k_1++) {
+        K = init_1 + k_1 * step_1;
+        {
+          const int init_2 = (int)(0);
+          const int lim_2 = (int)(Z[(int)(K)]);
+          const int step_2 = 1;
+          int n_2 = (lim_2 - init_2 + step_2) / step_2;
+          if (n_2 < 0) n_2 = 0;
+          if (n_2 > 0) {
+#pragma omp parallel for private(J, I)
+            for (int k_2 = 0; k_2 < n_2; k_2++) {
+              J = init_2 + k_2 * step_2;
+              {
+                const int init_3 = (int)(0);
+                const int lim_3 = (int)(128);
+                const int step_3 = 1;
+                int n_3 = (lim_3 - init_3 + step_3) / step_3;
+                if (n_3 < 0) n_3 = 0;
+                if (n_3 > 0) {
+#pragma omp parallel for private(I)
+                  for (int k_3 = 0; k_3 < n_3; k_3++) {
+                    I = init_3 + k_3 * step_3;
+                    A[((int)((((((258 * C_GRID_X) * J) + (129 * K)) + I) + 1)) - 1)] = ((A[((int)((((((258 * C_GRID_X) * J) + (129 * K)) + I) + 1)) - 1)] * 0.99) + 0.5);
+                    A[((int)(((((((258 * C_GRID_X) * J) + (129 * K)) + I) + 1) + (129 * C_GRID_X))) - 1)] = (A[((int)((((((258 * C_GRID_X) * J) + (129 * K)) + I) + 1)) - 1)] + 1.0);
+                  }
+                }
+                I = init_3 + n_3 * step_3;
+              }
+            }
+          }
+          J = init_2 + n_2 * step_2;
+        }
+      }
+    }
+    K = init_1 + n_1 * step_1;
+  }
+  return;
+}

@@ -1,0 +1,110 @@
+#include <math.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* exponentiation helpers mirroring the interpreter's Value.pow */
+static int ipow_ii(int b, int e) {
+  if (e >= 0) { int r = 1; while (e-- > 0) r *= b; return r; }
+  if (b == 1) return 1;
+  if (b == -1) return (e % 2 == 0) ? 1 : -1;
+  return 0;
+}
+static double dpow_i(double b, int e) {
+  if (e >= 0) { double r = 1.0; while (e-- > 0) r *= b; return r; }
+  return pow(b, (double)e);
+}
+static int imax_(int a, int b) { return a >= b ? a : b; }
+static int imin_(int a, int b) { return a <= b ? a : b; }
+static double dmax_(double a, double b) { return a >= b ? a : b; }
+static double dmin_(double a, double b) { return a <= b ? a : b; }
+static double dsign_(double a, double b) {
+  double m = fabs(a);
+  return b < 0.0 ? -m : m;
+}
+static int isign_(int a, int b) { return (int)dsign_((double)a, (double)b); }
+
+
+int main(void) {
+  double A[1700];
+  memset(A, 0, sizeof A);
+  double CHECK = 0;
+  int I = 0;
+  int J = 0;
+  int K = 0;
+  int T = 0;
+  int X = 0;
+  int X0 = 0;
+  {
+    const int init_1 = (int)(1);
+    const int lim_1 = (int)(6);
+    const int step_1 = 1;
+    int n_1 = (lim_1 - init_1 + step_1) / step_1;
+    if (n_1 < 0) n_1 = 0;
+    for (int k_1 = 0; k_1 < n_1; k_1++) {
+      T = init_1 + k_1 * step_1;
+      {
+        const int init_2 = (int)(0);
+        const int lim_2 = (int)(15);
+        const int step_2 = 1;
+        int n_2 = (lim_2 - init_2 + step_2) / step_2;
+        if (n_2 < 0) n_2 = 0;
+        if (n_2 > 0) {
+#pragma omp parallel for private(I, J, K)
+          for (int k_2 = 0; k_2 < n_2; k_2++) {
+            I = init_2 + k_2 * step_2;
+            {
+              const int init_3 = (int)(0);
+              const int lim_3 = (int)(13);
+              const int step_3 = 1;
+              int n_3 = (lim_3 - init_3 + step_3) / step_3;
+              if (n_3 < 0) n_3 = 0;
+              if (n_3 > 0) {
+#pragma omp parallel for private(J, K)
+                for (int k_3 = 0; k_3 < n_3; k_3++) {
+                  J = init_3 + k_3 * step_3;
+                  {
+                    const int init_4 = (int)(0);
+                    const int lim_4 = (int)((J - 1));
+                    const int step_4 = 1;
+                    int n_4 = (lim_4 - init_4 + step_4) / step_4;
+                    if (n_4 < 0) n_4 = 0;
+                    if (n_4 > 0) {
+#pragma omp parallel for private(K)
+                      for (int k_4 = 0; k_4 < n_4; k_4++) {
+                        K = init_4 + k_4 * step_4;
+                        A[((int)((((((2 - J) + (J * J)) + (2 * K)) + (2 * (105 * I))) / 2)) - 1)] = ((((((((2 - J) + (J * J)) + (2 * K)) + (2 * (105 * I))) / 2) - 0.5) * 0.01) + (T * 0.1));
+                      }
+                    }
+                    K = init_4 + n_4 * step_4;
+                  }
+                }
+              }
+              J = init_3 + n_3 * step_3;
+            }
+          }
+        }
+        I = init_2 + n_2 * step_2;
+      }
+    }
+    T = init_1 + n_1 * step_1;
+  }
+  CHECK = 0.0;
+  {
+    const int init_5 = (int)(1);
+    const int lim_5 = (int)(1680);
+    const int step_5 = 1;
+    int n_5 = (lim_5 - init_5 + step_5) / step_5;
+    if (n_5 < 0) n_5 = 0;
+    if (n_5 > 0) {
+#pragma omp parallel for private(I) reduction(+:CHECK)
+      for (int k_5 = 0; k_5 < n_5; k_5++) {
+        I = init_5 + k_5 * step_5;
+        CHECK = (CHECK + A[((int)(I) - 1)]);
+      }
+    }
+    I = init_5 + n_5 * step_5;
+  }
+  printf("%g\n", CHECK);
+  return 0;
+}

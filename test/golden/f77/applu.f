@@ -1,0 +1,40 @@
+      PROGRAM APPLU
+      INTEGER T
+      REAL B(64, 48), F(64, 48), U(64, 48)
+      PARAMETER (NI = 64)
+      PARAMETER (NIT = 4)
+      PARAMETER (NJ = 48)
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+      DO J = 1, 48
+CPOLARIS$ DOALL
+        DO I = 1, 64
+          U(I, J) = 0.1 * I + 0.05 * J
+          B(I, J) = 1.0
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 47
+CPOLARIS$ DOALL
+          DO I = 2, 63
+            F(I, J) = B(I, J) + 0.2 * (U(I + 1, J) + U(I, J + 1))
+          END DO
+        END DO
+        DO J = 2, 47
+          DO I = 2, 63
+            U(I, J) = 0.25 * (U(I - 1, J) + U(I, J - 1) + F(I, J))
+          END DO
+        END DO
+        DO J = 47, 2, (-1)
+          DO I = 63, 2, (-1)
+            U(I, J) = 0.25 * (U(I + 1, J) + U(I, J + 1) + F(I, J))
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO J = 1, 48
+        CHECK = CHECK + U(32, J)
+      END DO
+      PRINT *, CHECK
+      END

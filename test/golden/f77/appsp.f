@@ -1,0 +1,40 @@
+      PROGRAM APPSP
+      INTEGER T
+      REAL RHS(64, 48), SOL(64, 48), TMP(64)
+      PARAMETER (NI = 64)
+      PARAMETER (NIT = 4)
+      PARAMETER (NK = 48)
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+      DO K = 1, 48
+CPOLARIS$ DOALL
+        DO I = 1, 64
+          RHS(I, K) = 0.01 * I + 0.02 * K
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(I,TMP) LASTPRIVATE(I)
+        DO K = 1, 48
+          TMP(1) = RHS(1, K)
+          DO I = 2, 64
+            TMP(I) = RHS(I, K) - 0.3 * TMP(I - 1)
+          END DO
+CPOLARIS$ DOALL
+          DO I = 1, 64
+            SOL(I, K) = TMP(I) * 1.1
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO K = 1, 48
+CPOLARIS$ DOALL
+          DO I = 1, 64
+            RHS(I, K) = SOL(I, K) * 0.9 + 0.01
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO K = 1, 48
+        CHECK = CHECK + SOL(32, K)
+      END DO
+      PRINT *, CHECK
+      END

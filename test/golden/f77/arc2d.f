@@ -1,0 +1,59 @@
+      PROGRAM ARC2D
+      INTEGER COLSWP_J, T
+      REAL COLSWP_W(48), Q(48, 32), S(48, 32)
+      INTEGER COLSWP_JMAX
+      PARAMETER (COLSWP_JMAX = 48)
+      INTEGER COLSWP_KMAX
+      PARAMETER (COLSWP_KMAX = 32)
+      PARAMETER (JMAX = 48)
+      PARAMETER (KMAX = 32)
+      PARAMETER (NIT = 4)
+CPOLARIS$ DOALL PRIVATE(J) LASTPRIVATE(J)
+      DO K = 1, 32
+CPOLARIS$ DOALL
+        DO J = 1, 48
+          Q(J, K) = J * 0.05 + K * 0.02
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(J) LASTPRIVATE(J)
+        DO K = 2, 31
+CPOLARIS$ DOALL
+          DO J = 2, 47
+            S(J, K) = Q(J + 1, K) - 2.0 * Q(J, K) + Q(J - 1, K) + Q(J, K + 1) - 2.0 * Q(J, K) + Q(J, K - 1)
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(COLSWP_J,COLSWP_W)
+        DO K = 2, 31
+          COLSWP_W(1) = S(2, K)
+          DO COLSWP_J = 2, 48
+            COLSWP_W(COLSWP_J) = S(MIN(COLSWP_J, 47), K) + 0.4 * COLSWP_W(COLSWP_J - 1)
+          END DO
+CPOLARIS$ DOALL
+          DO COLSWP_J = 2, 47
+            Q(COLSWP_J, K) = Q(COLSWP_J, K) + 0.1 * COLSWP_W(COLSWP_J)
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO K = 1, 32
+        CHECK = CHECK + Q(24, K)
+      END DO
+      PRINT *, CHECK
+      END
+
+      SUBROUTINE COLSWP(Q, S, K)
+      REAL Q(48, 32), S(48, 32), W(48)
+      PARAMETER (JMAX = 48)
+      PARAMETER (KMAX = 32)
+      W(1) = S(2, K)
+      DO J = 2, 48
+        W(J) = S(MIN(J, 47), K) + 0.4 * W(J - 1)
+      END DO
+CPOLARIS$ DOALL
+      DO J = 2, 47
+        Q(J, K) = Q(J, K) + 0.1 * W(J)
+      END DO
+      RETURN
+      END

@@ -1,0 +1,46 @@
+      PROGRAM BDNA
+      INTEGER IND(100), P, T
+      REAL A(100), X(50, 50), Y(50, 50)
+      PARAMETER (N = 48)
+      PARAMETER (NIT = 4)
+CPOLARIS$ DOALL PRIVATE(J) LASTPRIVATE(J)
+      DO I = 1, 48
+CPOLARIS$ DOALL
+        DO J = 1, 48
+          X(I, J) = I * 0.4 + J * 0.2
+          Y(I, J) = I * 0.1 + J * 0.3
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(A,IND,J,K,L,M,P,R) LASTPRIVATE(J)
+        DO I = 2, 48
+CPOLARIS$ DOALL PRIVATE(R)
+          DO J = 1, I - 1
+            IND(J) = 0
+            A(J) = X(I, J) - Y(I, J)
+            R = A(J) + 0.5
+            IF (R .LT. 20.0) THEN
+              IND(J) = 1
+            END IF
+          END DO
+          P = 0
+          DO K = 1, I - 1
+            IF (IND(K) .NE. 0) THEN
+              P = P + 1
+              IND(P) = K
+            END IF
+          END DO
+CPOLARIS$ DOALL PRIVATE(M)
+          DO L = 1, P
+            M = IND(L)
+            X(I, L) = A(M) + 1.5
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO I = 1, 48
+        CHECK = CHECK + X(I, I)
+      END DO
+      PRINT *, CHECK
+      END

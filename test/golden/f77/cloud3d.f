@@ -1,0 +1,51 @@
+      PROGRAM CLOUD3D
+      INTEGER T
+      REAL COL(40), QV(48, 40), TH(48, 40)
+      PARAMETER (NI = 48)
+      PARAMETER (NIT = 4)
+      PARAMETER (NK = 40)
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+      DO K = 1, 40
+CPOLARIS$ DOALL
+        DO I = 1, 48
+          TH(I, K) = 290.0 + 0.1 * K + 0.01 * I
+          QV(I, K) = 0.01 + 0.0001 * I
+        END DO
+      END DO
+      DO T = 1, 4
+        DO K = 2, 39
+          DO I = 2, 47
+            TH(I, K) = TH(I, K) + 0.02 * (TH(I + 1, K) + TH(I - 1, K) + TH(I, K + 1) + TH(I, K - 1) - 4.0 * TH(I, K))
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(COL,K) LASTPRIVATE(K)
+        DO I = 2, 47
+CPOLARIS$ DOALL
+          DO K = 1, 40
+            COL(K) = TH(I, K) * (1.0 + QV(I, K))
+          END DO
+CPOLARIS$ DOALL
+          DO K = 2, 39
+            QV(I, K) = QV(I, K) + 0.0001 * (COL(K + 1) - COL(K - 1))
+          END DO
+        END DO
+        IT = 0
+        RES = 1.0
+10      CONTINUE
+        IT = IT + 1
+        RES = RES * 0.5
+CPOLARIS$ DOALL
+        DO K = 2, NK - 1
+          TH(24, K) = TH(24, K) + RES * 0.001
+        END DO
+        IF (IT .LT. 5 .AND. RES .GT. 0.01) THEN
+          GOTO 10
+        END IF
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO K = 1, 40
+        CHECK = CHECK + TH(24, K) + QV(24, K) * 100.0
+      END DO
+      PRINT *, CHECK
+      END

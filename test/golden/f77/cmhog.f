@@ -1,0 +1,41 @@
+      PROGRAM CMHOG
+      INTEGER T
+      REAL FLX(24), Q(24, 16, 16), RHO(24, 16, 16)
+      PARAMETER (NI = 24)
+      PARAMETER (NIT = 4)
+      PARAMETER (NJ = 16)
+      PARAMETER (NK = 16)
+CPOLARIS$ DOALL PRIVATE(I,J) LASTPRIVATE(I,J)
+      DO K = 1, 16
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 1, 16
+CPOLARIS$ DOALL
+          DO I = 1, 24
+            RHO(I, J, K) = 1.0 + 0.01 * I + 0.02 * J + 0.03 * K
+            Q(I, J, K) = 0.5 + 0.005 * I
+          END DO
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(FLX,I,J) LASTPRIVATE(I,J)
+        DO K = 2, 15
+CPOLARIS$ DOALL PRIVATE(FLX,I) LASTPRIVATE(I)
+          DO J = 2, 15
+CPOLARIS$ DOALL
+            DO I = 1, 24
+              FLX(I) = RHO(I, J, K) * 0.4 + Q(I, J, K) * 0.3 + Q(I, J, MOD(K, 2) + 1) * 0.3
+            END DO
+CPOLARIS$ DOALL
+            DO I = 2, 23
+              RHO(I, J, K) = RHO(I, J, K) + 0.05 * (FLX(I + 1) - 2.0 * FLX(I) + FLX(I - 1))
+            END DO
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO K = 1, 16
+        CHECK = CHECK + RHO(12, 8, K)
+      END DO
+      PRINT *, CHECK
+      END

@@ -1,0 +1,48 @@
+      PROGRAM FLO52
+      INTEGER T
+      REAL FLUX(52), RES(52, 36), U(52, 36), V(52, 36)
+      PARAMETER (NI = 52)
+      PARAMETER (NIT = 4)
+      PARAMETER (NJ = 36)
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+      DO J = 1, 36
+CPOLARIS$ DOALL
+        DO I = 1, 52
+          U(I, J) = 0.3 * I + 0.1 * J
+          V(I, J) = 0.0
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 35
+CPOLARIS$ DOALL
+          DO I = 2, 51
+            RES(I, J) = U(I + 1, J) + U(I - 1, J) + U(I, J + 1) + U(I, J - 1) - 4.0 * U(I, J)
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(FLUX,I) LASTPRIVATE(I)
+        DO J = 2, 35
+CPOLARIS$ DOALL
+          DO I = 1, 52
+            FLUX(I) = 0.5 * (U(I, J) + U(I, J - 1))
+          END DO
+CPOLARIS$ DOALL
+          DO I = 2, 51
+            V(I, J) = FLUX(I + 1) - FLUX(I)
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 35
+CPOLARIS$ DOALL
+          DO I = 2, 51
+            U(I, J) = U(I, J) + 0.05 * RES(I, J) + 0.01 * V(I, J)
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO J = 1, 36
+        CHECK = CHECK + U(26, J)
+      END DO
+      PRINT *, CHECK
+      END

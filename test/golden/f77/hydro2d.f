@@ -1,0 +1,52 @@
+      PROGRAM HYDRO2D
+      INTEGER T
+      REAL FL(56), RN(56, 44), RO(56, 44), VX(56, 44)
+      PARAMETER (NI = 56)
+      PARAMETER (NIT = 4)
+      PARAMETER (NJ = 44)
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+      DO J = 1, 44
+CPOLARIS$ DOALL
+        DO I = 1, 56
+          RO(I, J) = 1.0 + 0.01 * I
+          RN(I, J) = RO(I, J)
+          VX(I, J) = 0.1 * J
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(FL,I) LASTPRIVATE(I)
+        DO J = 2, 43
+CPOLARIS$ DOALL
+          DO I = 1, 56
+            FL(I) = 0.5 * (RO(I, J) * VX(I, J) + RO(I, J - 1) * VX(I, J - 1))
+          END DO
+CPOLARIS$ DOALL
+          DO I = 2, 55
+            RN(I, J) = RO(I, J) - 0.02 * (FL(I + 1) - FL(I))
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 43
+CPOLARIS$ DOALL
+          DO I = 2, 55
+            RO(I, J) = RN(I, J)
+          END DO
+        END DO
+        EK = 0.0
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I) REDUCTION(+:EK/PRIVATE)
+        DO J = 1, 44
+CPOLARIS$ DOALL REDUCTION(+:EK/PRIVATE)
+          DO I = 1, 56
+            EK = EK + VX(I, J) * VX(I, J) * RO(I, J)
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 43
+CPOLARIS$ DOALL
+          DO I = 2, 55
+            VX(I, J) = VX(I, J) + 0.001 * EK / (1.0 + RO(I, J))
+          END DO
+        END DO
+      END DO
+      PRINT *, EK
+      END

@@ -1,0 +1,38 @@
+      PROGRAM MDG
+      INTEGER NB(200, 6), T
+      REAL F(200), XP(200)
+      PARAMETER (NATOM = 200)
+      PARAMETER (NIT = 5)
+      PARAMETER (NNB = 6)
+CPOLARIS$ DOALL PRIVATE(J) LASTPRIVATE(J)
+      DO I = 1, 200
+        XP(I) = I * 0.3
+        F(I) = 0.0
+CPOLARIS$ DOALL
+        DO J = 1, 6
+          NB(I, J) = MOD(I * 7 + J * 13, 200) + 1
+        END DO
+      END DO
+      DO T = 1, 5
+CPOLARIS$ DOALL PRIVATE(D,J,K) LASTPRIVATE(J) REDUCTION(+:F/EXPANDED)
+        DO I = 1, 200
+CPOLARIS$ DOALL PRIVATE(D,K) REDUCTION(+:F/EXPANDED)
+          DO J = 1, 6
+            K = NB(I, J)
+            D = XP(I) - XP(K)
+            F(I) = F(I) + D / (D * D + 0.01)
+            F(K) = F(K) - D / (D * D + 0.01)
+          END DO
+        END DO
+CPOLARIS$ DOALL
+        DO I = 1, 200
+          XP(I) = XP(I) + F(I) * 0.001
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO I = 1, 200
+        CHECK = CHECK + XP(I)
+      END DO
+      PRINT *, CHECK
+      END

@@ -1,0 +1,52 @@
+      PROGRAM OCEAN
+      INTEGER FTRVMT_I, FTRVMT_J, FTRVMT_K, T, X, Z(0:15)
+      REAL A(12000)
+      PARAMETER (NIT = 5)
+      COMMON /GRID/ X
+      X = 4
+CPOLARIS$ DOALL
+      DO K = 0, 3
+        Z(K) = 5 + K
+      END DO
+CPOLARIS$ DOALL
+      DO I = 1, 12000
+        A(I) = 0.001 * I
+      END DO
+      DO T = 1, 5
+CPOLARIS$ DOALL PRIVATE(FTRVMT_I,FTRVMT_J)
+        DO FTRVMT_K = 0, 3
+CPOLARIS$ DOALL PRIVATE(FTRVMT_I)
+          DO FTRVMT_J = 0, Z(FTRVMT_K)
+CPOLARIS$ DOALL
+            DO FTRVMT_I = 0, 128
+              A(1032 * FTRVMT_J + 129 * FTRVMT_K + FTRVMT_I + 1) = A(1032 * FTRVMT_J + 129 * FTRVMT_K + FTRVMT_I + 1) * 0.99 + 0.5
+              A(1032 * FTRVMT_J + 129 * FTRVMT_K + FTRVMT_I + 1 + 516) = A(1032 * FTRVMT_J + 129 * FTRVMT_K + FTRVMT_I + 1) + 1.0
+            END DO
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO I = 1, 12000
+        CHECK = CHECK + A(I)
+      END DO
+      PRINT *, CHECK
+      END
+
+      SUBROUTINE FTRVMT(A, Z)
+      INTEGER X, Z(0:15)
+      REAL A(12000)
+      COMMON /GRID/ X
+CPOLARIS$ DOALL PRIVATE(I,J)
+      DO K = 0, X - 1
+CPOLARIS$ DOALL PRIVATE(I)
+        DO J = 0, Z(K)
+CPOLARIS$ DOALL
+          DO I = 0, 128
+            A(258 * X * J + 129 * K + I + 1) = A(258 * X * J + 129 * K + I + 1) * 0.99 + 0.5
+            A(258 * X * J + 129 * K + I + 1 + 129 * X) = A(258 * X * J + 129 * K + I + 1) + 1.0
+          END DO
+        END DO
+      END DO
+      RETURN
+      END

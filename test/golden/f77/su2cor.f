@@ -1,0 +1,35 @@
+      PROGRAM SU2COR
+      INTEGER LNK(256), S, T
+      REAL G(8192), W(256)
+      PARAMETER (NG = 8192)
+      PARAMETER (NIT = 4)
+      PARAMETER (NS = 8)
+      PARAMETER (NSITE = 256)
+CPOLARIS$ DOALL
+      DO I = 1, 256
+        LNK(I) = MOD(I * 37, 8192) + 1
+        W(I) = 0.5 + 0.001 * I
+      END DO
+CPOLARIS$ DOALL
+      DO I = 1, 8192
+        G(I) = 0.0
+      END DO
+      DO T = 1, 4
+        DO S = 1, 8
+CPOLARIS$ DOALL REDUCTION(+:G/EXPANDED)
+          DO I = 1, 256
+            G(LNK(I)) = G(LNK(I)) + W(I) * 0.5
+          END DO
+CPOLARIS$ DOALL
+          DO I = 1, 256
+            W(I) = W(I) * 0.9 + 0.01
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO I = 1, 256
+        CHECK = CHECK + G(I) + W(I)
+      END DO
+      PRINT *, CHECK
+      END

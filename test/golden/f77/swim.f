@@ -1,0 +1,47 @@
+      PROGRAM SWIM
+      INTEGER T
+      REAL P(64, 64), U(64, 64), UN(64, 64), V(64, 64), VN(64, 64)
+      PARAMETER (NI = 64)
+      PARAMETER (NIT = 4)
+      PARAMETER (NJ = 64)
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+      DO J = 1, 64
+CPOLARIS$ DOALL
+        DO I = 1, 64
+          U(I, J) = 0.1 * I
+          V(I, J) = 0.1 * J
+          P(I, J) = 10.0
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 63
+CPOLARIS$ DOALL
+          DO I = 2, 63
+            UN(I, J) = U(I, J) - 0.05 * (P(I + 1, J) - P(I - 1, J))
+            VN(I, J) = V(I, J) - 0.05 * (P(I, J + 1) - P(I, J - 1))
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 63
+CPOLARIS$ DOALL
+          DO I = 2, 63
+            P(I, J) = P(I, J) - 0.1 * (UN(I + 1, J) - UN(I - 1, J) + VN(I, J + 1) - VN(I, J - 1))
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 63
+CPOLARIS$ DOALL
+          DO I = 2, 63
+            U(I, J) = UN(I, J)
+            V(I, J) = VN(I, J)
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO J = 1, 64
+        CHECK = CHECK + P(32, J)
+      END DO
+      PRINT *, CHECK
+      END

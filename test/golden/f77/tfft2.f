@@ -1,0 +1,43 @@
+      PROGRAM TFFT2
+      INTEGER STEP_BR, STEP_I, T
+      REAL A(512), B(512)
+      PARAMETER (NIT = 5)
+CPOLARIS$ DOALL
+      DO I = 1, 512
+        A(I) = 0.01 * I
+      END DO
+      DO T = 1, 5
+CPOLARIS$ DOALL
+        DO STEP_I = 1, 256
+          B(STEP_I) = A(2 * STEP_I - 1) + A(2 * STEP_I)
+          B(256 + STEP_I) = A(2 * STEP_I - 1) - A(2 * STEP_I)
+        END DO
+        DO STEP_I = 1, 512, 2
+          STEP_BR = MOD(STEP_I * 317, 511) + 1
+          A(STEP_BR) = B(STEP_I) * 0.7 + 0.01
+          A(STEP_BR + 1) = B(STEP_I) * 0.3
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO I = 1, 512
+        CHECK = CHECK + A(I)
+      END DO
+      PRINT *, CHECK
+      END
+
+      SUBROUTINE STEP(A, B, N2)
+      INTEGER BR
+      REAL A(512), B(512)
+CPOLARIS$ DOALL
+      DO I = 1, N2
+        B(I) = A(2 * I - 1) + A(2 * I)
+        B(N2 + I) = A(2 * I - 1) - A(2 * I)
+      END DO
+      DO I = 1, 2 * N2, 2
+        BR = MOD(I * 317, 2 * N2 - 1) + 1
+        A(BR) = B(I) * 0.7 + 0.01
+        A(BR + 1) = B(I) * 0.3
+      END DO
+      RETURN
+      END

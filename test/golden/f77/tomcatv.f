@@ -1,0 +1,46 @@
+      PROGRAM TOMCATV
+      INTEGER T
+      REAL RX(12), RY(12), X(12, 240), XO(12, 240), Y(12, 240), YO(12, 240)
+      PARAMETER (NI = 12)
+      PARAMETER (NIT = 4)
+      PARAMETER (NJ = 240)
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+      DO J = 1, 240
+CPOLARIS$ DOALL
+        DO I = 1, 12
+          X(I, J) = I + 0.1 * J
+          Y(I, J) = J - 0.05 * I
+          XO(I, J) = X(I, J)
+          YO(I, J) = Y(I, J)
+        END DO
+      END DO
+      DO T = 1, 4
+CPOLARIS$ DOALL PRIVATE(I,RX,RY) LASTPRIVATE(I)
+        DO J = 2, 239
+CPOLARIS$ DOALL
+          DO I = 2, 11
+            RX(I) = XO(I + 1, J) + XO(I - 1, J) + XO(I, J + 1) + XO(I, J - 1) - 4.0 * XO(I, J) + 0.01 * SQRT(XO(I, J) * XO(I, J) + 1.0)
+            RY(I) = YO(I + 1, J) + YO(I - 1, J) + YO(I, J + 1) + YO(I, J - 1) - 4.0 * YO(I, J) + 0.01 * SQRT(YO(I, J) * YO(I, J) + 1.0)
+          END DO
+CPOLARIS$ DOALL
+          DO I = 2, 11
+            X(I, J) = XO(I, J) + 0.07 * RX(I)
+            Y(I, J) = YO(I, J) + 0.07 * RY(I)
+          END DO
+        END DO
+CPOLARIS$ DOALL PRIVATE(I) LASTPRIVATE(I)
+        DO J = 2, 239
+CPOLARIS$ DOALL
+          DO I = 2, 11
+            XO(I, J) = X(I, J)
+            YO(I, J) = Y(I, J)
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO J = 1, 240
+        CHECK = CHECK + X(6, J) + Y(6, J)
+      END DO
+      PRINT *, CHECK
+      END

@@ -1,0 +1,25 @@
+      PROGRAM TRFD
+      INTEGER T, X, X0
+      REAL A(1700)
+      PARAMETER (M = 16)
+      PARAMETER (N = 14)
+      PARAMETER (NIT = 6)
+      DO T = 1, 6
+CPOLARIS$ DOALL PRIVATE(J,K)
+        DO I = 0, 15
+CPOLARIS$ DOALL PRIVATE(K)
+          DO J = 0, 13
+CPOLARIS$ DOALL
+            DO K = 0, J - 1
+              A((2 - J + J * J + 2 * K + 2 * (105 * I)) / 2) = ((2 - J + J * J + 2 * K + 2 * (105 * I)) / 2 - 0.5) * 0.01 + T * 0.1
+            END DO
+          END DO
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO I = 1, 1680
+        CHECK = CHECK + A(I)
+      END DO
+      PRINT *, CHECK
+      END

@@ -1,0 +1,36 @@
+      PROGRAM WAVE5
+      INTEGER IP(320), T
+      REAL RHO(8192), VEL(320), XV(320)
+      PARAMETER (NGRID = 8192)
+      PARAMETER (NIT = 6)
+      PARAMETER (NP = 320)
+CPOLARIS$ DOALL
+      DO K = 1, 320
+        IP(K) = MOD(K * 29, 320) + 1
+        XV(K) = 0.5 * K
+        VEL(K) = 0.01 * K
+      END DO
+CPOLARIS$ DOALL
+      DO I = 1, 8192
+        RHO(I) = 0.0
+      END DO
+      DO T = 1, 6
+CPOLARIS$ DOALL REDUCTION(+:RHO/EXPANDED)
+        DO K = 1, 320
+          RHO(IP(K)) = RHO(IP(K)) + 0.3
+        END DO
+        DO K = 1, 320
+          XV(IP(K)) = XV(IP(K)) * 0.5 + VEL(K)
+        END DO
+CPOLARIS$ DOALL
+        DO K = 1, 320
+          VEL(K) = VEL(K) * 0.99
+        END DO
+      END DO
+      CHECK = 0.0
+CPOLARIS$ DOALL REDUCTION(+:CHECK/PRIVATE)
+      DO K = 1, 320
+        CHECK = CHECK + XV(K)
+      END DO
+      PRINT *, CHECK
+      END

@@ -21,6 +21,8 @@ let () =
       ("chaos", Test_chaos.tests);
       ("cache", Test_cache.tests);
       ("pool", Test_pool.tests);
+      ("registry", Test_registry.tests);
+      ("backend", Test_backend.tests);
       ("serve", Test_serve.tests);
       ("chaosnet", Test_chaosnet.tests);
       ("props", Test_props.tests) ]

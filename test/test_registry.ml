@@ -1,0 +1,334 @@
+(* The declarative pass/pipeline registry (Core.Registry / Core.Pass_id)
+   and the validated environment knobs behind it (Util.Env).
+
+   Three layers are pinned here.  (1) Registry invariants: the presets
+   parse to their documented pass lists, custom pipelines resolve
+   through Pass_id.of_name, and the three rejection modes — unknown
+   pass, duplicate pass, ordering violation — each produce a clean
+   configuration error whose message names the offending pass or the
+   violated edge.  (2) Metadata consistency: every pass's declared
+   [consumes] set refers to analysis caches the reuse ledger actually
+   tracks, so --explain-reuse can never report on a phantom cache.
+   (3) The CLI boundary: an ill-formed --pipeline/--emit-backend is a
+   clean exit 1 from the real binary, never a traceback. *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_contains msg sub s =
+  if not (contains ~sub s) then
+    Alcotest.failf "%s: expected %S within %S" msg sub s
+
+let pass_names pl =
+  List.map Core.Pass_id.name pl.Core.Registry.pl_passes
+
+(* ------------------------------------------------------------------ *)
+(* Preset and custom parsing                                           *)
+
+let test_presets () =
+  (match Core.Registry.parse "thorough" with
+  | Ok pl ->
+    Alcotest.(check (list string)) "thorough order"
+      [ "inline"; "constprop"; "induction"; "constprop2"; "deadcode";
+        "parallelize" ]
+      (pass_names pl)
+  | Error m -> Alcotest.failf "thorough rejected: %s" m);
+  (match Core.Registry.parse "fast" with
+  | Ok pl ->
+    Alcotest.(check (list string)) "fast order"
+      [ "constprop"; "induction"; "parallelize" ]
+      (pass_names pl)
+  | Error m -> Alcotest.failf "fast rejected: %s" m);
+  (match Core.Registry.parse "serial" with
+  | Ok pl ->
+    if List.mem "parallelize" (pass_names pl) then
+      Alcotest.fail "serial preset must not parallelize"
+  | Error m -> Alcotest.failf "serial rejected: %s" m);
+  (* parsing is case- and whitespace-tolerant *)
+  match Core.Registry.parse "  Thorough " with
+  | Ok pl -> Alcotest.(check string) "normalized" "thorough" pl.pl_name
+  | Error m -> Alcotest.failf "' Thorough ' rejected: %s" m
+
+let test_every_preset_checks () =
+  List.iter
+    (fun pl ->
+      match Core.Registry.check pl with
+      | Ok () -> ()
+      | Error m ->
+        Alcotest.failf "preset %s fails its own registry check: %s"
+          pl.Core.Registry.pl_name m)
+    Core.Registry.presets
+
+let test_custom_ok () =
+  match Core.Registry.parse "custom:constprop,induction,parallelize" with
+  | Ok pl ->
+    Alcotest.(check (list string)) "custom passes"
+      [ "constprop"; "induction"; "parallelize" ]
+      (pass_names pl)
+  | Error m -> Alcotest.failf "valid custom rejected: %s" m
+
+let test_unknown_pipeline () =
+  match Core.Registry.parse "blazing" with
+  | Ok _ -> Alcotest.fail "unknown pipeline accepted"
+  | Error m ->
+    check_contains "unknown pipeline" "unknown pipeline 'blazing'" m;
+    (* the error teaches the valid spellings *)
+    check_contains "lists presets" "thorough" m;
+    check_contains "teaches custom" "custom:" m
+
+let test_unknown_pass () =
+  match Core.Registry.parse "custom:constprop,nope" with
+  | Ok _ -> Alcotest.fail "unknown pass accepted"
+  | Error m ->
+    check_contains "unknown pass" "unknown pass 'nope'" m;
+    (* the known-pass list is spelled out for the user *)
+    List.iter
+      (fun p -> check_contains "known list" (Core.Pass_id.name p) m)
+      Core.Pass_id.all
+
+let test_duplicate_pass () =
+  match Core.Registry.parse "custom:deadcode,deadcode" with
+  | Ok _ -> Alcotest.fail "duplicate pass accepted"
+  | Error m -> check_contains "duplicate" "lists pass 'deadcode' twice" m
+
+let test_empty_custom () =
+  match Core.Registry.parse "custom:" with
+  | Ok _ -> Alcotest.fail "empty custom accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ordering constraints                                                *)
+
+(* every registered edge, violated in isolation, is rejected with a
+   message naming exactly that edge *)
+let test_ordering_violations_name_the_edge () =
+  List.iter
+    (fun (before, after, _why) ->
+      let spec =
+        Printf.sprintf "custom:%s,%s" (Core.Pass_id.name after)
+          (Core.Pass_id.name before)
+      in
+      match Core.Registry.parse spec with
+      | Ok _ -> Alcotest.failf "violation accepted: %s" spec
+      | Error m ->
+        check_contains spec
+          (Printf.sprintf "violates ordering constraint '%s' < '%s'"
+             (Core.Pass_id.name before) (Core.Pass_id.name after))
+          m)
+    Core.Pass_id.ordering_edges
+
+let test_ordering_irrelevant_edges_pass () =
+  (* an edge only binds when both endpoints are present: parallelize
+     alone, or deadcode alone, are fine in any position *)
+  List.iter
+    (fun spec ->
+      match Core.Registry.parse spec with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "%s rejected: %s" spec m)
+    [ "custom:parallelize"; "custom:deadcode"; "custom:constprop,parallelize" ]
+
+(* ------------------------------------------------------------------ *)
+(* Metadata consistency                                                *)
+
+let test_consumes_are_tracked () =
+  let tracked = Analysis.Manager.tracked () in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun c ->
+          if not (List.mem c tracked) then
+            Alcotest.failf
+              "pass %s consumes analysis %S which no reuse ledger tracks \
+               (tracked: %s)"
+              (Core.Pass_id.name p) c
+              (String.concat ", " tracked))
+        (Core.Pass_id.consumes p))
+    Core.Pass_id.all
+
+let test_of_name_total () =
+  (* of_name inverts name on every pass, and rejects junk *)
+  List.iter
+    (fun p ->
+      match Core.Pass_id.of_name (Core.Pass_id.name p) with
+      | Some q when q = p -> ()
+      | _ -> Alcotest.failf "of_name (name %s) broken" (Core.Pass_id.name p))
+    Core.Pass_id.all;
+  Alcotest.(check bool) "junk" true (Core.Pass_id.of_name "junk" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Util.Env validated parsers                                          *)
+
+let test_env_pipeline_spec () =
+  let ok s =
+    match Util.Env.parse_pipeline_spec s with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "parse_pipeline_spec %S rejected: %s" s m
+  in
+  let err s =
+    match Util.Env.parse_pipeline_spec s with
+    | Ok v -> Alcotest.failf "parse_pipeline_spec %S accepted as %S" s v
+    | Error _ -> ()
+  in
+  Alcotest.(check string) "preset" "thorough" (ok "thorough");
+  Alcotest.(check string) "trimmed" "fast" (ok "  fast  ");
+  ignore (ok "custom:constprop,parallelize");
+  ignore (ok "CUSTOM:deadcode");
+  err "";
+  err "   ";
+  err "weird:constprop";
+  err "custom:";
+  err "custom: , ,";
+  err "custom:const prop";
+  err "no good"
+
+let test_env_backend_name () =
+  (match Util.Env.parse_backend_name "F77-OMP" with
+  | Ok v -> Alcotest.(check string) "lowercased" "f77-omp" v
+  | Error m -> Alcotest.failf "F77-OMP rejected: %s" m);
+  (match Util.Env.parse_backend_name " c " with
+  | Ok v -> Alcotest.(check string) "trimmed" "c" v
+  | Error m -> Alcotest.failf "' c ' rejected: %s" m);
+  List.iter
+    (fun s ->
+      match Util.Env.parse_backend_name s with
+      | Ok v -> Alcotest.failf "backend %S accepted as %S" s v
+      | Error _ -> ())
+    [ ""; "f 77"; "c!" ]
+
+(* every registry backend name round-trips through the env parser, so
+   POLARIS_BACKEND can always select any registered backend *)
+let test_env_accepts_all_registered () =
+  List.iter
+    (fun name ->
+      match Util.Env.parse_backend_name name with
+      | Ok v -> Alcotest.(check string) name name v
+      | Error m -> Alcotest.failf "registered backend %s rejected: %s" name m)
+    Backend.Registry.names
+
+(* ------------------------------------------------------------------ *)
+(* Backend registry resolution                                         *)
+
+let test_backend_find () =
+  (match Backend.Registry.find " F77-OMP " with
+  | Ok b -> Alcotest.(check string) "normalized" "f77-omp"
+              b.Backend.Registry.b_name
+  | Error m -> Alcotest.failf "f77-omp lookup failed: %s" m);
+  match Backend.Registry.find "rust" with
+  | Ok _ -> Alcotest.fail "unknown backend accepted"
+  | Error m ->
+    check_contains "unknown backend" "unknown backend 'rust'" m;
+    List.iter
+      (fun n -> check_contains "known list" n m)
+      Backend.Registry.names
+
+(* ------------------------------------------------------------------ *)
+(* CLI boundary: the real binary rejects bad specs with exit 1          *)
+
+let polaris_exe = "../bin/polaris_cli.exe"
+
+let with_temp_source f =
+  let path = Filename.temp_file "polaris_registry" ".f" in
+  let oc = open_out path in
+  output_string oc
+    (String.concat "\n"
+       [ "      PROGRAM T"; "      REAL A(10)"; "      DO I = 1, 4";
+         "        A(I) = I"; "      END DO"; "      PRINT *, A(2)";
+         "      END"; "" ]);
+  close_out oc;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let run_cli args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" polaris_exe args)
+
+let test_cli_rejects_bad_pipeline () =
+  with_temp_source @@ fun src ->
+  Alcotest.(check int) "unknown pass exits 1" 1
+    (run_cli (Printf.sprintf "compile --pipeline custom:nope %s" src));
+  Alcotest.(check int) "ordering violation exits 1" 1
+    (run_cli
+       (Printf.sprintf "compile --pipeline custom:parallelize,constprop %s" src));
+  Alcotest.(check int) "unknown preset exits 1" 1
+    (run_cli (Printf.sprintf "compile --pipeline blazing %s" src));
+  Alcotest.(check int) "good pipeline exits 0" 0
+    (run_cli (Printf.sprintf "compile --pipeline fast %s" src))
+
+let test_cli_rejects_bad_backend () =
+  with_temp_source @@ fun src ->
+  Alcotest.(check int) "unknown backend exits 1" 1
+    (run_cli (Printf.sprintf "compile --emit-backend rust %s" src));
+  Alcotest.(check int) "known backend exits 0" 0
+    (run_cli (Printf.sprintf "compile --emit-backend f77-omp %s" src))
+
+(* a malformed POLARIS_PIPELINE must warn and fall back, never break a
+   working invocation (flags are strict; the environment is advisory) *)
+let test_cli_env_falls_back () =
+  with_temp_source @@ fun src ->
+  Alcotest.(check int) "bad env pipeline still compiles" 0
+    (Sys.command
+       (Printf.sprintf
+          "POLARIS_PIPELINE=custom:nope %s compile %s >/dev/null 2>&1"
+          polaris_exe src));
+  Alcotest.(check int) "bad env backend still compiles" 0
+    (Sys.command
+       (Printf.sprintf "POLARIS_BACKEND=rust %s compile %s >/dev/null 2>&1"
+          polaris_exe src))
+
+let read_cli args =
+  let ic = Unix.open_process_in (Printf.sprintf "%s %s 2>&1" polaris_exe args) in
+  let b = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "%s %s exited non-zero" polaris_exe args);
+  Buffer.contents b
+
+let test_cli_listings () =
+  let passes = read_cli "list-passes" in
+  List.iter
+    (fun p -> check_contains "list-passes" (Core.Pass_id.name p) passes)
+    Core.Pass_id.all;
+  check_contains "metadata shown" "consumes:" passes;
+  check_contains "metadata shown" "disables-on-fault:" passes;
+  let pipelines = read_cli "list-pipelines" in
+  List.iter
+    (fun pl ->
+      check_contains "list-pipelines" pl.Core.Registry.pl_name pipelines)
+    Core.Registry.presets;
+  check_contains "custom documented" "custom:" pipelines;
+  let backends = read_cli "list-backends" in
+  List.iter
+    (fun n -> check_contains "list-backends" n backends)
+    Backend.Registry.names
+
+let tests =
+  [ Alcotest.test_case "presets parse" `Quick test_presets;
+    Alcotest.test_case "presets self-check" `Quick test_every_preset_checks;
+    Alcotest.test_case "custom parses" `Quick test_custom_ok;
+    Alcotest.test_case "unknown pipeline" `Quick test_unknown_pipeline;
+    Alcotest.test_case "unknown pass" `Quick test_unknown_pass;
+    Alcotest.test_case "duplicate pass" `Quick test_duplicate_pass;
+    Alcotest.test_case "empty custom" `Quick test_empty_custom;
+    Alcotest.test_case "ordering violations name the edge" `Quick
+      test_ordering_violations_name_the_edge;
+    Alcotest.test_case "unbound edges pass" `Quick
+      test_ordering_irrelevant_edges_pass;
+    Alcotest.test_case "consumes are tracked" `Quick test_consumes_are_tracked;
+    Alcotest.test_case "of_name total" `Quick test_of_name_total;
+    Alcotest.test_case "env pipeline syntax" `Quick test_env_pipeline_spec;
+    Alcotest.test_case "env backend syntax" `Quick test_env_backend_name;
+    Alcotest.test_case "env accepts registered backends" `Quick
+      test_env_accepts_all_registered;
+    Alcotest.test_case "backend find" `Quick test_backend_find;
+    Alcotest.test_case "cli rejects bad pipeline" `Quick
+      test_cli_rejects_bad_pipeline;
+    Alcotest.test_case "cli rejects bad backend" `Quick
+      test_cli_rejects_bad_backend;
+    Alcotest.test_case "cli env falls back" `Quick test_cli_env_falls_back;
+    Alcotest.test_case "cli listings" `Quick test_cli_listings ]

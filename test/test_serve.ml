@@ -42,9 +42,10 @@ let test_protocol_request_roundtrip () =
   let reqs =
     [ Serve.Protocol.Compile
         { cr_label = "a.f"; cr_source = smoke_source; cr_check = true;
-          cr_baseline = false };
+          cr_baseline = false; cr_pipeline = "fast"; cr_backend = "f77-omp" };
       Serve.Protocol.Compile
-        { cr_label = ""; cr_source = ""; cr_check = false; cr_baseline = true };
+        { cr_label = ""; cr_source = ""; cr_check = false; cr_baseline = true;
+          cr_pipeline = ""; cr_backend = "" };
       Serve.Protocol.Stats; Serve.Protocol.Ping; Serve.Protocol.Shutdown ]
   in
   List.iter
@@ -123,7 +124,7 @@ let test_protocol_peel_reassembles () =
     Serve.Protocol.encode_request
       (Serve.Protocol.Compile
          { cr_label = "x"; cr_source = "y"; cr_check = false;
-           cr_baseline = false })
+           cr_baseline = false; cr_pipeline = ""; cr_backend = "" })
   in
   let wire = Serve.Protocol.frame p1 ^ Serve.Protocol.frame p2 in
   let buf = Buffer.create 64 in
@@ -409,11 +410,13 @@ let test_daemon_sigterm_drains () =
     Serve.Client.send c
       (Serve.Protocol.Compile
          { cr_label = "two"; cr_source = smoke_source; cr_check = false;
-           cr_baseline = false });
+           cr_baseline = false;
+                 cr_pipeline = ""; cr_backend = "" });
     Serve.Client.send c
       (Serve.Protocol.Compile
          { cr_label = "three"; cr_source = smoke_source; cr_check = false;
-           cr_baseline = false });
+           cr_baseline = false;
+                 cr_pipeline = ""; cr_backend = "" });
     Unix.kill (Unix.getpid ()) Sys.sigterm;
     let report = Domain.join d in
     Alcotest.(check bool) "graceful under SIGTERM" true
@@ -562,7 +565,8 @@ let test_daemon_evicts_slow_reader () =
          Serve.Client.send c
            (Serve.Protocol.Compile
               { cr_label = Printf.sprintf "r%d" i; cr_source = smoke_source;
-                cr_check = false; cr_baseline = false })
+                cr_check = false; cr_baseline = false;
+                 cr_pipeline = ""; cr_backend = "" })
        done
      with Unix.Unix_error _ | Serve.Protocol.Malformed _ ->
        (* the daemon evicted us mid-send: exactly the point *)
@@ -874,7 +878,8 @@ let test_daemon_concurrent_dispatch () =
             (Serve.Protocol.Compile
                { cr_label = label s i;
                  cr_source = inflight_src ((s * nreqs) + i);
-                 cr_check = false; cr_baseline = false })
+                 cr_check = false; cr_baseline = false;
+                 cr_pipeline = ""; cr_backend = "" })
         done;
         (* one server-side --check ride-along per session: the barrier
            must serialize around the in-flight compiles and diverge on
@@ -883,7 +888,8 @@ let test_daemon_concurrent_dispatch () =
           (Serve.Protocol.Compile
              { cr_label = label s nreqs;
                cr_source = inflight_src ((s * nreqs) + 1);
-               cr_check = true; cr_baseline = false }))
+               cr_check = true; cr_baseline = false;
+                 cr_pipeline = ""; cr_backend = "" }))
       conns;
     let replies =
       List.map
